@@ -1,0 +1,379 @@
+// Benchmarks regenerating the paper's tables and figures, plus ablations
+// of the design choices DESIGN.md calls out. One benchmark per
+// experiment; EXPERIMENTS.md records paper-vs-measured for each. The
+// corpus here is mid-sized (4000 papers) so the suite completes quickly;
+// cmd/etable-study runs the paper-scale 38k corpus.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etable"
+	"repro/internal/expr"
+	"repro/internal/graphrel"
+	"repro/internal/relational"
+	"repro/internal/sqlexec"
+	"repro/internal/storage"
+	"repro/internal/study"
+	"repro/internal/translate"
+)
+
+var (
+	benchOnce  sync.Once
+	benchDB    *relational.DB
+	benchTr    *translate.Result
+	benchStore *storage.Store
+	benchErr   error
+)
+
+func fixtures(b *testing.B) (*relational.DB, *translate.Result, *storage.Store) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDB, benchErr = dataset.Generate(dataset.Config{Papers: 4000, Seed: 1})
+		if benchErr != nil {
+			return
+		}
+		benchTr, benchErr = translate.Translate(benchDB, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		})
+		if benchErr != nil {
+			return
+		}
+		benchStore, benchErr = storage.FromGraph(benchTr.Instance)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDB, benchTr, benchStore
+}
+
+// figure1Pattern is the Figure 1 query: SIGMOD papers with a %user%
+// keyword, pivoted to Papers.
+func figure1Pattern(b *testing.B, tr *translate.Result) *etable.Pattern {
+	b.Helper()
+	p, err := etable.Initiate(tr.Schema, "Papers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := []func() error{
+		func() (e error) { p, e = etable.Add(tr.Schema, p, "Papers→Paper_Keywords: keyword"); return },
+		func() (e error) { p, e = etable.Select(p, "keyword like '%user%'"); return },
+		func() (e error) { p, e = etable.Shift(p, "Papers"); return },
+		func() (e error) { p, e = etable.Add(tr.Schema, p, "Papers→Conferences"); return },
+		func() (e error) { p, e = etable.Select(p, "acronym = 'SIGMOD'"); return },
+		func() (e error) { p, e = etable.Shift(p, "Papers"); return },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// figure7Pattern is the Figure 6/7 query: Korean-institution authors of
+// recent SIGMOD papers.
+func figure7Pattern(b *testing.B, tr *translate.Result) *etable.Pattern {
+	b.Helper()
+	p, err := etable.Initiate(tr.Schema, "Conferences")
+	if err != nil {
+		b.Fatal(err)
+	}
+	steps := []func() error{
+		func() (e error) { p, e = etable.Select(p, "acronym = 'SIGMOD'"); return },
+		func() (e error) { p, e = etable.Add(tr.Schema, p, "Papers→Conferences_rev"); return },
+		func() (e error) { p, e = etable.Select(p, "year > 2005"); return },
+		func() (e error) { p, e = etable.Add(tr.Schema, p, "Paper_Authors"); return },
+		func() (e error) { p, e = etable.Add(tr.Schema, p, "Authors→Institutions"); return },
+		func() (e error) { p, e = etable.Select(p, "country like '%Korea%'"); return },
+		func() (e error) { p, e = etable.Shift(p, "Authors"); return },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// BenchmarkFigure1_EnrichedTable regenerates the Figure 1 enriched table
+// (query execution + format transformation).
+func BenchmarkFigure1_EnrichedTable(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure1Pattern(b, tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := etable.Execute(tr.Instance, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumRows() == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFigure7_OperatorPipeline measures incremental construction
+// AND execution of the full P1-P8 pipeline (every intermediate result is
+// executed, as the interactive interface would).
+func BenchmarkFigure7_OperatorPipeline(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := etable.Initiate(tr.Schema, "Conferences")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops := []func() error{
+			func() (e error) { p, e = etable.Select(p, "acronym = 'SIGMOD'"); return },
+			func() (e error) { p, e = etable.Add(tr.Schema, p, "Papers→Conferences_rev"); return },
+			func() (e error) { p, e = etable.Select(p, "year > 2005"); return },
+			func() (e error) { p, e = etable.Add(tr.Schema, p, "Paper_Authors"); return },
+			func() (e error) { p, e = etable.Add(tr.Schema, p, "Authors→Institutions"); return },
+			func() (e error) { p, e = etable.Select(p, "country like '%Korea%'"); return },
+			func() (e error) { p, e = etable.Shift(p, "Authors"); return },
+		}
+		for _, op := range ops {
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := etable.Execute(tr.Instance, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8_InstanceMatching measures the first execution step of
+// §5.4 alone: matching instances through the graph relation algebra.
+func BenchmarkFigure8_InstanceMatching(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure7Pattern(b, tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := etable.Match(tr.Instance, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Len() == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkFigure8_FormatTransformation measures the second step: the
+// full Execute minus matching is dominated by the transformation, so the
+// difference between this and InstanceMatching isolates it.
+func BenchmarkFigure8_FormatTransformation(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure7Pattern(b, tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := etable.Execute(tr.Instance, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_Translation measures the Appendix A schema + instance
+// translation of the whole corpus.
+func BenchmarkTable1_Translation(b *testing.B) {
+	db, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.Translate(db, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10_UserStudy runs the complete simulated user study
+// (both conditions, six tasks, twelve participants).
+func BenchmarkFigure10_UserStudy(b *testing.B) {
+	db, tr, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := study.RunStudy(tr, db, study.Config{Participants: 12, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, o := range rep.Outcomes {
+			if !o.AnswersAgree {
+				b.Fatalf("task %d answers disagree", o.Task.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_PartitionedVsMonolithic compares the two SQL
+// execution strategies of §6.2 on the storage backend.
+func BenchmarkAblation_PartitionedVsMonolithic(b *testing.B) {
+	_, tr, st := fixtures(b)
+	p := figure7Pattern(b, tr)
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.ExecutePattern(p, storage.Monolithic); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("partitioned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := st.ExecutePattern(p, storage.Partitioned); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_AdjacencyIndex compares the adjacency-indexed graph
+// join against the scan-based join on the full Papers ∗ Authors
+// many-to-many step (|Papers| × |Authors| candidate pairs), where the
+// index avoids a quadratic probe.
+func BenchmarkAblation_AdjacencyIndex(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	papers, err := graphrel.Base(tr.Instance, "Papers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	recent, err := graphrel.Select(papers, "Papers", expr.MustParse("year > 2010"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	authors, err := graphrel.Base(tr.Instance, "Authors")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphrel.Join(recent, authors, "Paper_Authors", "Papers", "Authors"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graphrel.JoinScan(recent, authors, "Paper_Authors", "Papers", "Authors"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_DuplicationFactor quantifies §1's motivation: the
+// flat SQL join of papers×authors×keywords produces many duplicated
+// rows, while the ETable form has one row per paper. The dup_factor
+// metric is flat rows per enriched row.
+func BenchmarkAblation_DuplicationFactor(b *testing.B) {
+	db, tr, _ := fixtures(b)
+	sql := `SELECT Papers.title, Authors.name, Paper_Keywords.keyword
+		FROM Papers, Paper_Authors, Authors, Paper_Keywords, Conferences
+		WHERE Papers.id = Paper_Authors.paper_id
+		AND Paper_Authors.author_id = Authors.id
+		AND Papers.id = Paper_Keywords.paper_id
+		AND Papers.conference_id = Conferences.id
+		AND Conferences.acronym = 'SIGMOD'`
+	p := figure1Pattern(b, tr)
+	var flatRows, etableRows int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := sqlexec.ExecSQL(db, sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := etable.Execute(tr.Instance, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flatRows, etableRows = len(rel.Rows), res.NumRows()
+	}
+	if etableRows > 0 {
+		b.ReportMetric(float64(flatRows)/float64(etableRows), "dup_factor")
+	}
+}
+
+// BenchmarkSQL_FiveWayJoin measures the relational substrate on the
+// study's hardest query (task 4's five-relation join).
+func BenchmarkSQL_FiveWayJoin(b *testing.B) {
+	db, _, _ := fixtures(b)
+	sql := `SELECT Papers.title FROM Papers, Paper_Authors, Authors, Institutions, Conferences
+		WHERE Papers.id = Paper_Authors.paper_id
+		AND Paper_Authors.author_id = Authors.id
+		AND Authors.institution_id = Institutions.id
+		AND Papers.conference_id = Conferences.id
+		AND Institutions.country LIKE '%Korea%'
+		AND Conferences.acronym = 'SIGMOD'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlexec.ExecSQL(db, sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataset_Generation measures corpus generation (1000 papers
+// per iteration to keep the suite fast; scale is linear).
+func BenchmarkDataset_Generation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(dataset.Config{Papers: 1000, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorage_FromGraph measures serializing the TGDB into the
+// relational backend tables.
+func BenchmarkStorage_FromGraph(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := storage.FromGraph(tr.Instance); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_MatchCache compares plain re-execution against the
+// Executor's intermediate-result reuse (§9 future work 2) on the access
+// pattern a session produces: the same query re-executed after
+// presentation-only actions (Sort, Hide, Revert).
+func BenchmarkAblation_MatchCache(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure7Pattern(b, tr)
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.Execute(tr.Instance, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		ex := etable.NewExecutor(tr.Instance)
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.Execute(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRankColumns measures the §9 future-work column-importance
+// ranking over the Figure 1 result.
+func BenchmarkRankColumns(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure1Pattern(b, tr)
+	res, err := etable.Execute(tr.Instance, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := etable.RankColumns(res); len(got) != len(res.Columns) {
+			b.Fatal("bad ranking")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command etable-translate runs the Appendix A relational→TGM
+// translation over the academic database and prints the artifacts of the
+// paper's Figures 3-5 and Table 1: the relational schema, the
+// classification of relations into node/edge type categories, the TGDB
+// schema graph, and an excerpt of the instance graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/render"
+	"repro/internal/translate"
+)
+
+func main() {
+	log.SetFlags(0)
+	papers := flag.Int("papers", 2000, "papers in the generated database")
+	seed := flag.Int64("seed", 1, "generator seed")
+	show := flag.String("show", "categories",
+		"what to print: categories (Table 1), graph (Figure 4), instances (Figure 5), schema (Figure 3), all")
+	flag.Parse()
+
+	db, err := dataset.Generate(dataset.Config{Papers: *papers, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := os.Stdout
+	printSchema := func() {
+		fmt.Fprintln(w, "Relational schema (Figure 3):")
+		for _, name := range db.TableNames() {
+			t, _ := db.Table(name)
+			s := t.Schema()
+			fmt.Fprintf(w, "  %s(", name)
+			for i, c := range s.Columns {
+				if i > 0 {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprint(w, c.Name)
+				if s.InPrimaryKey(c.Name) {
+					fmt.Fprint(w, "*")
+				}
+				if fk, ok := s.IsForeignKey(c.Name); ok {
+					fmt.Fprintf(w, "→%s.%s", fk.RefTable, fk.RefCol)
+				}
+			}
+			fmt.Fprintf(w, ")  [%d rows]\n", t.Len())
+		}
+	}
+	printInstances := func() {
+		fmt.Fprintln(w, "Instance graph excerpt (Figure 5):")
+		stats := tr.Instance.ComputeStats()
+		fmt.Fprintf(w, "  %d nodes, %d directed edges\n", stats.Nodes, stats.Edges)
+		for _, tn := range tr.Instance.SortedTypeNames() {
+			fmt.Fprintf(w, "  %-34s %8d nodes\n", tn, stats.NodesByType[tn])
+		}
+		// A Figure 5-style excerpt: one paper with its neighbors.
+		papers := tr.Instance.NodesOfType("Papers")
+		if len(papers) > 0 {
+			n := tr.Instance.Node(papers[0])
+			fmt.Fprintf(w, "  example: Papers %q\n", render.Truncate(n.Label(), 40))
+			for _, et := range tr.Schema.OutEdges("Papers") {
+				nbs := tr.Instance.Neighbors(n.ID, et.Name)
+				if len(nbs) == 0 {
+					continue
+				}
+				var labels []string
+				for i, nb := range nbs {
+					if i >= 4 {
+						break
+					}
+					labels = append(labels, render.Truncate(tr.Instance.Node(nb).Label(), 18))
+				}
+				fmt.Fprintf(w, "    --%s--> %v (%d total)\n", et.Label, labels, len(nbs))
+			}
+		}
+	}
+
+	switch *show {
+	case "categories":
+		render.Table1(w, tr)
+	case "graph":
+		render.SchemaGraph(w, tr.Schema)
+	case "instances":
+		printInstances()
+	case "schema":
+		printSchema()
+	case "all":
+		printSchema()
+		fmt.Fprintln(w)
+		render.Table1(w, tr)
+		fmt.Fprintln(w)
+		render.SchemaGraph(w, tr.Schema)
+		fmt.Fprintln(w)
+		printInstances()
+	default:
+		log.Fatalf("unknown -show value %q", *show)
+	}
+}

@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "Interactive
+// Browsing and Navigation in Relational Databases" (Kahng, Navathe,
+// Stasko, Chau; PVLDB 9(12), 2016) — the ETable presentation data model,
+// the typed graph model it executes over, the incremental query
+// operators and user-level actions, the three-tier system architecture,
+// and the full evaluation harness that regenerates every table and
+// figure of the paper. See README.md for a tour and DESIGN.md for the
+// system inventory and experiment index.
+package repro

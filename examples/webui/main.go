@@ -1,0 +1,91 @@
+// Webui boots the full three-tier ETable system on a small corpus and
+// exercises its JSON API programmatically — the same requests the
+// embedded browser UI issues — before leaving the server running for
+// interactive use. Run it and open http://localhost:8099/.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+	"repro/internal/translate"
+)
+
+func main() {
+	log.SetFlags(0)
+	db, err := dataset.Generate(dataset.Config{Papers: 2000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(tr.Schema, tr.Instance)
+
+	addr := "localhost:8099"
+	go func() {
+		if err := http.ListenAndServe(addr, srv); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	base := "http://" + addr
+
+	// Drive the API the way the browser front-end does.
+	var created struct {
+		ID int64 `json:"id"`
+	}
+	post(base+"/api/session", nil, &created)
+	fmt.Printf("created session %d\n", created.ID)
+
+	act := func(a map[string]any) map[string]any {
+		var st map[string]any
+		post(fmt.Sprintf("%s/api/session/%d/action", base, created.ID), a, &st)
+		return st
+	}
+	st := act(map[string]any{"action": "open", "table": "Papers"})
+	fmt.Printf("opened Papers: %d rows\n", len(st["rows"].([]any)))
+	st = act(map[string]any{"action": "filter", "condition": "year > 2012"})
+	fmt.Printf("filtered year > 2012: %d rows\n", len(st["rows"].([]any)))
+	st = act(map[string]any{"action": "pivot", "column": "Authors"})
+	fmt.Printf("pivoted to Authors: %d rows, pattern: %s\n",
+		len(st["rows"].([]any)), st["pattern"])
+	st = act(map[string]any{"action": "sort", "column": "Papers", "desc": true})
+	rows := st["rows"].([]any)
+	top := rows[0].(map[string]any)
+	fmt.Printf("most prolific recent author: %s\n", top["label"])
+
+	fmt.Printf("\nETable UI running — open http://%s/ (Ctrl-C to stop)\n", addr)
+	select {}
+}
+
+func post(url string, body, out any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

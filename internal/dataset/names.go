@@ -1,0 +1,147 @@
+package dataset
+
+// Name pools for the synthetic academic database. The generator combines
+// them deterministically; they only need enough variety that labels,
+// filters, and LIKE patterns behave realistically.
+
+var conferencePool = []conferenceSeed{
+	// Databases.
+	{"SIGMOD", "ACM SIGMOD Conference on Management of Data", areaDB, 1.6},
+	{"VLDB", "International Conference on Very Large Data Bases", areaDB, 1.5},
+	{"ICDE", "IEEE International Conference on Data Engineering", areaDB, 1.4},
+	{"PODS", "ACM Symposium on Principles of Database Systems", areaDB, 0.6},
+	{"EDBT", "International Conference on Extending Database Technology", areaDB, 0.8},
+	{"CIKM", "ACM Conference on Information and Knowledge Management", areaDB, 1.2},
+	{"ICDT", "International Conference on Database Theory", areaDB, 0.5},
+	// Data mining.
+	{"KDD", "ACM SIGKDD Conference on Knowledge Discovery and Data Mining", areaDM, 1.5},
+	{"ICDM", "IEEE International Conference on Data Mining", areaDM, 1.1},
+	{"SDM", "SIAM International Conference on Data Mining", areaDM, 0.7},
+	{"WSDM", "ACM Conference on Web Search and Data Mining", areaDM, 0.6},
+	{"WWW", "International World Wide Web Conference", areaDM, 1.3},
+	{"RECSYS", "ACM Conference on Recommender Systems", areaDM, 0.5},
+	// Human-computer interaction.
+	{"CHI", "ACM Conference on Human Factors in Computing Systems", areaHCI, 1.7},
+	{"UIST", "ACM Symposium on User Interface Software and Technology", areaHCI, 0.7},
+	{"CSCW", "ACM Conference on Computer-Supported Cooperative Work", areaHCI, 0.8},
+	{"IUI", "International Conference on Intelligent User Interfaces", areaHCI, 0.6},
+	{"VIS", "IEEE Visualization Conference", areaHCI, 0.9},
+	{"AVI", "International Working Conference on Advanced Visual Interfaces", areaHCI, 0.4},
+}
+
+var firstNames = []string{
+	"James", "Mary", "Wei", "Li", "Minsuk", "Hiroshi", "Yuki", "Anna",
+	"Peter", "Elena", "Rahul", "Priya", "Carlos", "Sofia", "Jan", "Eva",
+	"Mohamed", "Fatima", "Ivan", "Olga", "Chen", "Xin", "Jun", "Sang",
+	"Hyun", "Max", "Clara", "Lucas", "Marie", "Paul", "Laura", "David",
+	"Sarah", "Michael", "Jennifer", "Thomas", "Susan", "Robert", "Linda",
+	"Daniel", "Karen", "Joseph", "Nancy", "Matthew", "Betty", "Andrew",
+	"Helen", "Joshua", "Sandra", "Kevin", "Donna", "Brian", "Ruth",
+	"George", "Sharon", "Edward", "Michelle", "Ronald", "Emily", "Anthony",
+	"Kimberly", "Arnab", "Magda", "Divesh", "Surajit", "Jiawei", "Christos",
+	"Jure", "Ben", "Maneesh", "Jeffrey", "Samuel", "Alon", "Joseph",
+	"Hector", "Rakesh", "Raghu", "Gerhard", "Stefan", "Martin", "Volker",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Wang", "Li", "Zhang", "Chen", "Liu", "Kim",
+	"Lee", "Park", "Choi", "Kahng", "Tanaka", "Suzuki", "Sato", "Garcia",
+	"Martinez", "Lopez", "Gonzalez", "Mueller", "Schmidt", "Schneider",
+	"Fischer", "Weber", "Meyer", "Ivanov", "Petrov", "Singh", "Kumar",
+	"Patel", "Shah", "Nguyen", "Tran", "Pham", "Brown", "Davis", "Miller",
+	"Wilson", "Moore", "Taylor", "Anderson", "Thomas", "Jackson", "White",
+	"Harris", "Martin", "Thompson", "Young", "King", "Wright", "Hill",
+	"Green", "Adams", "Baker", "Nelson", "Carter", "Mitchell", "Roberts",
+	"Turner", "Phillips", "Campbell", "Parker", "Evans", "Edwards",
+	"Collins", "Stewart", "Sanchez", "Morris", "Rogers", "Reed", "Cook",
+	"Nandi", "Jagadish", "Madden", "Stonebraker", "Chaudhuri", "Srivastava",
+	"Halevy", "Widom", "Navathe", "Stasko", "Chau", "Han", "Leskovec",
+}
+
+var institutionTemplates = []string{
+	"Univ. of %s", "%s University", "%s Institute of Technology",
+	"%s State University", "Technical Univ. of %s", "%s Research Institute",
+	"National Univ. of %s",
+}
+
+var institutionPlaces = []string{
+	"Michigan", "Washington", "California", "Texas", "Illinois",
+	"Wisconsin", "Maryland", "Georgia", "Massachusetts", "Stanford",
+	"Carnegie", "Cornell", "Princeton", "Columbia", "Toronto", "Waterloo",
+	"British Columbia", "Cambridge", "Oxford", "Edinburgh", "Munich",
+	"Berlin", "Aachen", "Zurich", "Lausanne", "Amsterdam", "Paris",
+	"Grenoble", "Milan", "Rome", "Madrid", "Barcelona", "Stockholm",
+	"Helsinki", "Copenhagen", "Vienna", "Seoul", "Daejeon", "Pohang",
+	"Tokyo", "Kyoto", "Osaka", "Beijing", "Shanghai", "Tsinghua", "Hong Kong", "Singapore", "Melbourne", "Sydney", "Tel Aviv", "Haifa",
+	"Bangalore", "Mumbai", "Delhi", "Sao Paulo", "Santiago",
+}
+
+// countryWeights skews institution countries the way conference author
+// rosters do; "South Korea" is kept prominent because the paper's tasks
+// filter on it.
+var countryWeights = []struct {
+	Country string
+	Weight  int
+}{
+	{"USA", 34}, {"China", 12}, {"Germany", 8}, {"South Korea", 7},
+	{"UK", 6}, {"Canada", 5}, {"Japan", 5}, {"France", 4}, {"India", 4},
+	{"Italy", 3}, {"Netherlands", 3}, {"Switzerland", 3}, {"Australia", 2},
+	{"Singapore", 2}, {"Israel", 2}, {"Brazil", 1}, {"Spain", 1},
+	{"Sweden", 1}, {"Austria", 1},
+}
+
+// keyword vocabulary per research area; shared tail keywords follow.
+var areaKeywords = map[area][]string{
+	areaDB: {
+		"query processing", "query optimization", "indexing", "transactions",
+		"concurrency control", "distributed databases", "column stores",
+		"schema design", "data integration", "data cleaning", "provenance",
+		"stream processing", "graph databases", "spatial data", "joins",
+		"materialized views", "database usability", "keyword search",
+		"user interface", "end-user queries", "user-defined functions",
+		"approximate query", "main memory databases", "parallel databases",
+		"recovery", "storage management", "benchmarking", "sql",
+	},
+	areaDM: {
+		"clustering", "classification", "frequent patterns", "outlier detection",
+		"recommendation", "collaborative filtering", "social networks",
+		"graph mining", "text mining", "topic models", "feature selection",
+		"matrix factorization", "anomaly detection", "link prediction",
+		"web mining", "user modeling", "large-scale learning", "sampling",
+		"dimensionality reduction", "time series", "pattern mining",
+	},
+	areaHCI: {
+		"user interface", "usability", "user study", "visualization",
+		"interaction design", "direct manipulation", "touch input",
+		"information visualization", "visual analytics", "crowdsourcing",
+		"accessibility", "end-user programming", "gesture input",
+		"user experience", "eye tracking", "collaborative work",
+		"mobile interfaces", "design", "human factors", "user feedback",
+	},
+}
+
+var tailKeywords = []string{
+	"performance", "scalability", "algorithms", "experimentation",
+	"measurement", "theory", "systems", "evaluation", "optimization",
+	"machine learning", "privacy", "security", "reliability", "economics",
+}
+
+// titlePatterns produce paper titles; %s slots are filled with keywords
+// or phrases.
+var titlePatterns = []string{
+	"%s for %s", "Efficient %s in %s", "Towards %s: a %s approach",
+	"Scalable %s with %s", "Interactive %s for %s", "On the %s of %s",
+	"%s: a system for %s", "Mining %s from %s", "Learning %s for %s",
+	"Fast %s over %s", "Adaptive %s in %s", "A study of %s in %s",
+	"Rethinking %s for %s", "%s meets %s", "Automating %s via %s",
+}
+
+var titleNouns = []string{
+	"query answering", "index structures", "data exploration",
+	"user interfaces", "schema mapping", "join processing",
+	"recommendation models", "graph analytics", "stream joins",
+	"visual queries", "crowd workflows", "interactive browsing",
+	"provenance tracking", "keyword search", "result ranking",
+	"data summarization", "entity resolution", "workload tuning",
+	"skew handling", "cache management", "sampling strategies",
+}

@@ -1,0 +1,260 @@
+package etable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/graphrel"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// Execute runs a query pattern over an instance graph: instance matching
+// (Definition 4) followed by format transformation (§5.4.2).
+func Execute(g *tgm.InstanceGraph, p *Pattern) (*Result, error) {
+	if err := p.Validate(g.Schema()); err != nil {
+		return nil, err
+	}
+	matched, err := Match(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return transform(g, p, matched)
+}
+
+// Match implements the instance matching function m(Q): it joins the
+// per-node base graph relations (with their selection conditions pushed
+// down) along the pattern's tree edges, starting from the primary node.
+// The resulting graph relation has one attribute per pattern node, named
+// by the node's key.
+func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
+	prim := p.PrimaryNode()
+	if prim == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	base := func(n *PatternNode) (*graphrel.Relation, error) {
+		r, err := graphrel.BaseNamed(g, n.Type, n.Key)
+		if err != nil {
+			return nil, err
+		}
+		return graphrel.Select(r, n.Key, n.Cond)
+	}
+	cur, err := base(prim)
+	if err != nil {
+		return nil, err
+	}
+	joined := map[string]bool{prim.Key: true}
+	remaining := len(p.Nodes) - 1
+	for remaining > 0 {
+		progressed := false
+		for _, e := range p.Edges {
+			anchorKey, newKey, edgeName, ok := orientEdge(g.Schema(), e, joined)
+			if !ok {
+				continue
+			}
+			nn := p.Node(newKey)
+			nr, err := base(nn)
+			if err != nil {
+				return nil, err
+			}
+			cur, err = graphrel.Join(cur, nr, edgeName, anchorKey, newKey)
+			if err != nil {
+				return nil, err
+			}
+			joined[newKey] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return nil, errDisconnected
+		}
+	}
+	return cur, nil
+}
+
+// errDisconnected reports a pattern whose edges do not connect all nodes
+// (Validate catches this earlier for user-built patterns).
+var errDisconnected = errors.New("etable: pattern is disconnected")
+
+// orientEdge decides whether a pattern edge can extend the joined set:
+// if exactly one endpoint is joined, it returns the join anchored at it,
+// using the reverse edge type when traversing against the stored
+// orientation. Self-paired edge types (no reverse) traverse by the same
+// name both ways.
+func orientEdge(schema *tgm.SchemaGraph, e PatternEdge, joined map[string]bool) (anchorKey, newKey, edgeName string, ok bool) {
+	switch {
+	case joined[e.From] && !joined[e.To]:
+		return e.From, e.To, e.EdgeType, true
+	case joined[e.To] && !joined[e.From]:
+		et := schema.EdgeType(e.EdgeType)
+		if et == nil || et.Reverse == "" {
+			return e.To, e.From, e.EdgeType, true
+		}
+		return e.To, e.From, et.Reverse, true
+	default:
+		return "", "", "", false
+	}
+}
+
+// transform implements the format transformation (§5.4.2): rows are the
+// distinct primary nodes of the matched relation; columns are the base
+// attributes A_b, the participating node columns A_t, and the neighbor
+// node columns A_h.
+func transform(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*Result, error) {
+	prim := p.PrimaryNode()
+	primType := g.Schema().NodeType(prim.Type)
+	res := &Result{Pattern: p, PrimaryType: primType}
+
+	// Rows: Π_τa of the matched relation, in encounter order.
+	rowIDs, err := graphrel.DistinctNodes(matched, prim.Key)
+	if err != nil {
+		return nil, err
+	}
+
+	// Base attribute columns A_b.
+	for _, a := range primType.Attrs {
+		res.Columns = append(res.Columns, Column{Kind: ColBase, Name: a.Name, Attr: a.Name})
+	}
+
+	// Participating node columns A_t: every pattern node except the
+	// primary, with values Π_type σ_{τa=r}(m(Q)) computed in one pass.
+	type partCol struct {
+		col    int
+		groups map[tgm.NodeID][]tgm.NodeID
+	}
+	var parts []partCol
+	primEdges := primaryEdgeTypes(p, g.Schema())
+	for _, n := range p.Nodes {
+		if n.Key == prim.Key {
+			continue
+		}
+		groups, err := graphrel.GroupNeighbors(matched, prim.Key, n.Key)
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = append(res.Columns, Column{
+			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
+			EdgeType: primEdges[n.Key], TargetType: n.Type,
+		})
+		parts = append(parts, partCol{col: len(res.Columns) - 1, groups: groups})
+	}
+
+	// Neighbor node columns A_h: schema out-edges of the primary type,
+	// skipping edges already shown as participating columns directly
+	// adjacent to the primary node (the paper notes the overlap).
+	shown := map[string]bool{}
+	for _, en := range primEdges {
+		if en != "" {
+			shown[en] = true
+		}
+	}
+	var neighborCols []*tgm.EdgeType
+	for _, et := range g.Schema().OutEdges(prim.Type) {
+		if shown[et.Name] {
+			continue
+		}
+		res.Columns = append(res.Columns, Column{
+			Kind: ColNeighbor, Name: et.Label, EdgeType: et.Name, TargetType: et.Target,
+		})
+		neighborCols = append(neighborCols, et)
+	}
+
+	// Materialize rows.
+	res.Rows = make([]Row, len(rowIDs))
+	for ri, id := range rowIDs {
+		n := g.Node(id)
+		row := Row{Node: id, Label: n.Label(), Cells: make([]Cell, len(res.Columns))}
+		ci := 0
+		for ai := range primType.Attrs {
+			row.Cells[ci] = Cell{Value: n.Attrs[ai]}
+			ci++
+		}
+		for _, pc := range parts {
+			row.Cells[pc.col] = Cell{Refs: refs(g, pc.groups[id])}
+		}
+		ci = len(primType.Attrs) + len(parts)
+		for _, et := range neighborCols {
+			row.Cells[ci] = Cell{Refs: refs(g, g.Neighbors(id, et.Name))}
+			ci++
+		}
+		res.Rows[ri] = row
+	}
+	return res, nil
+}
+
+// primaryEdgeTypes maps each pattern node key adjacent to the primary
+// node to the edge type oriented primary → that node ("" for nodes not
+// adjacent to the primary). Edges stored in the opposite orientation
+// count through their reverse edge type, so that the neighbor-column
+// overlap suppression works regardless of which end was primary when
+// the edge was added.
+func primaryEdgeTypes(p *Pattern, schema *tgm.SchemaGraph) map[string]string {
+	out := map[string]string{}
+	for _, e := range p.Edges {
+		switch {
+		case e.From == p.Primary:
+			out[e.To] = e.EdgeType
+		case e.To == p.Primary:
+			if et := schema.EdgeType(e.EdgeType); et != nil && et.Reverse != "" {
+				out[e.From] = et.Reverse
+			}
+		}
+	}
+	return out
+}
+
+func refs(g *tgm.InstanceGraph, ids []tgm.NodeID) []EntityRef {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]EntityRef, len(ids))
+	for i, id := range ids {
+		out[i] = EntityRef{ID: id, Label: g.Node(id).Label()}
+	}
+	return out
+}
+
+// SortSpec orders result rows. Exactly one of Attr or Column is set:
+// Attr sorts by a base attribute value; Column sorts an entity-reference
+// column by its reference count (the paper's "Sort table by # of …").
+type SortSpec struct {
+	Attr   string
+	Column string
+	Desc   bool
+}
+
+// Sort reorders the result's rows in place per spec. The sort is stable.
+func (r *Result) Sort(spec SortSpec) error {
+	var key func(row *Row) value.V
+	switch {
+	case spec.Attr != "":
+		ci := -1
+		for i := range r.Columns {
+			if r.Columns[i].Kind == ColBase && r.Columns[i].Attr == spec.Attr {
+				ci = i
+				break
+			}
+		}
+		if ci < 0 {
+			return fmt.Errorf("etable: no base attribute %q to sort by", spec.Attr)
+		}
+		key = func(row *Row) value.V { return row.Cells[ci].Value }
+	case spec.Column != "":
+		ci := r.ColumnIndex(spec.Column)
+		if ci < 0 || !r.Columns[ci].IsEntityRef() {
+			return fmt.Errorf("etable: no entity-reference column %q to sort by", spec.Column)
+		}
+		key = func(row *Row) value.V { return value.Int(int64(len(row.Cells[ci].Refs))) }
+	default:
+		return fmt.Errorf("etable: empty sort specification")
+	}
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		d := value.Compare(key(&r.Rows[i]), key(&r.Rows[j]))
+		if spec.Desc {
+			return d > 0
+		}
+		return d < 0
+	})
+	return nil
+}

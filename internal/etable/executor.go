@@ -1,0 +1,166 @@
+package etable
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/graphrel"
+	"repro/internal/tgm"
+)
+
+// Executor executes query patterns with reuse of intermediate results —
+// the paper's future-work direction (2) in §9 ("accelerating the
+// execution speed of updated queries (e.g., by reusing intermediate
+// results)"). Two levels are cached, keyed by canonical signatures:
+//
+//   - filtered base relations σ_C(R^G) per (node type, condition), which
+//     repeat whenever a user refines one branch of a pattern while the
+//     others stay fixed;
+//   - fully matched relations per pattern, which repeat on Sort, Hide,
+//     Shift, and history Revert — operations that change presentation or
+//     primary type but not the match.
+//
+// The instance graph is immutable after translation, so cached relations
+// never go stale. The caches are bounded FIFO to keep memory flat during
+// long sessions. Executor is not safe for concurrent use; sessions are
+// single-user, as in the paper's system.
+type Executor struct {
+	g *tgm.InstanceGraph
+
+	baseCache  map[string]*graphrel.Relation
+	baseOrder  []string
+	matchCache map[string]*graphrel.Relation
+	matchOrder []string
+	maxEntries int
+
+	// Hits and Misses count cache effectiveness for the ablation bench.
+	Hits, Misses int
+}
+
+// NewExecutor returns an executor over an instance graph.
+func NewExecutor(g *tgm.InstanceGraph) *Executor {
+	return &Executor{
+		g:          g,
+		baseCache:  make(map[string]*graphrel.Relation),
+		matchCache: make(map[string]*graphrel.Relation),
+		maxEntries: 64,
+	}
+}
+
+// nodeSignature canonicalizes one pattern node's match-relevant state.
+func nodeSignature(n *PatternNode) string {
+	cond := ""
+	if n.Cond != nil {
+		cond = n.Cond.String()
+	}
+	return n.Key + "\x1d" + n.Type + "\x1d" + cond
+}
+
+// Signature returns a canonical string identifying the pattern's match
+// semantics: the node set (with conditions) and edge set, order-
+// insensitively. Patterns with equal signatures match the same tuples up
+// to attribute order; the primary type is excluded because it only
+// affects the transformation step.
+func Signature(p *Pattern) string {
+	nodes := make([]string, len(p.Nodes))
+	for i := range p.Nodes {
+		nodes[i] = nodeSignature(&p.Nodes[i])
+	}
+	sort.Strings(nodes)
+	edges := make([]string, len(p.Edges))
+	for i, e := range p.Edges {
+		edges[i] = e.From + "\x1d" + e.EdgeType + "\x1d" + e.To
+	}
+	sort.Strings(edges)
+	return strings.Join(nodes, "\x1e") + "\x1f" + strings.Join(edges, "\x1e")
+}
+
+func (e *Executor) putBase(key string, r *graphrel.Relation) {
+	if len(e.baseOrder) >= e.maxEntries {
+		delete(e.baseCache, e.baseOrder[0])
+		e.baseOrder = e.baseOrder[1:]
+	}
+	e.baseCache[key] = r
+	e.baseOrder = append(e.baseOrder, key)
+}
+
+func (e *Executor) putMatch(key string, r *graphrel.Relation) {
+	if len(e.matchOrder) >= e.maxEntries {
+		delete(e.matchCache, e.matchOrder[0])
+		e.matchOrder = e.matchOrder[1:]
+	}
+	e.matchCache[key] = r
+	e.matchOrder = append(e.matchOrder, key)
+}
+
+// base returns σ_C(R^G) for one pattern node, cached.
+func (e *Executor) base(n *PatternNode) (*graphrel.Relation, error) {
+	key := nodeSignature(n)
+	if r, ok := e.baseCache[key]; ok {
+		e.Hits++
+		return r, nil
+	}
+	e.Misses++
+	r, err := graphrel.BaseNamed(e.g, n.Type, n.Key)
+	if err != nil {
+		return nil, err
+	}
+	if r, err = graphrel.Select(r, n.Key, n.Cond); err != nil {
+		return nil, err
+	}
+	e.putBase(key, r)
+	return r, nil
+}
+
+// Match is the caching counterpart of the package-level Match.
+func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
+	sig := Signature(p)
+	if r, ok := e.matchCache[sig]; ok {
+		e.Hits++
+		return r, nil
+	}
+	e.Misses++
+	prim := p.PrimaryNode()
+	cur, err := e.base(prim)
+	if err != nil {
+		return nil, err
+	}
+	joined := map[string]bool{prim.Key: true}
+	remaining := len(p.Nodes) - 1
+	for remaining > 0 {
+		progressed := false
+		for _, pe := range p.Edges {
+			anchorKey, newKey, edgeName, ok := orientEdge(e.g.Schema(), pe, joined)
+			if !ok {
+				continue
+			}
+			nr, err := e.base(p.Node(newKey))
+			if err != nil {
+				return nil, err
+			}
+			if cur, err = graphrel.Join(cur, nr, edgeName, anchorKey, newKey); err != nil {
+				return nil, err
+			}
+			joined[newKey] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return nil, errDisconnected
+		}
+	}
+	e.putMatch(sig, cur)
+	return cur, nil
+}
+
+// Execute runs the pattern with intermediate-result reuse.
+func (e *Executor) Execute(p *Pattern) (*Result, error) {
+	if err := p.Validate(e.g.Schema()); err != nil {
+		return nil, err
+	}
+	matched, err := e.Match(p)
+	if err != nil {
+		return nil, err
+	}
+	return transform(e.g, p, matched)
+}

@@ -1,0 +1,155 @@
+package etable
+
+import (
+	"testing"
+)
+
+func TestExecutorMatchesPlainExecute(t *testing.T) {
+	res := fixture(t)
+	ex := NewExecutor(res.Instance)
+
+	p, _ := Initiate(res.Schema, "Conferences")
+	p, _ = Select(p, "acronym = 'SIGMOD'")
+	p, _ = Add(res.Schema, p, "Papers→Conferences_rev")
+	p, _ = Select(p, "year > 2005")
+
+	plain, err := Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := ex.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumRows() != cached.NumRows() {
+		t.Fatalf("rows differ: %d vs %d", plain.NumRows(), cached.NumRows())
+	}
+	for i := range plain.Rows {
+		if plain.Rows[i].Node != cached.Rows[i].Node {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestExecutorCacheHits(t *testing.T) {
+	res := fixture(t)
+	ex := NewExecutor(res.Instance)
+	p, _ := Initiate(res.Schema, "Papers")
+	p, _ = Select(p, "year > 2005")
+
+	if _, err := ex.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := ex.Misses
+	if ex.Hits != 0 {
+		t.Errorf("hits on cold cache = %d", ex.Hits)
+	}
+	// Same pattern again: full match cache hit.
+	if _, err := ex.Execute(p); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Hits == 0 || ex.Misses != missesAfterFirst {
+		t.Errorf("re-execution should hit: hits=%d misses=%d", ex.Hits, ex.Misses)
+	}
+
+	// Shift changes the primary but not the match: signature unchanged.
+	p2, err := Add(res.Schema, p, "Papers→Conferences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Execute(p2); err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := Shift(p2, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := ex.Hits
+	if _, err := ex.Execute(shifted); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Hits <= hitsBefore {
+		t.Error("Shift re-execution should hit the match cache")
+	}
+}
+
+func TestSignatureProperties(t *testing.T) {
+	res := fixture(t)
+	p1, _ := Initiate(res.Schema, "Papers")
+	p1, _ = Add(res.Schema, p1, "Papers→Conferences")
+	p2, _ := Shift(p1, "Papers")
+	if Signature(p1) != Signature(p2) {
+		t.Error("Shift must not change the signature")
+	}
+	p3, _ := Select(p2, "year > 2005")
+	if Signature(p2) == Signature(p3) {
+		t.Error("Select must change the signature")
+	}
+	q, _ := Initiate(res.Schema, "Papers")
+	if Signature(p1) == Signature(q) {
+		t.Error("different patterns share a signature")
+	}
+}
+
+func TestExecutorBaseReuseAcrossPatterns(t *testing.T) {
+	res := fixture(t)
+	ex := NewExecutor(res.Instance)
+	// Two different patterns sharing the filtered Conferences branch.
+	a, _ := Initiate(res.Schema, "Conferences")
+	a, _ = Select(a, "acronym = 'SIGMOD'")
+	a, _ = Add(res.Schema, a, "Papers→Conferences_rev")
+	if _, err := ex.Execute(a); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Initiate(res.Schema, "Conferences")
+	b, _ = Select(b, "acronym = 'SIGMOD'")
+	b, _ = Add(res.Schema, b, "Papers→Conferences_rev")
+	bb, _ := Select(b, "year > 2005")
+	hitsBefore := ex.Hits
+	if _, err := ex.Execute(bb); err != nil {
+		t.Fatal(err)
+	}
+	// The σ(Conferences) base relation is shared even though the full
+	// pattern differs.
+	if ex.Hits <= hitsBefore {
+		t.Error("shared filtered base relation not reused")
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	res := fixture(t)
+	ex := NewExecutor(res.Instance)
+	if _, err := ex.Execute(&Pattern{}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}
+
+func TestExecutorCacheBounded(t *testing.T) {
+	res := fixture(t)
+	ex := NewExecutor(res.Instance)
+	ex.maxEntries = 4
+	for year := 2000; year < 2020; year++ {
+		p, _ := Initiate(res.Schema, "Papers")
+		p, _ = Select(p, "year > "+itoa(year))
+		if _, err := ex.Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(ex.baseCache) > 4 || len(ex.matchCache) > 4 {
+		t.Errorf("caches unbounded: base=%d match=%d", len(ex.baseCache), len(ex.matchCache))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

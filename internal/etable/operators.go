@@ -1,0 +1,133 @@
+package etable
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tgm"
+)
+
+// Initiate creates a new ETable pattern from a single node type (§5.3
+// operator 1): τ'a = τk, T' = {τk}, P' = {}, C' = {}.
+func Initiate(schema *tgm.SchemaGraph, typeName string) (*Pattern, error) {
+	if schema.NodeType(typeName) == nil {
+		return nil, fmt.Errorf("etable: Initiate: unknown node type %q", typeName)
+	}
+	return &Pattern{
+		Primary: typeName,
+		Nodes:   []PatternNode{{Key: typeName, Type: typeName}},
+	}, nil
+}
+
+// Select applies a selection condition to the primary node type (§5.3
+// operator 2). Conditions accumulate as a conjunction, matching the
+// interface's filter window, which builds conjunctions of predicates
+// (§6.1). The condition source text is parsed with the shared condition
+// grammar.
+func Select(p *Pattern, condSrc string) (*Pattern, error) {
+	cond, err := expr.Parse(condSrc)
+	if err != nil {
+		return nil, fmt.Errorf("etable: Select: %w", err)
+	}
+	return SelectExpr(p, cond, condSrc)
+}
+
+// SelectExpr is Select with a pre-parsed condition.
+func SelectExpr(p *Pattern, cond expr.Expr, condSrc string) (*Pattern, error) {
+	out := p.Clone()
+	n := out.PrimaryNode()
+	if n == nil {
+		return nil, fmt.Errorf("etable: Select: pattern has no primary node")
+	}
+	if n.Cond == nil {
+		n.Cond = cond
+		n.CondSrc = condSrc
+	} else {
+		n.Cond = expr.And{Left: n.Cond, Right: cond}
+		n.CondSrc = n.CondSrc + " AND " + condSrc
+	}
+	return out, nil
+}
+
+// Add joins another node type to the pattern through an edge type whose
+// source is the current primary node type (§5.3 operator 3): the target
+// becomes the new primary. It corresponds to adding a join in SQL.
+func Add(schema *tgm.SchemaGraph, p *Pattern, edgeType string) (*Pattern, error) {
+	et := schema.EdgeType(edgeType)
+	if et == nil {
+		return nil, fmt.Errorf("etable: Add: unknown edge type %q", edgeType)
+	}
+	prim := p.PrimaryNode()
+	if prim == nil {
+		return nil, fmt.Errorf("etable: Add: pattern has no primary node")
+	}
+	if et.Source != prim.Type {
+		return nil, fmt.Errorf("etable: Add: edge %q starts at %q, but the primary node type is %q",
+			edgeType, et.Source, prim.Type)
+	}
+	out := p.Clone()
+	newKey := out.freshKey(et.Target)
+	out.Nodes = append(out.Nodes, PatternNode{Key: newKey, Type: et.Target})
+	out.Edges = append(out.Edges, PatternEdge{EdgeType: edgeType, From: prim.Key, To: newKey})
+	out.Primary = newKey
+	return out, nil
+}
+
+// Shift changes the primary node type to another participating node
+// (§5.3 operator 4): the same join result viewed from a different angle.
+func Shift(p *Pattern, nodeKey string) (*Pattern, error) {
+	if p.Node(nodeKey) == nil {
+		return nil, fmt.Errorf("etable: Shift: node %q is not in the pattern", nodeKey)
+	}
+	out := p.Clone()
+	out.Primary = nodeKey
+	return out, nil
+}
+
+// SelectNode applies a condition to an arbitrary participating node
+// rather than the primary one. The paper's operators only condition the
+// primary node (users Shift first); this generalization lets programmatic
+// callers (the SQL bridge of §8) attach conditions anywhere.
+func SelectNode(p *Pattern, nodeKey, condSrc string) (*Pattern, error) {
+	cond, err := expr.Parse(condSrc)
+	if err != nil {
+		return nil, fmt.Errorf("etable: SelectNode: %w", err)
+	}
+	out := p.Clone()
+	n := out.Node(nodeKey)
+	if n == nil {
+		return nil, fmt.Errorf("etable: SelectNode: node %q is not in the pattern", nodeKey)
+	}
+	if n.Cond == nil {
+		n.Cond = cond
+		n.CondSrc = condSrc
+	} else {
+		n.Cond = expr.And{Left: n.Cond, Right: cond}
+		n.CondSrc = n.CondSrc + " AND " + condSrc
+	}
+	return out, nil
+}
+
+// AddBetween joins a new node type through an edge anchored at an
+// arbitrary participating node (not necessarily the primary). Like
+// SelectNode it generalizes the paper's Add for programmatic pattern
+// construction; the primary node is unchanged.
+func AddBetween(schema *tgm.SchemaGraph, p *Pattern, anchorKey, edgeType string) (*Pattern, string, error) {
+	et := schema.EdgeType(edgeType)
+	if et == nil {
+		return nil, "", fmt.Errorf("etable: AddBetween: unknown edge type %q", edgeType)
+	}
+	anchor := p.Node(anchorKey)
+	if anchor == nil {
+		return nil, "", fmt.Errorf("etable: AddBetween: node %q is not in the pattern", anchorKey)
+	}
+	if et.Source != anchor.Type {
+		return nil, "", fmt.Errorf("etable: AddBetween: edge %q starts at %q, anchor is %q",
+			edgeType, et.Source, anchor.Type)
+	}
+	out := p.Clone()
+	newKey := out.freshKey(et.Target)
+	out.Nodes = append(out.Nodes, PatternNode{Key: newKey, Type: et.Target})
+	out.Edges = append(out.Edges, PatternEdge{EdgeType: edgeType, From: anchorKey, To: newKey})
+	return out, newKey, nil
+}

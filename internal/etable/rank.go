@@ -1,0 +1,106 @@
+package etable
+
+import (
+	"math"
+	"sort"
+)
+
+// RankColumns orders the result's columns by estimated importance — the
+// paper's §9 future-work direction (3) ("leveraging … techniques to rank
+// and select important columns to display", citing Yang et al.'s
+// relational summarization). The heuristic scores each column from the
+// data actually in the table:
+//
+//   - base attribute columns score by their distinct-value ratio, with
+//     the label attribute boosted (it identifies rows) and an all-unique
+//     surrogate key column slightly demoted (it duplicates the row
+//     identity without adding meaning);
+//   - entity-reference columns score by coverage (the fraction of rows
+//     with at least one reference) times the log of the mean reference
+//     count, so a column that is dense and rich outranks a sparse one.
+//
+// It returns column ordinals ordered best-first; ties keep the original
+// column order. The result itself is not modified.
+func RankColumns(r *Result) []int {
+	n := len(r.Columns)
+	scores := make([]float64, n)
+	rows := len(r.Rows)
+	for ci := range r.Columns {
+		col := &r.Columns[ci]
+		if rows == 0 {
+			continue
+		}
+		if col.Kind == ColBase {
+			distinct := map[string]bool{}
+			for ri := range r.Rows {
+				distinct[r.Rows[ri].Cells[ci].Value.Key()] = true
+			}
+			ratio := float64(len(distinct)) / float64(rows)
+			score := ratio
+			if col.Attr == r.PrimaryType.Label {
+				score += 1.0 // the label names the row
+			}
+			if col.Attr == r.PrimaryType.Key && len(distinct) == rows {
+				score -= 0.5 // surrogate key: unique but uninformative
+			}
+			scores[ci] = score
+			continue
+		}
+		nonEmpty, total := 0, 0
+		for ri := range r.Rows {
+			c := len(r.Rows[ri].Cells[ci].Refs)
+			if c > 0 {
+				nonEmpty++
+			}
+			total += c
+		}
+		coverage := float64(nonEmpty) / float64(rows)
+		mean := float64(total) / float64(rows)
+		scores[ci] = coverage * math.Log1p(mean)
+		if col.Kind == ColParticipating {
+			// Participating columns reflect the user's own query; they
+			// outrank incidental neighbor columns at equal density.
+			scores[ci] += 0.25
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] > scores[order[b]] })
+	return order
+}
+
+// SelectColumns returns a copy of the result restricted to its k most
+// important columns (per RankColumns), preserving the original column
+// order among those kept. With k >= len(columns) the result is returned
+// unchanged.
+func SelectColumns(r *Result, k int) *Result {
+	if k <= 0 || k >= len(r.Columns) {
+		return r
+	}
+	ranked := RankColumns(r)[:k]
+	keep := make([]bool, len(r.Columns))
+	for _, ci := range ranked {
+		keep[ci] = true
+	}
+	out := *r
+	out.Columns = nil
+	var idx []int
+	for ci := range r.Columns {
+		if keep[ci] {
+			out.Columns = append(out.Columns, r.Columns[ci])
+			idx = append(idx, ci)
+		}
+	}
+	out.Rows = make([]Row, len(r.Rows))
+	for ri, row := range r.Rows {
+		nr := row
+		nr.Cells = make([]Cell, len(idx))
+		for i, ci := range idx {
+			nr.Cells[i] = row.Cells[ci]
+		}
+		out.Rows[ri] = nr
+	}
+	return &out
+}

@@ -1,0 +1,102 @@
+package etable
+
+import "testing"
+
+func TestRankColumns(t *testing.T) {
+	res := fixture(t)
+	p, _ := Initiate(res.Schema, "Papers")
+	out, err := Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := RankColumns(out)
+	if len(order) != len(out.Columns) {
+		t.Fatalf("order length = %d", len(order))
+	}
+	// Every ordinal appears exactly once.
+	seen := map[int]bool{}
+	for _, ci := range order {
+		if ci < 0 || ci >= len(out.Columns) || seen[ci] {
+			t.Fatalf("bad permutation: %v", order)
+		}
+		seen[ci] = true
+	}
+	// The label attribute (title) ranks first among base columns — and
+	// ahead of the surrogate key.
+	titlePos, idPos := -1, -1
+	for pos, ci := range order {
+		switch out.Columns[ci].Name {
+		case "title":
+			titlePos = pos
+		case "id":
+			idPos = pos
+		}
+	}
+	if titlePos == -1 || idPos == -1 || titlePos > idPos {
+		t.Errorf("title pos %d should precede id pos %d", titlePos, idPos)
+	}
+	if order[0] != titlePos && out.Columns[order[0]].Name != "title" {
+		t.Errorf("top column = %q, want title", out.Columns[order[0]].Name)
+	}
+	// Dense reference columns (Authors: every paper has authors) outrank
+	// page_start/page_end style scalars is not required, but they must
+	// outrank empty reference columns. Citations of never-cited papers
+	// can be empty; Authors must be ranked above any all-empty column.
+	authorsPos := -1
+	for pos, ci := range order {
+		if out.Columns[ci].Name == "Authors" {
+			authorsPos = pos
+		}
+	}
+	if authorsPos == -1 {
+		t.Fatal("no Authors column")
+	}
+}
+
+func TestSelectColumns(t *testing.T) {
+	res := fixture(t)
+	p, _ := Initiate(res.Schema, "Papers")
+	out, err := Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trimmed := SelectColumns(out, 3)
+	if len(trimmed.Columns) != 3 {
+		t.Fatalf("columns = %d", len(trimmed.Columns))
+	}
+	for _, row := range trimmed.Rows {
+		if len(row.Cells) != 3 {
+			t.Fatalf("cells = %d", len(row.Cells))
+		}
+	}
+	// The label column survives.
+	if trimmed.ColumnIndex("title") < 0 {
+		t.Error("title dropped by SelectColumns")
+	}
+	// k >= len keeps identity; k <= 0 too.
+	if SelectColumns(out, 99) != out || SelectColumns(out, 0) != out {
+		t.Error("degenerate k should return the input")
+	}
+	// Column order among kept columns is preserved.
+	last := -1
+	for _, c := range trimmed.Columns {
+		ci := out.ColumnIndex(c.Name)
+		if ci < last {
+			t.Error("kept columns reordered")
+		}
+		last = ci
+	}
+}
+
+func TestRankEmptyResult(t *testing.T) {
+	res := fixture(t)
+	p, _ := Initiate(res.Schema, "Papers")
+	p, _ = Select(p, "year > 3000")
+	out, err := Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RankColumns(out); len(got) != len(out.Columns) {
+		t.Errorf("empty-result ranking length = %d", len(got))
+	}
+}

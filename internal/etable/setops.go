@@ -1,0 +1,103 @@
+package etable
+
+import "fmt"
+
+// Set operations over enriched tables — the paper's §9 future-work
+// direction (1) ("incorporating more operations to further improve
+// expressive power (e.g., set operations)"). Because every ETable row is
+// uniquely identified by a node of the primary type, set semantics are
+// well-defined on the row node sets; the typical use is combining two
+// differently-filtered views of the same entity type ("SIGMOD papers
+// about users" ∪ "CHI papers about databases").
+//
+// Operands must share the primary node type. Union additionally requires
+// identical column structure (same names and kinds, which two filterings
+// of the same pattern shape always have) since rows from both sides
+// appear in the output; Intersect and Except keep the left operand's
+// columns and only consult the right side's row set.
+
+// sameColumns reports whether two results have structurally identical
+// column lists.
+func sameColumns(a, b *Result) bool {
+	if len(a.Columns) != len(b.Columns) {
+		return false
+	}
+	for i := range a.Columns {
+		ca, cb := &a.Columns[i], &b.Columns[i]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind || ca.TargetType != cb.TargetType {
+			return false
+		}
+	}
+	return true
+}
+
+func checkPrimary(op string, a, b *Result) error {
+	if a.PrimaryType == nil || b.PrimaryType == nil {
+		return fmt.Errorf("etable: %s: missing primary type", op)
+	}
+	if a.PrimaryType.Name != b.PrimaryType.Name {
+		return fmt.Errorf("etable: %s: primary types differ (%s vs %s)",
+			op, a.PrimaryType.Name, b.PrimaryType.Name)
+	}
+	return nil
+}
+
+// Union returns the rows of a followed by the rows of b not already in
+// a, deduplicated by primary node.
+func Union(a, b *Result) (*Result, error) {
+	if err := checkPrimary("Union", a, b); err != nil {
+		return nil, err
+	}
+	if !sameColumns(a, b) {
+		return nil, fmt.Errorf("etable: Union: column structures differ")
+	}
+	out := &Result{Pattern: a.Pattern, PrimaryType: a.PrimaryType, Columns: a.Columns}
+	seen := make(map[int32]bool, len(a.Rows))
+	for _, r := range a.Rows {
+		seen[int32(r.Node)] = true
+		out.Rows = append(out.Rows, r)
+	}
+	for _, r := range b.Rows {
+		if !seen[int32(r.Node)] {
+			seen[int32(r.Node)] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns a's rows whose primary node also appears in b.
+func Intersect(a, b *Result) (*Result, error) {
+	if err := checkPrimary("Intersect", a, b); err != nil {
+		return nil, err
+	}
+	inB := make(map[int32]bool, len(b.Rows))
+	for _, r := range b.Rows {
+		inB[int32(r.Node)] = true
+	}
+	out := &Result{Pattern: a.Pattern, PrimaryType: a.PrimaryType, Columns: a.Columns}
+	for _, r := range a.Rows {
+		if inB[int32(r.Node)] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}
+
+// Except returns a's rows whose primary node does not appear in b.
+func Except(a, b *Result) (*Result, error) {
+	if err := checkPrimary("Except", a, b); err != nil {
+		return nil, err
+	}
+	inB := make(map[int32]bool, len(b.Rows))
+	for _, r := range b.Rows {
+		inB[int32(r.Node)] = true
+	}
+	out := &Result{Pattern: a.Pattern, PrimaryType: a.PrimaryType, Columns: a.Columns}
+	for _, r := range a.Rows {
+		if !inB[int32(r.Node)] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package etable
+
+import "testing"
+
+// setOpFixtures builds two filtered views of the Papers table: papers
+// from 2011 and papers at SIGMOD.
+func setOpFixtures(t *testing.T) (a, b *Result) {
+	res := fixture(t)
+	p1, _ := Initiate(res.Schema, "Papers")
+	p1, _ = Select(p1, "year = 2011")
+	a, err := Execute(res.Instance, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := Initiate(res.Schema, "Papers")
+	p2, _ = Select(p2, "id in (1, 2, 5, 6)") // SIGMOD papers by id
+	b, err = Execute(res.Instance, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestUnion(t *testing.T) {
+	a, b := setOpFixtures(t)
+	// 2011 papers: 3, 5, 6. SIGMOD: 1, 2, 5, 6. Union: 1, 2, 3, 5, 6.
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 5 {
+		t.Errorf("union rows = %d, want 5", u.NumRows())
+	}
+	// No duplicate nodes.
+	seen := map[int32]bool{}
+	for _, r := range u.Rows {
+		if seen[int32(r.Node)] {
+			t.Fatalf("duplicate node %d in union", r.Node)
+		}
+		seen[int32(r.Node)] = true
+	}
+	// Union is commutative on the row set.
+	u2, err := Union(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.NumRows() != u.NumRows() {
+		t.Errorf("union not commutative: %d vs %d", u.NumRows(), u2.NumRows())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a, b := setOpFixtures(t)
+	// 2011 ∩ SIGMOD: papers 5, 6.
+	i, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.NumRows() != 2 {
+		t.Errorf("intersect rows = %d, want 2", i.NumRows())
+	}
+	labels := map[string]bool{}
+	for _, r := range i.Rows {
+		labels[r.Label] = true
+	}
+	if !labels["Organic databases"] || !labels["Guided interaction"] {
+		t.Errorf("intersect = %v", labels)
+	}
+}
+
+func TestExcept(t *testing.T) {
+	a, b := setOpFixtures(t)
+	// 2011 \ SIGMOD: paper 3 (Wrangler, CHI).
+	e, err := Except(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumRows() != 1 || e.Rows[0].Label != "Wrangler: interactive visual specification" {
+		t.Errorf("except = %+v", e.Rows)
+	}
+	// A \ A = ∅.
+	empty, err := Except(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.NumRows() != 0 {
+		t.Errorf("A \\ A = %d rows", empty.NumRows())
+	}
+}
+
+func TestSetOpValidation(t *testing.T) {
+	res := fixture(t)
+	pa, _ := Initiate(res.Schema, "Papers")
+	a, _ := Execute(res.Instance, pa)
+	pc, _ := Initiate(res.Schema, "Conferences")
+	c, _ := Execute(res.Instance, pc)
+	if _, err := Union(a, c); err == nil {
+		t.Error("cross-type union accepted")
+	}
+	if _, err := Intersect(a, c); err == nil {
+		t.Error("cross-type intersect accepted")
+	}
+	if _, err := Except(a, c); err == nil {
+		t.Error("cross-type except accepted")
+	}
+	// Union with differing column structures (different patterns).
+	pj, _ := Initiate(res.Schema, "Papers")
+	pj, _ = Add(res.Schema, pj, "Papers→Conferences")
+	pj, _ = Shift(pj, "Papers")
+	j, _ := Execute(res.Instance, pj)
+	if _, err := Union(a, j); err == nil {
+		t.Error("column-mismatched union accepted")
+	}
+	// Intersect/Except tolerate differing columns (left's are kept).
+	if _, err := Intersect(a, j); err != nil {
+		t.Errorf("intersect with differing columns: %v", err)
+	}
+}
+
+// Property: |A ∪ B| = |A| + |B| - |A ∩ B| over the fixtures.
+func TestSetOpInclusionExclusion(t *testing.T) {
+	a, b := setOpFixtures(t)
+	u, _ := Union(a, b)
+	i, _ := Intersect(a, b)
+	if u.NumRows() != a.NumRows()+b.NumRows()-i.NumRows() {
+		t.Errorf("|A∪B|=%d |A|=%d |B|=%d |A∩B|=%d violate inclusion-exclusion",
+			u.NumRows(), a.NumRows(), b.NumRows(), i.NumRows())
+	}
+}

@@ -1,0 +1,155 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies lexer tokens. The lexer here is shared with the SQL
+// subset parser in internal/sqlparse.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokOp
+)
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  int
+}
+
+// IsKeyword reports whether the token is an identifier equal to kw,
+// case-insensitively.
+func (t Token) IsKeyword(kw string) bool {
+	return t.Kind == TokIdent && strings.EqualFold(t.Text, kw)
+}
+
+// Lexer tokenizes condition and SQL text.
+type Lexer struct {
+	src string
+	pos int
+	tok Token
+	err error
+}
+
+// NewLexer returns a lexer over src, positioned at the first token.
+func NewLexer(src string) *Lexer {
+	l := &Lexer{src: src}
+	l.Next()
+	return l
+}
+
+// Err returns the first lexical error encountered, if any.
+func (l *Lexer) Err() error { return l.err }
+
+// Tok returns the current token.
+func (l *Lexer) Tok() Token { return l.tok }
+
+// Next advances to the next token and returns it.
+func (l *Lexer) Next() Token {
+	l.tok = l.scan()
+	return l.tok
+}
+
+func (l *Lexer) setErr(pos int, format string, args ...any) {
+	if l.err == nil {
+		l.err = fmt.Errorf("lex: %s at offset %d", fmt.Sprintf(format, args...), pos)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *Lexer) scan() Token {
+	src := l.src
+	for l.pos < len(src) && (src[l.pos] == ' ' || src[l.pos] == '\t' ||
+		src[l.pos] == '\n' || src[l.pos] == '\r') {
+		l.pos++
+	}
+	if l.pos >= len(src) {
+		return Token{Kind: TokEOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(src) && (isIdentPart(src[l.pos]) || src[l.pos] == '.') {
+			l.pos++
+		}
+		return Token{Kind: TokIdent, Text: src[start:l.pos], Pos: start}
+	case isDigit(c) || c == '.' && l.pos+1 < len(src) && isDigit(src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(src) && (isDigit(src[l.pos]) || src[l.pos] == '.' && !seenDot) {
+			if src[l.pos] == '.' {
+				seenDot = true
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: src[start:l.pos], Pos: start}
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(src) {
+				l.setErr(start, "unterminated string literal")
+				return Token{Kind: TokEOF, Pos: l.pos}
+			}
+			if src[l.pos] == '\'' {
+				if l.pos+1 < len(src) && src[l.pos+1] == '\'' {
+					b.WriteByte('\'') // doubled quote escape
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(src[l.pos])
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: start}
+	case c == '"':
+		// Double-quoted identifier.
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(src) && src[l.pos] != '"' {
+			b.WriteByte(src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(src) {
+			l.setErr(start, "unterminated quoted identifier")
+			return Token{Kind: TokEOF, Pos: l.pos}
+		}
+		l.pos++
+		return Token{Kind: TokIdent, Text: b.String(), Pos: start}
+	default:
+		two := ""
+		if l.pos+1 < len(src) {
+			two = src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.pos += 2
+			return Token{Kind: TokOp, Text: two, Pos: start}
+		}
+		switch c {
+		case '=', '<', '>', '(', ')', ',', '+', '-', '*', '/', '%', ';':
+			l.pos++
+			return Token{Kind: TokOp, Text: string(c), Pos: start}
+		}
+		l.setErr(start, "unexpected character %q", string(c))
+		l.pos++
+		return Token{Kind: TokEOF, Pos: start}
+	}
+}

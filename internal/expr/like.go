@@ -1,0 +1,62 @@
+package expr
+
+import "strings"
+
+// MatchLike reports whether s matches the SQL LIKE pattern. '%' matches
+// any run of characters (including empty), '_' matches exactly one
+// character, and a backslash escapes the next pattern character. When
+// fold is true, matching is case-insensitive (ILIKE).
+func MatchLike(s, pattern string, fold bool) bool {
+	if fold {
+		s = strings.ToLower(s)
+		pattern = strings.ToLower(pattern)
+	}
+	return likeMatch(s, pattern)
+}
+
+// likeMatch implements iterative wildcard matching with backtracking on
+// the most recent '%'. Operating on bytes is correct for '%' and escape
+// handling; '_' consumes one byte, which matches one character for ASCII
+// data (the dataset used here).
+func likeMatch(s, p string) bool {
+	var si, pi int
+	star, match := -1, 0
+	for si < len(s) {
+		if pi < len(p) {
+			switch c := p[pi]; c {
+			case '%':
+				star, match = pi, si
+				pi++
+				continue
+			case '_':
+				si++
+				pi++
+				continue
+			case '\\':
+				if pi+1 < len(p) && p[pi+1] == s[si] {
+					si++
+					pi += 2
+					continue
+				}
+			default:
+				if c == s[si] {
+					si++
+					pi++
+					continue
+				}
+			}
+		}
+		if star >= 0 {
+			// Backtrack: let the last '%' absorb one more byte.
+			match++
+			si = match
+			pi = star + 1
+			continue
+		}
+		return false
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}

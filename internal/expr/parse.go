@@ -1,0 +1,360 @@
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Parse parses a condition string such as
+//
+//	acronym = 'SIGMOD' AND year > 2005 AND country LIKE '%Korea%'
+//
+// into an expression tree. The grammar (precedence low→high):
+//
+//	or     := and { OR and }
+//	and    := not { AND not }
+//	not    := NOT not | pred
+//	pred   := sum [ cmpop sum | [NOT] LIKE sum | [NOT] ILIKE sum
+//	               | [NOT] IN '(' sum {',' sum} ')'
+//	               | [NOT] BETWEEN sum AND sum | IS [NOT] NULL ]
+//	sum    := term { (+|-) term }
+//	term   := factor { (*|/|%) factor }
+//	factor := literal | column | '(' or ')' | - factor
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: NewLexer(src)}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.lex.Err(); err != nil {
+		return nil, err
+	}
+	if t := p.lex.Tok(); t.Kind != TokEOF {
+		return nil, fmt.Errorf("expr: unexpected trailing input %q at offset %d", t.Text, t.Pos)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error, for tests and fixed program
+// constants.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// ParseWith parses one expression starting at the lexer's current token,
+// leaving the lexer positioned at the first token past the expression.
+// It is the embedding point for the SQL subset parser, which owns the
+// surrounding statement grammar.
+func ParseWith(l *Lexer) (Expr, error) {
+	p := &parser{lex: l}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseOperandWith parses a single additive expression (sums/products of
+// literals and columns — no comparisons or boolean connectives) starting
+// at the lexer's current token. The SQL parser uses it for the operands
+// of HAVING comparisons, where a full boolean parse would greedily
+// swallow the surrounding AND/OR structure.
+func ParseOperandWith(l *Lexer) (Expr, error) {
+	p := &parser{lex: l}
+	e, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	if err := l.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex *Lexer
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("expr: %s (near offset %d)", fmt.Sprintf(format, args...), p.lex.Tok().Pos)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.lex.Tok().IsKeyword(kw) {
+		p.lex.Next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	t := p.lex.Tok()
+	if t.Kind == TokOp && t.Text == op {
+		p.lex.Next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q, found %q", op, p.lex.Tok().Text)
+	}
+	return nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.Tok().IsKeyword("AND") {
+		p.lex.Next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = And{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Inner: inner}, nil
+	}
+	return p.parsePred()
+}
+
+func (p *parser) parsePred() (Expr, error) {
+	left, err := p.parseSum()
+	if err != nil {
+		return nil, err
+	}
+	t := p.lex.Tok()
+	if t.Kind == TokOp {
+		var op CmpOp
+		switch t.Text {
+		case "=":
+			op = OpEq
+		case "<>", "!=":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return left, nil
+		}
+		p.lex.Next()
+		right, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return Cmp{Op: op, Left: left, Right: right}, nil
+	}
+	negate := false
+	if t.IsKeyword("NOT") {
+		negate = true
+		p.lex.Next()
+		t = p.lex.Tok()
+	}
+	switch {
+	case t.IsKeyword("LIKE"), t.IsKeyword("ILIKE"):
+		fold := t.IsKeyword("ILIKE")
+		p.lex.Next()
+		pat, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return Like{Left: left, Pattern: pat, CaseFold: fold, Negate: negate}, nil
+	case t.IsKeyword("IN"):
+		p.lex.Next()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseSum()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return In{Left: left, List: list, Negate: negate}, nil
+	case t.IsKeyword("BETWEEN"):
+		p.lex.Next()
+		lo, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKeyword("AND") {
+			return nil, p.errf("expected AND in BETWEEN")
+		}
+		hi, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		return Between{Left: left, Low: lo, High: hi, Negate: negate}, nil
+	case t.IsKeyword("IS"):
+		if negate {
+			return nil, p.errf("NOT before IS is not supported; use IS NOT NULL")
+		}
+		p.lex.Next()
+		neg := p.acceptKeyword("NOT")
+		if !p.acceptKeyword("NULL") {
+			return nil, p.errf("expected NULL after IS")
+		}
+		return IsNull{Left: left, Negate: neg}, nil
+	}
+	if negate {
+		return nil, p.errf("expected LIKE, IN, or BETWEEN after NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseSum() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.Tok()
+		if t.Kind != TokOp || t.Text != "+" && t.Text != "-" {
+			return left, nil
+		}
+		op := OpAdd
+		if t.Text == "-" {
+			op = OpSub
+		}
+		p.lex.Next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.lex.Tok()
+		if t.Kind != TokOp {
+			return left, nil
+		}
+		var op ArithOp
+		switch t.Text {
+		case "*":
+			op = OpMul
+		case "/":
+			op = OpDiv
+		case "%":
+			op = OpMod
+		default:
+			return left, nil
+		}
+		p.lex.Next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = Arith{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	t := p.lex.Tok()
+	switch {
+	case t.Kind == TokNumber:
+		p.lex.Next()
+		if strings.ContainsRune(t.Text, '.') {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.Text)
+			}
+			return Const{Val: value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return Const{Val: value.Int(i)}, nil
+	case t.Kind == TokString:
+		p.lex.Next()
+		return Const{Val: value.Str(t.Text)}, nil
+	case t.Kind == TokOp && t.Text == "(":
+		p.lex.Next()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokOp && t.Text == "-":
+		p.lex.Next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Arith{Op: OpSub, Left: Const{Val: value.Int(0)}, Right: inner}, nil
+	case t.IsKeyword("TRUE"):
+		p.lex.Next()
+		return Const{Val: value.Bool(true)}, nil
+	case t.IsKeyword("FALSE"):
+		p.lex.Next()
+		return Const{Val: value.Bool(false)}, nil
+	case t.IsKeyword("NULL"):
+		p.lex.Next()
+		return Const{Val: value.Null}, nil
+	case t.Kind == TokIdent:
+		p.lex.Next()
+		return Col{Name: t.Text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.Text)
+	}
+}

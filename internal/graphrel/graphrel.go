@@ -1,0 +1,286 @@
+// Package graphrel implements the paper's graph relation algebra
+// (§5.4.1): base graph relations over node types of a TGDB instance
+// graph, and the Selection (σ), Join (∗, over an edge type), and
+// Projection (Π) operators. The ETable instance-matching function m(Q)
+// (Definition 4) is composed from these operators in internal/etable.
+//
+// A graph relation is like a relation in the relational model, except
+// that each attribute's domain is the node set of one node type: a tuple
+// is a list of node IDs. Node attribute values stay in the instance
+// graph; selection conditions are evaluated against them through an
+// expression environment.
+package graphrel
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// Attr is one attribute of a graph relation: a node type plus a unique
+// name distinguishing repeated occurrences of the same type.
+type Attr struct {
+	// Name is unique within the relation ("Papers", "Papers#2", …).
+	Name string
+	// Type is the node type defining the attribute's domain.
+	Type *tgm.NodeType
+}
+
+// Relation is a graph relation R^G: an attribute list and tuples of node
+// IDs, one per attribute.
+type Relation struct {
+	g      *tgm.InstanceGraph
+	Attrs  []Attr
+	Tuples [][]tgm.NodeID
+}
+
+// Graph returns the instance graph the relation's nodes live in.
+func (r *Relation) Graph() *tgm.InstanceGraph { return r.g }
+
+// AttrIndex returns the ordinal of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Base returns the base graph relation of a node type: one
+// single-attribute tuple per node instance, in insertion order.
+func Base(g *tgm.InstanceGraph, typeName string) (*Relation, error) {
+	return BaseNamed(g, typeName, typeName)
+}
+
+// BaseNamed is Base with an explicit attribute name, used when the same
+// node type participates in a query more than once.
+func BaseNamed(g *tgm.InstanceGraph, typeName, attrName string) (*Relation, error) {
+	nt := g.Schema().NodeType(typeName)
+	if nt == nil {
+		return nil, fmt.Errorf("graphrel: unknown node type %q", typeName)
+	}
+	ids := g.NodesOfType(typeName)
+	r := &Relation{g: g, Attrs: []Attr{{Name: attrName, Type: nt}}}
+	r.Tuples = make([][]tgm.NodeID, len(ids))
+	for i, id := range ids {
+		r.Tuples[i] = []tgm.NodeID{id}
+	}
+	return r, nil
+}
+
+// nodeEnv evaluates selection conditions against one node's attributes.
+// Dotted names fall back to their bare suffix, so conditions written as
+// either "year > 2005" or "Papers.year > 2005" work.
+type nodeEnv struct{ n *tgm.Node }
+
+// Lookup implements expr.Env.
+func (e nodeEnv) Lookup(name string) (value.V, bool) {
+	if i := e.n.Type.AttrIndex(name); i >= 0 {
+		return e.n.Attrs[i], true
+	}
+	for j := len(name) - 1; j >= 0; j-- {
+		if name[j] == '.' {
+			if i := e.n.Type.AttrIndex(name[j+1:]); i >= 0 {
+				return e.n.Attrs[i], true
+			}
+			break
+		}
+	}
+	return value.Null, false
+}
+
+// NodeEnv exposes a node's attributes as an expression environment; the
+// presentation layer reuses it for per-row condition evaluation.
+func NodeEnv(n *tgm.Node) expr.Env { return nodeEnv{n: n} }
+
+// Select returns the tuples whose node at the named attribute satisfies
+// cond (σ_Ci applied to attribute A_i). A nil condition returns r.
+func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
+	if cond == nil {
+		return r, nil
+	}
+	ai := r.AttrIndex(attrName)
+	if ai < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
+	}
+	out := &Relation{g: r.g, Attrs: r.Attrs}
+	for _, t := range r.Tuples {
+		ok, err := expr.Truthy(cond, nodeEnv{n: r.g.Node(t[ai])})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out, nil
+}
+
+// Join computes r1 ∗_ρ r2: the tuples (t1, t2) such that an edge of type
+// edgeType connects t1's node at leftAttr to t2's node at rightAttr. It
+// uses the instance graph's adjacency index on the left side and a hash
+// index over r2 on the right, so cost is O(|r1|·deg + |r2|).
+func Join(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, error) {
+	if r1.g != r2.g {
+		return nil, fmt.Errorf("graphrel: joining relations from different graphs")
+	}
+	et := r1.g.Schema().EdgeType(edgeType)
+	if et == nil {
+		return nil, fmt.Errorf("graphrel: unknown edge type %q", edgeType)
+	}
+	li := r1.AttrIndex(leftAttr)
+	if li < 0 {
+		return nil, fmt.Errorf("graphrel: left relation has no attribute %q", leftAttr)
+	}
+	ri := r2.AttrIndex(rightAttr)
+	if ri < 0 {
+		return nil, fmt.Errorf("graphrel: right relation has no attribute %q", rightAttr)
+	}
+	if r1.Attrs[li].Type.Name != et.Source {
+		return nil, fmt.Errorf("graphrel: edge %q requires source type %q, attribute %q has %q",
+			edgeType, et.Source, leftAttr, r1.Attrs[li].Type.Name)
+	}
+	if r2.Attrs[ri].Type.Name != et.Target {
+		return nil, fmt.Errorf("graphrel: edge %q requires target type %q, attribute %q has %q",
+			edgeType, et.Target, rightAttr, r2.Attrs[ri].Type.Name)
+	}
+
+	out := &Relation{g: r1.g}
+	out.Attrs = append(append([]Attr{}, r1.Attrs...), r2.Attrs...)
+
+	// Index r2 tuples by their node at rightAttr.
+	index := make(map[tgm.NodeID][]int, len(r2.Tuples))
+	for ti, t := range r2.Tuples {
+		index[t[ri]] = append(index[t[ri]], ti)
+	}
+	for _, t1 := range r1.Tuples {
+		for _, nb := range r1.g.Neighbors(t1[li], edgeType) {
+			for _, ti := range index[nb] {
+				t2 := r2.Tuples[ti]
+				tuple := make([]tgm.NodeID, 0, len(t1)+len(t2))
+				tuple = append(tuple, t1...)
+				tuple = append(tuple, t2...)
+				out.Tuples = append(out.Tuples, tuple)
+			}
+		}
+	}
+	return out, nil
+}
+
+// JoinScan is Join without the adjacency index: it nested-loops over
+// both relations probing HasEdge per pair. It exists as the ablation
+// baseline for BenchmarkAblation_AdjacencyIndex and must return the same
+// tuples as Join (possibly in a different order).
+func JoinScan(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, error) {
+	if r1.g != r2.g {
+		return nil, fmt.Errorf("graphrel: joining relations from different graphs")
+	}
+	et := r1.g.Schema().EdgeType(edgeType)
+	if et == nil {
+		return nil, fmt.Errorf("graphrel: unknown edge type %q", edgeType)
+	}
+	li, ri := r1.AttrIndex(leftAttr), r2.AttrIndex(rightAttr)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("graphrel: bad join attributes %q, %q", leftAttr, rightAttr)
+	}
+	out := &Relation{g: r1.g}
+	out.Attrs = append(append([]Attr{}, r1.Attrs...), r2.Attrs...)
+	for _, t1 := range r1.Tuples {
+		for _, t2 := range r2.Tuples {
+			if r1.g.HasEdge(edgeType, t1[li], t2[ri]) {
+				tuple := make([]tgm.NodeID, 0, len(t1)+len(t2))
+				tuple = append(tuple, t1...)
+				tuple = append(tuple, t2...)
+				out.Tuples = append(out.Tuples, tuple)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Project returns r restricted to the named attributes, eliminating
+// duplicate tuples (Π; the paper's projection removes duplicates).
+func Project(r *Relation, attrNames ...string) (*Relation, error) {
+	idx := make([]int, len(attrNames))
+	out := &Relation{g: r.g, Attrs: make([]Attr, len(attrNames))}
+	for i, name := range attrNames {
+		ai := r.AttrIndex(name)
+		if ai < 0 {
+			return nil, fmt.Errorf("graphrel: no attribute %q", name)
+		}
+		idx[i] = ai
+		out.Attrs[i] = r.Attrs[ai]
+	}
+	seen := make(map[string]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		key := make([]byte, 0, 4*len(idx))
+		proj := make([]tgm.NodeID, len(idx))
+		for i, ai := range idx {
+			proj[i] = t[ai]
+			id := uint32(t[ai])
+			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+		}
+		k := string(key)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Tuples = append(out.Tuples, proj)
+	}
+	return out, nil
+}
+
+// DistinctNodes returns the distinct nodes at the named attribute in
+// first-occurrence order. It is Π over a single attribute returned as a
+// flat node list, which is what the ETable format transformation needs
+// for its row set (§5.4.2).
+func DistinctNodes(r *Relation, attrName string) ([]tgm.NodeID, error) {
+	ai := r.AttrIndex(attrName)
+	if ai < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
+	}
+	seen := make(map[tgm.NodeID]bool, len(r.Tuples))
+	var out []tgm.NodeID
+	for _, t := range r.Tuples {
+		id := t[ai]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// GroupNeighbors computes, for every distinct node at groupAttr, the
+// distinct co-occurring nodes at valueAttr, preserving encounter order.
+// This is the bulk form of Π_type σ_{τa=r}(m(Q)) that the format
+// transformation evaluates once per participating node column instead of
+// once per row (§5.4.2).
+func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]tgm.NodeID, error) {
+	gi := r.AttrIndex(groupAttr)
+	if gi < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", groupAttr)
+	}
+	vi := r.AttrIndex(valueAttr)
+	if vi < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", valueAttr)
+	}
+	out := make(map[tgm.NodeID][]tgm.NodeID)
+	seen := make(map[uint64]bool, len(r.Tuples))
+	for _, t := range r.Tuples {
+		g, v := t[gi], t[vi]
+		key := uint64(uint32(g))<<32 | uint64(uint32(v))
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out[g] = append(out[g], v)
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// AggFunc identifies an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota // COUNT(*) when Arg is nil, else COUNT(expr)
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggCountDistinct:
+		return "COUNT DISTINCT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// Aggregate describes one aggregate output column.
+type Aggregate struct {
+	Func AggFunc
+	Arg  expr.Expr // nil means * (COUNT only)
+	As   string    // output column name
+}
+
+// GroupBy groups r by the given key expressions and computes the
+// aggregates per group. Output columns are the keys (named keyNames)
+// followed by the aggregates (named by As). With no keys, a single
+// global group is produced (even over an empty input, as in SQL).
+func GroupBy(r *Rel, keys []expr.Expr, keyNames []string, aggs []Aggregate) (*Rel, error) {
+	if len(keys) != len(keyNames) {
+		return nil, fmt.Errorf("relational: GroupBy: %d keys but %d names", len(keys), len(keyNames))
+	}
+	out := &Rel{}
+	for _, n := range keyNames {
+		out.Cols = append(out.Cols, ColRef{Name: n})
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Func.String()
+		}
+		out.Cols = append(out.Cols, ColRef{Name: name})
+	}
+
+	type group struct {
+		keyVals []value.V
+		states  []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for _, row := range r.Rows {
+		env := r.Env(row)
+		keyVals := make([]value.V, len(keys))
+		var kb []byte
+		for i, k := range keys {
+			v, err := k.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = v
+			kb = append(kb, v.Key()...)
+			kb = append(kb, 0x1f)
+		}
+		gk := string(kb)
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{keyVals: keyVals, states: newAggStates(aggs)}
+			groups[gk] = g
+			order = append(order, gk)
+		}
+		for i, a := range aggs {
+			var v value.V
+			if a.Arg != nil {
+				av, err := a.Arg.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				v = av
+			}
+			g.states[i].add(v, a.Arg == nil)
+		}
+	}
+
+	if len(keys) == 0 && len(groups) == 0 {
+		// Global aggregate over empty input still yields one row.
+		g := &group{states: newAggStates(aggs)}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	for _, gk := range order {
+		g := groups[gk]
+		row := make(Row, 0, len(g.keyVals)+len(aggs))
+		row = append(row, g.keyVals...)
+		for i := range aggs {
+			row = append(row, g.states[i].result())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+type aggState struct {
+	fn       AggFunc
+	count    int64
+	sum      float64
+	sumInt   int64
+	allInt   bool
+	min, max value.V
+	distinct map[string]bool
+}
+
+func newAggStates(aggs []Aggregate) []aggState {
+	states := make([]aggState, len(aggs))
+	for i, a := range aggs {
+		states[i] = aggState{fn: a.Func, allInt: true, min: value.Null, max: value.Null}
+		if a.Func == AggCountDistinct {
+			states[i].distinct = make(map[string]bool)
+		}
+	}
+	return states
+}
+
+// add folds one value into the state. star is true for COUNT(*), which
+// counts rows regardless of NULLs; all other aggregates skip NULLs.
+func (s *aggState) add(v value.V, star bool) {
+	if star {
+		s.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	switch s.fn {
+	case AggCount:
+		s.count++
+	case AggCountDistinct:
+		s.distinct[v.Key()] = true
+	case AggSum, AggAvg:
+		s.count++
+		if v.Kind() == value.KindInt {
+			s.sumInt += v.AsInt()
+		} else {
+			s.allInt = false
+		}
+		s.sum += v.AsFloat()
+	case AggMin:
+		if s.min.IsNull() || value.Compare(v, s.min) < 0 {
+			s.min = v
+		}
+	case AggMax:
+		if s.max.IsNull() || value.Compare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+}
+
+func (s *aggState) result() value.V {
+	switch s.fn {
+	case AggCount:
+		return value.Int(s.count)
+	case AggCountDistinct:
+		return value.Int(int64(len(s.distinct)))
+	case AggSum:
+		if s.count == 0 {
+			return value.Null
+		}
+		if s.allInt {
+			return value.Int(s.sumInt)
+		}
+		return value.Float(s.sum)
+	case AggAvg:
+		if s.count == 0 {
+			return value.Null
+		}
+		return value.Float(s.sum / float64(s.count))
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	default:
+		return value.Null
+	}
+}

@@ -1,0 +1,232 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// Select returns the rows of r satisfying cond (σ). A nil condition
+// returns r unchanged.
+func Select(r *Rel, cond expr.Expr) (*Rel, error) {
+	if cond == nil {
+		return r, nil
+	}
+	out := &Rel{Cols: r.Cols}
+	for _, row := range r.Rows {
+		ok, err := expr.Truthy(cond, r.Env(row))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Project returns r restricted to the named columns, in order (π without
+// duplicate elimination; compose with Distinct for set semantics).
+func Project(r *Rel, cols ...string) (*Rel, error) {
+	idx := make([]int, len(cols))
+	out := &Rel{Cols: make([]ColRef, len(cols))}
+	for i, name := range cols {
+		ci := r.ColIndex(name)
+		if ci == -2 {
+			return nil, fmt.Errorf("relational: ambiguous column %q", name)
+		}
+		if ci < 0 {
+			return nil, fmt.Errorf("relational: no column %q", name)
+		}
+		idx[i] = ci
+		out.Cols[i] = r.Cols[ci]
+	}
+	out.Rows = make([]Row, len(r.Rows))
+	for ri, row := range r.Rows {
+		pr := make(Row, len(idx))
+		for i, ci := range idx {
+			pr[i] = row[ci]
+		}
+		out.Rows[ri] = pr
+	}
+	return out, nil
+}
+
+// Distinct removes duplicate rows, preserving first-occurrence order.
+func Distinct(r *Rel) *Rel {
+	out := &Rel{Cols: r.Cols}
+	seen := make(map[string]bool, len(r.Rows))
+	for _, row := range r.Rows {
+		k := rowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+func rowKey(row Row) string {
+	var b []byte
+	for _, v := range row {
+		b = append(b, v.Key()...)
+		b = append(b, 0x1f)
+	}
+	return string(b)
+}
+
+// EquiJoin joins l and r on l.leftCol = r.rightCol using a hash join.
+// Column sets are concatenated (l's columns first).
+func EquiJoin(l, r *Rel, leftCol, rightCol string) (*Rel, error) {
+	li := l.ColIndex(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("relational: join: left has no column %q", leftCol)
+	}
+	ri := r.ColIndex(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("relational: join: right has no column %q", rightCol)
+	}
+	out := &Rel{Cols: append(append([]ColRef{}, l.Cols...), r.Cols...)}
+	// Build on the smaller side.
+	if len(l.Rows) <= len(r.Rows) {
+		build := make(map[string][]Row, len(l.Rows))
+		for _, lr := range l.Rows {
+			if lr[li].IsNull() {
+				continue
+			}
+			k := lr[li].Key()
+			build[k] = append(build[k], lr)
+		}
+		for _, rr := range r.Rows {
+			if rr[ri].IsNull() {
+				continue
+			}
+			for _, lr := range build[rr[ri].Key()] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	} else {
+		build := make(map[string][]Row, len(r.Rows))
+		for _, rr := range r.Rows {
+			if rr[ri].IsNull() {
+				continue
+			}
+			k := rr[ri].Key()
+			build[k] = append(build[k], rr)
+		}
+		for _, lr := range l.Rows {
+			if lr[li].IsNull() {
+				continue
+			}
+			for _, rr := range build[lr[li].Key()] {
+				out.Rows = append(out.Rows, concatRows(lr, rr))
+			}
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b Row) Row {
+	out := make(Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// ThetaJoin joins l and r on an arbitrary condition with a nested-loop
+// join. Prefer EquiJoin when the condition is a single equality.
+func ThetaJoin(l, r *Rel, cond expr.Expr) (*Rel, error) {
+	out := &Rel{Cols: append(append([]ColRef{}, l.Cols...), r.Cols...)}
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			joined := concatRows(lr, rr)
+			if cond != nil {
+				ok, err := expr.Truthy(cond, out.Env(joined))
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out.Rows = append(out.Rows, joined)
+		}
+	}
+	return out, nil
+}
+
+// CrossJoin is ThetaJoin with no condition.
+func CrossJoin(l, r *Rel) *Rel {
+	out, _ := ThetaJoin(l, r, nil)
+	return out
+}
+
+// SortKey orders rows by a column or arbitrary expression.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Sort returns r ordered by the given keys. The sort is stable.
+func Sort(r *Rel, keys ...SortKey) (*Rel, error) {
+	type keyed struct {
+		row  Row
+		vals []value.V
+	}
+	rows := make([]keyed, len(r.Rows))
+	for i, row := range r.Rows {
+		vals := make([]value.V, len(keys))
+		env := r.Env(row)
+		for ki, k := range keys {
+			v, err := k.Expr.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			vals[ki] = v
+		}
+		rows[i] = keyed{row: row, vals: vals}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for ki := range keys {
+			d := value.Compare(rows[i].vals[ki], rows[j].vals[ki])
+			if d == 0 {
+				continue
+			}
+			if keys[ki].Desc {
+				return d > 0
+			}
+			return d < 0
+		}
+		return false
+	})
+	out := &Rel{Cols: r.Cols, Rows: make([]Row, len(rows))}
+	for i, kr := range rows {
+		out.Rows[i] = kr.row
+	}
+	return out, nil
+}
+
+// Limit returns at most n rows starting at offset.
+func Limit(r *Rel, offset, n int) *Rel {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(r.Rows) {
+		return &Rel{Cols: r.Cols}
+	}
+	end := len(r.Rows)
+	if n >= 0 && offset+n < end {
+		end = offset + n
+	}
+	return &Rel{Cols: r.Cols, Rows: r.Rows[offset:end]}
+}
+
+// Rename changes the table qualifier of every column (aliasing).
+func Rename(r *Rel, alias string) *Rel {
+	cols := make([]ColRef, len(r.Cols))
+	for i, c := range r.Cols {
+		cols[i] = ColRef{Table: alias, Name: c.Name}
+	}
+	return &Rel{Cols: cols, Rows: r.Rows}
+}

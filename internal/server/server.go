@@ -1,0 +1,290 @@
+// Package server implements the paper's three-tier architecture (§6.2):
+// a web front-end (embedded single-page UI), an application server
+// (JSON API over user sessions), and the database backend (the TGDB
+// instance graph). Each browser session maps to one session.Session,
+// whose four Figure 9 components the API exposes: the default table
+// list, the main view (the enriched table), the schema view (the query
+// pattern), and the history view.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/etable"
+	"repro/internal/session"
+	"repro/internal/tgm"
+)
+
+// Server is the HTTP application server.
+type Server struct {
+	schema *tgm.SchemaGraph
+	graph  *tgm.InstanceGraph
+
+	mu       sync.Mutex
+	sessions map[int64]*session.Session
+	nextID   int64
+
+	mux *http.ServeMux
+}
+
+// New creates a server over a TGDB.
+func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Server {
+	s := &Server{
+		schema:   schema,
+		graph:    graph,
+		sessions: make(map[int64]*session.Session),
+		nextID:   1,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
+	s.mux.HandleFunc("POST /api/session", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
+	s.mux.HandleFunc("POST /api/session/{id}/action", s.handleAction)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// schemaJSON is the /api/schema payload.
+type schemaJSON struct {
+	NodeTypes []nodeTypeJSON `json:"nodeTypes"`
+	EdgeTypes []edgeTypeJSON `json:"edgeTypes"`
+}
+
+type nodeTypeJSON struct {
+	Name  string   `json:"name"`
+	Kind  string   `json:"kind"`
+	Label string   `json:"label"`
+	Attrs []string `json:"attrs"`
+	Count int      `json:"count"`
+}
+
+type edgeTypeJSON struct {
+	Name   string `json:"name"`
+	Label  string `json:"label"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Kind   string `json:"kind"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	out := schemaJSON{}
+	for _, nt := range s.schema.NodeTypes() {
+		attrs := make([]string, len(nt.Attrs))
+		for i, a := range nt.Attrs {
+			attrs[i] = a.Name
+		}
+		out.NodeTypes = append(out.NodeTypes, nodeTypeJSON{
+			Name: nt.Name, Kind: nt.Kind.String(), Label: nt.Label, Attrs: attrs,
+			Count: len(s.graph.NodesOfType(nt.Name)),
+		})
+	}
+	for _, et := range s.schema.EdgeTypes() {
+		out.EdgeTypes = append(out.EdgeTypes, edgeTypeJSON{
+			Name: et.Name, Label: et.Label, Source: et.Source, Target: et.Target,
+			Kind: et.Kind.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.sessions[id] = session.New(s.schema, s.graph)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+}
+
+func (s *Server) session(r *http.Request) (*session.Session, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad session id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no session %d", id)
+	}
+	return sess, nil
+}
+
+// stateJSON is the main/schema/history view payload.
+type stateJSON struct {
+	Pattern string        `json:"pattern"`
+	Columns []columnJSON  `json:"columns"`
+	Rows    []rowJSON     `json:"rows"`
+	History []historyItem `json:"history"`
+	Cursor  int           `json:"cursor"`
+}
+
+type columnJSON struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+type rowJSON struct {
+	Node  int64      `json:"node"`
+	Label string     `json:"label"`
+	Cells []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Value string    `json:"value,omitempty"`
+	Refs  []refJSON `json:"refs,omitempty"`
+	Count int       `json:"count"`
+}
+
+type refJSON struct {
+	ID    int64  `json:"id"`
+	Label string `json:"label"`
+}
+
+type historyItem struct {
+	Action string `json:"action"`
+}
+
+func stateOf(sess *session.Session) (*stateJSON, error) {
+	st := &stateJSON{Cursor: sess.Cursor()}
+	for _, h := range sess.History() {
+		st.History = append(st.History, historyItem{Action: h.Action})
+	}
+	if sess.Pattern() == nil {
+		return st, nil
+	}
+	st.Pattern = sess.Pattern().String()
+	res, err := sess.Result()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range res.Columns {
+		st.Columns = append(st.Columns, columnJSON{Name: c.Name, Kind: c.Kind.String()})
+	}
+	for _, row := range res.Rows {
+		rj := rowJSON{Node: int64(row.Node), Label: row.Label}
+		for ci := range res.Columns {
+			cell := &row.Cells[ci]
+			cj := cellJSON{Count: cell.Count()}
+			if res.Columns[ci].Kind == etable.ColBase {
+				cj.Value = cell.Value.Format()
+			} else {
+				for _, ref := range cell.Refs {
+					cj.Refs = append(cj.Refs, refJSON{ID: int64(ref.ID), Label: ref.Label})
+				}
+			}
+			rj.Cells = append(rj.Cells, cj)
+		}
+		st.Rows = append(st.Rows, rj)
+	}
+	return st, nil
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	st, err := stateOf(sess)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// actionJSON is the POST body for user-level actions.
+type actionJSON struct {
+	Action string `json:"action"`
+	// Table names the node type for "open".
+	Table string `json:"table,omitempty"`
+	// Condition is the filter text for "filter"/"filterNeighbor".
+	Condition string `json:"condition,omitempty"`
+	// Column names the target column for "pivot", "seeall",
+	// "filterNeighbor", "sort", "hide", "show".
+	Column string `json:"column,omitempty"`
+	// Node is the clicked entity for "single"/"seeall".
+	Node int64 `json:"node,omitempty"`
+	// Desc selects descending order for "sort".
+	Desc bool `json:"desc,omitempty"`
+	// Attr names a base attribute for "sort".
+	Attr string `json:"attr,omitempty"`
+	// Index selects the history entry for "revert".
+	Index int `json:"index,omitempty"`
+}
+
+func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var a actionJSON
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad action body: %w", err))
+		return
+	}
+	switch strings.ToLower(a.Action) {
+	case "open":
+		err = sess.Open(a.Table)
+	case "filter":
+		err = sess.Filter(a.Condition)
+	case "filterneighbor":
+		err = sess.FilterByNeighbor(a.Column, a.Condition)
+	case "pivot":
+		err = sess.Pivot(a.Column)
+	case "single":
+		err = sess.Single(tgm.NodeID(a.Node))
+	case "seeall":
+		err = sess.Seeall(tgm.NodeID(a.Node), a.Column)
+	case "sort":
+		err = sess.SortBy(etable.SortSpec{Attr: a.Attr, Column: a.Column, Desc: a.Desc})
+	case "hide":
+		err = sess.HideColumn(a.Column)
+	case "show":
+		err = sess.ShowColumn(a.Column)
+	case "revert":
+		err = sess.Revert(a.Index)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown action %q", a.Action))
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	st, err := stateOf(sess)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/testdb"
+)
+
+func newTestServer(t testing.TB) *httptest.Server {
+	t.Helper()
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(tr.Schema, tr.Instance))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func createSession(t *testing.T, ts *httptest.Server) int64 {
+	t.Helper()
+	var created struct {
+		ID int64 `json:"id"`
+	}
+	if code := postJSON(t, ts.URL+"/api/session", nil, &created); code != http.StatusCreated {
+		t.Fatalf("create session status = %d", code)
+	}
+	return created.ID
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var schema struct {
+		NodeTypes []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"nodeTypes"`
+		EdgeTypes []struct {
+			Name string `json:"name"`
+		} `json:"edgeTypes"`
+	}
+	if code := getJSON(t, ts.URL+"/api/schema", &schema); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(schema.NodeTypes) != 7 {
+		t.Errorf("node types = %d", len(schema.NodeTypes))
+	}
+	for _, nt := range schema.NodeTypes {
+		if nt.Name == "Papers" && nt.Count != 6 {
+			t.Errorf("Papers count = %d", nt.Count)
+		}
+	}
+	if len(schema.EdgeTypes) == 0 {
+		t.Error("no edge types")
+	}
+}
+
+type state struct {
+	Pattern string `json:"pattern"`
+	Columns []struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	} `json:"columns"`
+	Rows []struct {
+		Node  int64  `json:"node"`
+		Label string `json:"label"`
+		Cells []struct {
+			Value string `json:"value"`
+			Count int    `json:"count"`
+			Refs  []struct {
+				ID    int64  `json:"id"`
+				Label string `json:"label"`
+			} `json:"refs"`
+		} `json:"cells"`
+	} `json:"rows"`
+	History []struct {
+		Action string `json:"action"`
+	} `json:"history"`
+	Cursor int `json:"cursor"`
+}
+
+func act(t *testing.T, ts *httptest.Server, id int64, action map[string]any) (state, int) {
+	t.Helper()
+	var st state
+	code := postJSON(t, fmt.Sprintf("%s/api/session/%d/action", ts.URL, id), action, &st)
+	return st, code
+}
+
+func TestOpenFilterPivotFlow(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+
+	st, code := act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	if code != http.StatusOK {
+		t.Fatalf("open status = %d", code)
+	}
+	if len(st.Rows) != 6 {
+		t.Errorf("rows = %d", len(st.Rows))
+	}
+	st, code = act(t, ts, id, map[string]any{"action": "filter", "condition": "year > 2010"})
+	if code != http.StatusOK || len(st.Rows) != 4 {
+		t.Errorf("filter: code=%d rows=%d", code, len(st.Rows))
+	}
+	st, code = act(t, ts, id, map[string]any{"action": "pivot", "column": "Authors"})
+	if code != http.StatusOK {
+		t.Fatalf("pivot status = %d", code)
+	}
+	if !strings.Contains(st.Pattern, "*Authors") {
+		t.Errorf("pattern = %q", st.Pattern)
+	}
+	if len(st.History) != 3 || st.Cursor != 2 {
+		t.Errorf("history = %d entries, cursor %d", len(st.History), st.Cursor)
+	}
+	// Sort authors by paper count.
+	st, code = act(t, ts, id, map[string]any{"action": "sort", "column": "Papers", "desc": true})
+	if code != http.StatusOK {
+		t.Fatalf("sort status = %d", code)
+	}
+	if len(st.Rows) == 0 || st.Rows[0].Label == "" {
+		t.Error("sorted rows empty")
+	}
+}
+
+func TestSingleAndSeeall(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	st, _ := act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	// Find the Authors column and paper 1's first author ref.
+	authorsCol := -1
+	for i, c := range st.Columns {
+		if c.Name == "Authors" {
+			authorsCol = i
+		}
+	}
+	if authorsCol < 0 {
+		t.Fatal("no Authors column")
+	}
+	row := st.Rows[0]
+	if len(row.Cells[authorsCol].Refs) == 0 {
+		t.Fatal("no author refs")
+	}
+	ref := row.Cells[authorsCol].Refs[0]
+
+	// Single: click the author's name.
+	st2, code := act(t, ts, id, map[string]any{"action": "single", "node": ref.ID})
+	if code != http.StatusOK || len(st2.Rows) != 1 || st2.Rows[0].Label != ref.Label {
+		t.Errorf("single: code=%d rows=%+v", code, st2.Rows)
+	}
+
+	// Back to papers, then Seeall on the author count.
+	act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	st3, code := act(t, ts, id, map[string]any{"action": "seeall", "node": row.Node, "column": "Authors"})
+	if code != http.StatusOK || len(st3.Rows) != 2 {
+		t.Errorf("seeall: code=%d rows=%d", code, len(st3.Rows))
+	}
+}
+
+func TestRevertAndHide(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	act(t, ts, id, map[string]any{"action": "filter", "condition": "year = 2011"})
+	st, code := act(t, ts, id, map[string]any{"action": "revert", "index": 0})
+	if code != http.StatusOK || len(st.Rows) != 6 {
+		t.Errorf("revert: code=%d rows=%d", code, len(st.Rows))
+	}
+	st, code = act(t, ts, id, map[string]any{"action": "hide", "column": "page_start"})
+	if code != http.StatusOK {
+		t.Fatalf("hide status = %d", code)
+	}
+	for _, c := range st.Columns {
+		if c.Name == "page_start" {
+			t.Error("hidden column still in payload")
+		}
+	}
+	if _, code := act(t, ts, id, map[string]any{"action": "show", "column": "page_start"}); code != http.StatusOK {
+		t.Errorf("show status = %d", code)
+	}
+}
+
+func TestErrorStatuses(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+
+	if _, code := act(t, ts, 9999, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+		t.Errorf("missing session status = %d", code)
+	}
+	if _, code := act(t, ts, id, map[string]any{"action": "zap"}); code != http.StatusBadRequest {
+		t.Errorf("unknown action status = %d", code)
+	}
+	if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Nope"}); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad table status = %d", code)
+	}
+	if _, code := act(t, ts, id, map[string]any{"action": "filter", "condition": "(("}); code != http.StatusUnprocessableEntity {
+		t.Errorf("bad condition status = %d", code)
+	}
+	// Malformed body.
+	resp, err := http.Post(fmt.Sprintf("%s/api/session/%d/action", ts.URL, id), "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", resp.StatusCode)
+	}
+	// Bad session id in path.
+	resp2, err := http.Get(ts.URL + "/api/session/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("bad id status = %d", resp2.StatusCode)
+	}
+}
+
+func TestGetSessionState(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	var st state
+	if code := getJSON(t, fmt.Sprintf("%s/api/session/%d", ts.URL, id), &st); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if st.Cursor != -1 || len(st.History) != 0 {
+		t.Errorf("fresh session state = %+v", st)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "ETable") || !strings.Contains(body, "api/session") {
+		t.Error("index page missing expected content")
+	}
+	// Unknown paths 404.
+	r2, _ := http.Get(ts.URL + "/nope")
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", r2.StatusCode)
+	}
+}

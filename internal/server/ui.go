@@ -1,0 +1,158 @@
+package server
+
+// indexHTML is the embedded single-page front-end: the four components
+// of Figure 9 (default table list, main view, schema view, history view)
+// rendered with plain DOM scripting. Entity references are clickable
+// (Single), cell counts trigger Seeall, and column headers expose the
+// pivot and sort actions.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>ETable — Interactive Browsing and Navigation in Relational Databases</title>
+<style>
+  body { font-family: sans-serif; margin: 0; display: grid;
+         grid-template-columns: 230px 1fr 300px; grid-template-rows: 48px 1fr;
+         height: 100vh; }
+  header { grid-column: 1 / 4; background: #20477a; color: #fff;
+           display: flex; align-items: center; padding: 0 16px; gap: 12px; }
+  header h1 { font-size: 18px; margin: 0; }
+  #tables { border-right: 1px solid #ccc; overflow: auto; padding: 8px; }
+  #tables h2, #side h2 { font-size: 13px; text-transform: uppercase; color: #666; }
+  #tables button { display: block; width: 100%; margin: 2px 0; text-align: left;
+                   padding: 6px; border: 1px solid #ddd; background: #f8f8f8; cursor: pointer; }
+  #tables button:hover { background: #e8f0fe; }
+  #main { overflow: auto; padding: 8px; }
+  #side { border-left: 1px solid #ccc; overflow: auto; padding: 8px; }
+  table { border-collapse: collapse; font-size: 13px; }
+  th, td { border: 1px solid #ddd; padding: 4px 6px; vertical-align: top; }
+  th { background: #eef; position: sticky; top: 0; cursor: pointer; }
+  th .pivot { color: #20477a; font-weight: normal; font-size: 11px; }
+  td .ref { color: #1a0dab; cursor: pointer; }
+  td .count { background: #dde6f5; border-radius: 8px; padding: 0 6px;
+              font-size: 11px; cursor: pointer; margin-left: 4px; }
+  #history div { padding: 3px 6px; cursor: pointer; font-size: 13px; }
+  #history div.current { background: #e8f0fe; font-weight: bold; }
+  #pattern { font-family: monospace; font-size: 12px; white-space: pre-wrap;
+             background: #f6f6f6; padding: 6px; }
+  #filterbar { margin-bottom: 8px; }
+  #filterbar input { width: 360px; padding: 4px; }
+  .error { color: #b00; }
+</style>
+</head>
+<body>
+<header><h1>ETable</h1><span id="status"></span></header>
+<div id="tables"><h2>Tables</h2><div id="tablelist"></div></div>
+<div id="main">
+  <div id="filterbar">
+    <input id="cond" placeholder="filter condition, e.g. year > 2005">
+    <button onclick="applyFilter()">Filter</button>
+  </div>
+  <div id="grid"></div>
+</div>
+<div id="side">
+  <h2>Query pattern</h2><div id="pattern"></div>
+  <h2>History</h2><div id="history"></div>
+</div>
+<script>
+let sid = null;
+async function api(path, opts) {
+  const r = await fetch(path, opts);
+  const j = await r.json();
+  if (!r.ok) throw new Error(j.error || r.statusText);
+  return j;
+}
+async function init() {
+  const s = await api('/api/session', {method: 'POST'});
+  sid = s.id;
+  const schema = await api('/api/schema');
+  const list = document.getElementById('tablelist');
+  for (const nt of schema.nodeTypes) {
+    const b = document.createElement('button');
+    b.textContent = nt.name + ' (' + nt.count + ')';
+    b.onclick = () => act({action: 'open', table: nt.name});
+    list.appendChild(b);
+  }
+}
+async function act(a) {
+  try {
+    const st = await api('/api/session/' + sid + '/action',
+      {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify(a)});
+    renderState(st);
+    document.getElementById('status').textContent = '';
+  } catch (e) {
+    document.getElementById('status').textContent = e.message;
+    document.getElementById('status').className = 'error';
+  }
+}
+function applyFilter() {
+  const c = document.getElementById('cond').value;
+  if (c) act({action: 'filter', condition: c});
+}
+function renderState(st) {
+  document.getElementById('pattern').textContent = st.pattern || '';
+  const h = document.getElementById('history');
+  h.innerHTML = '';
+  (st.history || []).forEach((e, i) => {
+    const d = document.createElement('div');
+    d.textContent = (i + 1) + '. ' + e.action;
+    if (i === st.cursor) d.className = 'current';
+    d.onclick = () => act({action: 'revert', index: i});
+    h.appendChild(d);
+  });
+  const grid = document.getElementById('grid');
+  grid.innerHTML = '';
+  if (!st.columns) return;
+  const tbl = document.createElement('table');
+  const hr = document.createElement('tr');
+  for (const c of st.columns) {
+    const th = document.createElement('th');
+    th.textContent = c.name;
+    if (c.kind !== 'base attribute') {
+      const pv = document.createElement('span');
+      pv.className = 'pivot';
+      pv.textContent = ' ⇄';
+      pv.title = 'pivot';
+      pv.onclick = (ev) => { ev.stopPropagation(); act({action: 'pivot', column: c.name}); };
+      th.appendChild(pv);
+      th.onclick = () => act({action: 'sort', column: c.name, desc: true});
+    } else {
+      th.onclick = () => act({action: 'sort', attr: c.name, desc: true});
+    }
+    hr.appendChild(th);
+  }
+  tbl.appendChild(hr);
+  for (const row of st.rows || []) {
+    const tr = document.createElement('tr');
+    row.cells.forEach((cell, ci) => {
+      const td = document.createElement('td');
+      if (st.columns[ci].kind === 'base attribute') {
+        td.textContent = cell.value;
+      } else {
+        (cell.refs || []).slice(0, 5).forEach((ref, i) => {
+          if (i > 0) td.appendChild(document.createTextNode(', '));
+          const a = document.createElement('span');
+          a.className = 'ref';
+          a.textContent = ref.label.length > 12 ? ref.label.slice(0, 12) + '…' : ref.label;
+          a.onclick = () => act({action: 'single', node: ref.id});
+          td.appendChild(a);
+        });
+        if (cell.count > 0) {
+          const n = document.createElement('span');
+          n.className = 'count';
+          n.textContent = cell.count;
+          n.onclick = () => act({action: 'seeall', node: row.node, column: st.columns[ci].name});
+          td.appendChild(n);
+        }
+      }
+      tr.appendChild(td);
+    });
+    tbl.appendChild(tr);
+  }
+  grid.appendChild(tbl);
+}
+init();
+</script>
+</body>
+</html>
+`

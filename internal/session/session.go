@@ -1,0 +1,429 @@
+// Package session implements the user-level actions of the paper's §6.1
+// (Open, Filter, Pivot, Single, Seeall, plus Sort and Hide/Show) and the
+// history view of Figure 9: every action appends an entry holding the
+// resulting query pattern, and users can revert to any prior state.
+//
+// Each user-level action translates into the primitive operators of
+// internal/etable exactly as the paper specifies:
+//
+//	Open(τk)            = Initiate(τk)
+//	Filter(C)           = Select(C)
+//	Pivot(neighbor ρl)  = Add(ρl)
+//	Pivot(particip. τk) = Shift(τk)
+//	Single(vk)          = Select(key=vk, Initiate(type(vk)))
+//	Seeall(vk, ρl)      = Add(ρl, Select(key=vk))        (neighbor col)
+//	Seeall(vk, τl)      = Shift(τl, Select(key=vk))      (participating col)
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/etable"
+	"repro/internal/expr"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// Entry is one history item: the action's description and the query
+// pattern in effect after it.
+type Entry struct {
+	// Action describes the user action, e.g. "Open 'Papers' table".
+	Action string
+	// Pattern is the query pattern after the action (nil only for the
+	// initial empty state).
+	Pattern *etable.Pattern
+	// Sort and Hidden capture the presentation state after the action.
+	Sort   *etable.SortSpec
+	Hidden map[string]bool
+}
+
+// Session is one user's interactive exploration state.
+type Session struct {
+	schema *tgm.SchemaGraph
+	graph  *tgm.InstanceGraph
+	// exec reuses intermediate match results across the session's
+	// actions (the paper's §9 future-work item 2): Sort, Hide, Shift,
+	// and Revert re-executions hit its caches.
+	exec *etable.Executor
+
+	history []Entry
+	cursor  int // index into history of the current state; -1 = empty
+
+	// cached result for the current state.
+	cached *etable.Result
+}
+
+// New starts an empty session over a TGDB.
+func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Session {
+	return &Session{schema: schema, graph: graph, exec: etable.NewExecutor(graph), cursor: -1}
+}
+
+// Schema returns the schema graph (the "default table list" of Figure 9
+// is its entity node types).
+func (s *Session) Schema() *tgm.SchemaGraph { return s.schema }
+
+// Graph returns the instance graph.
+func (s *Session) Graph() *tgm.InstanceGraph { return s.graph }
+
+// History returns all history entries, oldest first.
+func (s *Session) History() []Entry { return s.history }
+
+// Cursor returns the index of the current history entry (-1 when empty).
+func (s *Session) Cursor() int { return s.cursor }
+
+// Pattern returns the current query pattern, or nil before any Open.
+func (s *Session) Pattern() *etable.Pattern {
+	if s.cursor < 0 {
+		return nil
+	}
+	return s.history[s.cursor].Pattern
+}
+
+func (s *Session) push(action string, p *etable.Pattern, sort *etable.SortSpec, hidden map[string]bool) {
+	// A new action truncates any reverted-away suffix, like an editor's
+	// redo stack.
+	s.history = append(s.history[:s.cursor+1], Entry{
+		Action: action, Pattern: p, Sort: sort, Hidden: hidden,
+	})
+	s.cursor = len(s.history) - 1
+	s.cached = nil
+}
+
+func (s *Session) current() (Entry, error) {
+	if s.cursor < 0 {
+		return Entry{}, fmt.Errorf("session: no table is open")
+	}
+	return s.history[s.cursor], nil
+}
+
+// Open starts a new ETable from a node type (user action 1; Fig 7 U1).
+func (s *Session) Open(typeName string) error {
+	p, err := etable.Initiate(s.schema, typeName)
+	if err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("Open '%s' table", typeName), p, nil, nil)
+	return nil
+}
+
+// Filter applies a selection condition to the current primary node type
+// (user action 2; Fig 7 U3).
+func (s *Session) Filter(condSrc string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	p, err := etable.Select(cur.Pattern, condSrc)
+	if err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("Filter '%s' table by (%s)", p.Primary, condSrc),
+		p, cur.Sort, cur.Hidden)
+	return nil
+}
+
+// FilterByNeighbor filters rows by a condition on one of the primary
+// type's neighbor node columns ("filter rows by the labels of the
+// neighbor nodes columns (e.g., authors' names), which is translated
+// into subqueries", §6.1). The neighbor type joins into the pattern with
+// the condition attached; the primary node is unchanged.
+func (s *Session) FilterByNeighbor(columnName, condSrc string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	ci := res.ColumnIndex(columnName)
+	if ci < 0 {
+		return fmt.Errorf("session: no column %q", columnName)
+	}
+	col := res.Columns[ci]
+	if col.Kind != etable.ColNeighbor {
+		return fmt.Errorf("session: column %q is not a neighbor column", columnName)
+	}
+	p, newKey, err := etable.AddBetween(s.schema, cur.Pattern, cur.Pattern.Primary, col.EdgeType)
+	if err != nil {
+		return err
+	}
+	if p, err = etable.SelectNode(p, newKey, condSrc); err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("Filter '%s' table by (%s: %s)", p.Primary, columnName, condSrc),
+		p, cur.Sort, cur.Hidden)
+	return nil
+}
+
+// Pivot changes the primary node type through a column (user action 3;
+// Fig 7 U4): Add for neighbor columns, Shift for participating columns.
+func (s *Session) Pivot(columnName string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	ci := res.ColumnIndex(columnName)
+	if ci < 0 {
+		return fmt.Errorf("session: no column %q", columnName)
+	}
+	col := res.Columns[ci]
+	var p *etable.Pattern
+	switch col.Kind {
+	case etable.ColNeighbor:
+		p, err = etable.Add(s.schema, cur.Pattern, col.EdgeType)
+	case etable.ColParticipating:
+		p, err = etable.Shift(cur.Pattern, col.NodeKey)
+	default:
+		return fmt.Errorf("session: cannot pivot on base attribute %q", columnName)
+	}
+	if err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("Pivot to '%s'", columnName), p, nil, nil)
+	return nil
+}
+
+// keyCondition builds the "this exact node" condition used by Single and
+// Seeall: key attribute = node's key value.
+func keyCondition(n *tgm.Node) (expr.Expr, string) {
+	nt := n.Type
+	keyVal := n.Attr(nt.Key)
+	cond := expr.Cmp{Op: expr.OpEq, Left: expr.Col{Name: nt.Key}, Right: expr.Const{Val: keyVal}}
+	return cond, fmt.Sprintf("%s = %s", nt.Key, keyVal.SQL())
+}
+
+// Single opens a one-row ETable for a clicked entity reference (user
+// action 4): Initiate its type, then Select it by key.
+func (s *Session) Single(id tgm.NodeID) error {
+	n := s.graph.Node(id)
+	if n == nil {
+		return fmt.Errorf("session: no node %d", id)
+	}
+	p, err := etable.Initiate(s.schema, n.Type.Name)
+	if err != nil {
+		return err
+	}
+	cond, condSrc := keyCondition(n)
+	if p, err = etable.SelectExpr(p, cond, condSrc); err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("See '%s' (%s)", n.Label(), n.Type.Name), p, nil, nil)
+	return nil
+}
+
+// Seeall lists the complete set of entity references of one cell (user
+// action 5): select the clicked row's node, then Add (neighbor column)
+// or Shift (participating column).
+func (s *Session) Seeall(id tgm.NodeID, columnName string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	n := s.graph.Node(id)
+	if n == nil {
+		return fmt.Errorf("session: no node %d", id)
+	}
+	if n.Type.Name != cur.Pattern.PrimaryNode().Type {
+		return fmt.Errorf("session: node %q is not of the primary type %q",
+			n.Label(), cur.Pattern.PrimaryNode().Type)
+	}
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	ci := res.ColumnIndex(columnName)
+	if ci < 0 {
+		return fmt.Errorf("session: no column %q", columnName)
+	}
+	col := res.Columns[ci]
+	cond, condSrc := keyCondition(n)
+	p, err := etable.SelectExpr(cur.Pattern, cond, condSrc)
+	if err != nil {
+		return err
+	}
+	switch col.Kind {
+	case etable.ColNeighbor:
+		p, err = etable.Add(s.schema, p, col.EdgeType)
+	case etable.ColParticipating:
+		p, err = etable.Shift(p, col.NodeKey)
+	default:
+		return fmt.Errorf("session: cannot see-all on base attribute %q", columnName)
+	}
+	if err != nil {
+		return err
+	}
+	s.push(fmt.Sprintf("See all '%s' of '%s'", columnName, n.Label()), p, nil, nil)
+	return nil
+}
+
+// SortBy orders the current table by a base attribute or by the
+// reference count of an entity-reference column (§6.1 additional action).
+func (s *Session) SortBy(spec etable.SortSpec) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	// Validate against the current result before recording.
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	probe := *res
+	probe.Rows = append([]etable.Row(nil), res.Rows...)
+	if err := probe.Sort(spec); err != nil {
+		return err
+	}
+	what := spec.Attr
+	if what == "" {
+		what = "# of " + spec.Column
+	}
+	dir := "asc"
+	if spec.Desc {
+		dir = "desc"
+	}
+	s.push(fmt.Sprintf("Sort table by %s (%s)", what, dir), cur.Pattern, &spec, cur.Hidden)
+	return nil
+}
+
+// HideColumn removes a column from the presentation (§6.1).
+func (s *Session) HideColumn(name string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	res, err := s.Result()
+	if err != nil {
+		return err
+	}
+	if res.ColumnIndex(name) < 0 {
+		return fmt.Errorf("session: no column %q", name)
+	}
+	hidden := map[string]bool{name: true}
+	for k := range cur.Hidden {
+		hidden[k] = true
+	}
+	s.push(fmt.Sprintf("Hide column '%s'", name), cur.Pattern, cur.Sort, hidden)
+	return nil
+}
+
+// ShowColumn re-adds a hidden column.
+func (s *Session) ShowColumn(name string) error {
+	cur, err := s.current()
+	if err != nil {
+		return err
+	}
+	if !cur.Hidden[name] {
+		return fmt.Errorf("session: column %q is not hidden", name)
+	}
+	hidden := map[string]bool{}
+	for k := range cur.Hidden {
+		if k != name {
+			hidden[k] = true
+		}
+	}
+	s.push(fmt.Sprintf("Show column '%s'", name), cur.Pattern, cur.Sort, hidden)
+	return nil
+}
+
+// Revert moves the current state to history entry i (the history view's
+// "revert to a previous state").
+func (s *Session) Revert(i int) error {
+	if i < 0 || i >= len(s.history) {
+		return fmt.Errorf("session: no history entry %d", i)
+	}
+	s.cursor = i
+	s.cached = nil
+	return nil
+}
+
+// Result executes the current pattern and applies the presentation state
+// (sort, hidden columns). Results are cached until the state changes.
+func (s *Session) Result() (*etable.Result, error) {
+	cur, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	if s.cached != nil {
+		return s.cached, nil
+	}
+	res, err := s.exec.Execute(cur.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if cur.Sort != nil {
+		if err := res.Sort(*cur.Sort); err != nil {
+			return nil, err
+		}
+	}
+	if len(cur.Hidden) > 0 {
+		res = hideColumns(res, cur.Hidden)
+	}
+	s.cached = res
+	return res, nil
+}
+
+func hideColumns(res *etable.Result, hidden map[string]bool) *etable.Result {
+	out := *res
+	out.Columns = nil
+	keep := make([]int, 0, len(res.Columns))
+	for i, c := range res.Columns {
+		if !hidden[c.Name] {
+			out.Columns = append(out.Columns, c)
+			keep = append(keep, i)
+		}
+	}
+	out.Rows = make([]etable.Row, len(res.Rows))
+	for ri, row := range res.Rows {
+		nr := row
+		nr.Cells = make([]etable.Cell, len(keep))
+		for i, ci := range keep {
+			nr.Cells[i] = row.Cells[ci]
+		}
+		out.Rows[ri] = nr
+	}
+	return &out
+}
+
+// EntityTypes lists the node types shown in the default table list:
+// entity types first, then attribute node types.
+func (s *Session) EntityTypes() []*tgm.NodeType {
+	var ents, attrs []*tgm.NodeType
+	for _, nt := range s.schema.NodeTypes() {
+		if nt.Kind == tgm.NodeEntity {
+			ents = append(ents, nt)
+		} else {
+			attrs = append(attrs, nt)
+		}
+	}
+	return append(ents, attrs...)
+}
+
+// LookupValue finds a base attribute value in the current result by row
+// label, a convenience for task scripting and tests.
+func (s *Session) LookupValue(rowLabel, attr string) (value.V, error) {
+	res, err := s.Result()
+	if err != nil {
+		return value.Null, err
+	}
+	ci := -1
+	for i := range res.Columns {
+		if res.Columns[i].Kind == etable.ColBase && res.Columns[i].Attr == attr {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return value.Null, fmt.Errorf("session: no base attribute %q", attr)
+	}
+	for _, row := range res.Rows {
+		if row.Label == rowLabel {
+			return row.Cells[ci].Value, nil
+		}
+	}
+	return value.Null, fmt.Errorf("session: no row labeled %q", rowLabel)
+}

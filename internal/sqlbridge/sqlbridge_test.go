@@ -1,0 +1,243 @@
+package sqlbridge
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/etable"
+	"repro/internal/testdb"
+	"repro/internal/translate"
+)
+
+func bridge(t testing.TB) (*Bridge, *translate.Result) {
+	t.Helper()
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(tr), tr
+}
+
+func rows(t *testing.T, tr *translate.Result, p *etable.Pattern) []string {
+	t.Helper()
+	res, err := etable.Execute(tr.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, r := range res.Rows {
+		out = append(out, r.Label)
+	}
+	return out
+}
+
+func TestFKJoin(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Papers.title FROM Papers, Conferences
+		WHERE Papers.conference_id = Conferences.id
+		AND Conferences.acronym = 'SIGMOD'
+		GROUP BY Papers.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Primary != "Papers" || len(p.Nodes) != 2 || len(p.Edges) != 1 {
+		t.Errorf("pattern = %s", p)
+	}
+	got := rows(t, tr, p)
+	if len(got) != 4 {
+		t.Errorf("SIGMOD papers = %v", got)
+	}
+}
+
+func TestRelationshipJoin(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Authors.name FROM Papers, Paper_Authors, Authors
+		WHERE Papers.id = Paper_Authors.paper_id
+		AND Paper_Authors.author_id = Authors.id
+		AND Papers.year > 2010
+		GROUP BY Authors.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Primary != "Authors" {
+		t.Errorf("primary = %q", p.Primary)
+	}
+	got := rows(t, tr, p)
+	// Papers after 2010: 2 (2014, Jagadish), 3 (2011, Heer),
+	// 5 (2011, Jagadish+Nandi), 6 (2011, Nandi+Sang Kim).
+	want := map[string]bool{"H. V. Jagadish": true, "Jeff Heer": true,
+		"Arnab Nandi": true, "Sang Kim": true}
+	if len(got) != len(want) {
+		t.Fatalf("authors = %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected author %q", g)
+		}
+	}
+}
+
+func TestMultiValuedJoin(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Papers.title FROM Papers, Paper_Keywords
+		WHERE Papers.id = Paper_Keywords.paper_id
+		AND Paper_Keywords.keyword LIKE '%user%'
+		GROUP BY Papers.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, tr, p)
+	// Papers with %user% keyword: 1, 2, 6.
+	if len(got) != 3 {
+		t.Errorf("papers = %v", got)
+	}
+}
+
+// TestFigure6Query translates the paper's Figure 6 query end-to-end:
+// researchers with SIGMOD papers after 2005 at Korean institutions.
+func TestFigure6Query(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Authors.name
+		FROM Conferences, Papers, Paper_Authors, Authors, Institutions
+		WHERE Papers.conference_id = Conferences.id
+		AND Papers.id = Paper_Authors.paper_id
+		AND Paper_Authors.author_id = Authors.id
+		AND Authors.institution_id = Institutions.id
+		AND Conferences.acronym = 'SIGMOD'
+		AND Papers.year > 2005
+		AND Institutions.country LIKE '%Korea%'
+		GROUP BY Authors.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) != 4 || len(p.Edges) != 3 {
+		t.Errorf("pattern shape = %s", p)
+	}
+	got := rows(t, tr, p)
+	if len(got) != 1 || got[0] != "Sang Kim" {
+		t.Errorf("rows = %v, want [Sang Kim]", got)
+	}
+}
+
+func TestExplicitJoinSyntax(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Papers.title FROM Papers
+		JOIN Conferences ON Papers.conference_id = Conferences.id
+		WHERE Conferences.acronym = 'KDD'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No GROUP BY: primary is the first FROM relation.
+	if p.Primary != "Papers" {
+		t.Errorf("primary = %q", p.Primary)
+	}
+	got := rows(t, tr, p)
+	if len(got) != 1 {
+		t.Errorf("KDD papers = %v", got)
+	}
+}
+
+func TestSelfJoinTwoOccurrences(t *testing.T) {
+	b, tr := bridge(t)
+	// Papers referencing paper 1: Papers twice through Paper_References.
+	p, err := b.Translate(`SELECT a.title FROM Papers a, Paper_References r, Papers b
+		WHERE r.paper_id = a.id AND r.ref_paper_id = b.id AND b.id = 1
+		GROUP BY a.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, tr, p)
+	// Papers citing paper 1: 2, 3, 5, 6.
+	if len(got) != 4 {
+		t.Errorf("citing papers = %v", got)
+	}
+	if !strings.Contains(p.String(), "#2") {
+		t.Errorf("expected duplicated node type in %s", p)
+	}
+}
+
+func TestBareColumnResolution(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT title FROM Papers, Conferences
+		WHERE conference_id = Conferences.id AND acronym = 'SIGMOD'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, tr, p)
+	if len(got) != 4 {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	b, _ := bridge(t)
+	bad := []string{
+		"SELECT COUNT(*) FROM Papers",                                              // aggregate
+		"SELECT x FROM Nope",                                                       // unknown relation
+		"SELECT title FROM Papers, Papers",                                         // duplicate alias
+		"SELECT name FROM Paper_Authors",                                           // relationship alone
+		"SELECT title FROM Papers GROUP BY COUNT(*)",                               // non-column group
+		"SELECT title FROM Papers, Conferences WHERE Papers.year = Conferences.id", // disconnected join graph
+		"bad sql",
+	}
+	for _, sql := range bad {
+		if _, err := b.Translate(sql); err == nil {
+			t.Errorf("Translate(%q) should fail", sql)
+		}
+	}
+}
+
+func TestConditionOnRelationshipRejected(t *testing.T) {
+	b, _ := bridge(t)
+	_, err := b.Translate(`SELECT Authors.name FROM Papers, Paper_Authors, Authors
+		WHERE Papers.id = Paper_Authors.paper_id
+		AND Paper_Authors.author_id = Authors.id
+		AND Paper_Authors.order = 1`)
+	if err == nil {
+		t.Error("condition on relationship attribute accepted")
+	}
+}
+
+func TestToGeneralSQL(t *testing.T) {
+	b, _ := bridge(t)
+	p, err := b.Translate(`SELECT Papers.title FROM Papers, Conferences
+		WHERE Papers.conference_id = Conferences.id AND Conferences.acronym = 'SIGMOD'
+		GROUP BY Papers.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql := ToGeneralSQL(p)
+	for _, frag := range []string{"SELECT Papers.*", "ent-list(Conferences)", "GROUP BY Papers"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("general SQL missing %q: %s", frag, sql)
+		}
+	}
+}
+
+// TestRoundTripEquivalence: SQL → pattern → execution matches the
+// duplication-free row set of running the SQL directly on the relational
+// database (the §8 equivalence claim).
+func TestRoundTripEquivalence(t *testing.T) {
+	b, tr := bridge(t)
+	p, err := b.Translate(`SELECT Papers.title FROM Papers, Conferences
+		WHERE Papers.conference_id = Conferences.id AND Conferences.acronym = 'SIGMOD'
+		GROUP BY Papers.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows(t, tr, p)
+	want := map[string]bool{
+		"Making database systems usable": true,
+		"Schema-free SQL":                true,
+		"Organic databases":              true,
+		"Guided interaction":             true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for _, g := range got {
+		if !want[g] {
+			t.Errorf("unexpected row %q", g)
+		}
+	}
+}

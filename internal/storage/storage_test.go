@@ -1,0 +1,326 @@
+package storage
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/etable"
+	"repro/internal/testdb"
+	"repro/internal/translate"
+)
+
+func fixture(t testing.TB) (*translate.Result, *Store) {
+	t.Helper()
+	res, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromGraph(res.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+func TestFromGraphTables(t *testing.T) {
+	res, st := fixture(t)
+	db := st.DB()
+	for _, name := range []string{TableNodeTypes, TableEdgeTypes, TableNodes, TableEdges, TableNodeAttrs} {
+		if !db.HasTable(name) {
+			t.Errorf("missing table %q", name)
+		}
+	}
+	stats := db.Stats()
+	if stats[TableNodes] != res.Instance.NumNodes() {
+		t.Errorf("nodes = %d, want %d", stats[TableNodes], res.Instance.NumNodes())
+	}
+	if stats[TableEdges] != res.Instance.NumEdges() {
+		t.Errorf("edges = %d, want %d", stats[TableEdges], res.Instance.NumEdges())
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		t.Errorf("referential integrity: %v", err)
+	}
+}
+
+// figure7Pattern builds the paper's Figure 7 final pattern.
+func figure7Pattern(t testing.TB, res *translate.Result) *etable.Pattern {
+	t.Helper()
+	schema := res.Schema
+	p, err := etable.Initiate(schema, "Conferences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []func() error{
+		func() error { p, err = etable.Select(p, "acronym = 'SIGMOD'"); return err },
+		func() error { p, err = etable.Add(schema, p, "Papers→Conferences_rev"); return err },
+		func() error { p, err = etable.Select(p, "year > 2005"); return err },
+		func() error { p, err = etable.Add(schema, p, "Paper_Authors"); return err },
+		func() error { p, err = etable.Add(schema, p, "Authors→Institutions"); return err },
+		func() error { p, err = etable.Select(p, "country like '%Korea%'"); return err },
+		func() error { p, err = etable.Shift(p, "Authors"); return err },
+	}
+	for _, s := range steps {
+		if err := s(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestTranslateMonolithicSQL(t *testing.T) {
+	res, st := fixture(t)
+	p := figure7Pattern(t, res)
+	sql, err := st.TranslateMonolithic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"FROM nodes n1", "edges e", "node_attrs a", "n1.type = 'Authors'", "val"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL missing %q:\n%s", frag, sql)
+		}
+	}
+}
+
+// canonical flattens a storage result for comparison.
+func canonical(rowIDs []int64, cells [][][]Ref, cols []Column) map[string][]string {
+	out := map[string][]string{}
+	var rows []string
+	for _, id := range rowIDs {
+		rows = append(rows, itoa(id))
+	}
+	sort.Strings(rows)
+	out["__rows__"] = rows
+	for ri, id := range rowIDs {
+		for ci, col := range cols {
+			var refs []string
+			for _, r := range cells[ri][ci] {
+				refs = append(refs, itoa(r.ID))
+			}
+			sort.Strings(refs)
+			out[itoa(id)+"/"+col.Name] = refs
+		}
+	}
+	return out
+}
+
+func itoa(i int64) string {
+	var b [20]byte
+	n := len(b)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+		if i == 0 {
+			break
+		}
+	}
+	if neg {
+		n--
+		b[n] = '-'
+	}
+	return string(b[n:])
+}
+
+// etableCanonical flattens an in-memory etable result to the same shape,
+// considering only entity-reference columns shared with storage results.
+func etableCanonical(r *etable.Result) map[string][]string {
+	out := map[string][]string{}
+	var rows []string
+	for _, row := range r.Rows {
+		rows = append(rows, itoa(int64(row.Node)))
+	}
+	sort.Strings(rows)
+	out["__rows__"] = rows
+	for _, row := range r.Rows {
+		for ci, col := range r.Columns {
+			if !col.IsEntityRef() {
+				continue
+			}
+			var refs []string
+			for _, ref := range row.Cells[ci].Refs {
+				refs = append(refs, itoa(int64(ref.ID)))
+			}
+			sort.Strings(refs)
+			name := col.Name
+			if col.Kind == etable.ColParticipating {
+				name = col.NodeKey
+			}
+			out[itoa(int64(row.Node))+"/"+name] = refs
+		}
+	}
+	return out
+}
+
+func assertEquivalent(t *testing.T, mem *etable.Result, st *Result) {
+	t.Helper()
+	a := etableCanonical(mem)
+	b := canonical(st.RowIDs, st.Cells, st.Columns)
+	if len(a["__rows__"]) != len(b["__rows__"]) {
+		t.Fatalf("row counts differ: memory %v vs storage %v", a["__rows__"], b["__rows__"])
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok {
+			t.Errorf("storage result missing %q", k)
+			continue
+		}
+		if strings.Join(av, ",") != strings.Join(bv, ",") {
+			t.Errorf("%q: memory %v vs storage %v", k, av, bv)
+		}
+	}
+}
+
+func TestMonolithicMatchesInMemory(t *testing.T) {
+	res, st := fixture(t)
+	p := figure7Pattern(t, res)
+	mem, err := etable.Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ExecutePattern(p, Monolithic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, mem, got)
+	if len(got.Queries) != 1+countNeighborCols(got) {
+		t.Errorf("monolithic ran %d queries", len(got.Queries))
+	}
+}
+
+func countNeighborCols(r *Result) int {
+	n := 0
+	for _, c := range r.Columns {
+		if c.EdgeType != "" {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPartitionedMatchesInMemory(t *testing.T) {
+	res, st := fixture(t)
+	p := figure7Pattern(t, res)
+	mem, err := etable.Execute(res.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ExecutePattern(p, Partitioned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, mem, got)
+	// Rows query + one per participating column + neighbor queries.
+	wantQueries := 1 + (len(p.Nodes) - 1) + countNeighborCols(got)
+	if len(got.Queries) != wantQueries {
+		t.Errorf("partitioned ran %d queries, want %d", len(got.Queries), wantQueries)
+	}
+}
+
+func TestModesAgreeAcrossPatterns(t *testing.T) {
+	res, st := fixture(t)
+	schema := res.Schema
+
+	patterns := map[string]func() (*etable.Pattern, error){
+		"single type": func() (*etable.Pattern, error) {
+			return etable.Initiate(schema, "Papers")
+		},
+		"filtered": func() (*etable.Pattern, error) {
+			p, err := etable.Initiate(schema, "Papers")
+			if err != nil {
+				return nil, err
+			}
+			return etable.Select(p, "year > 2010")
+		},
+		"keyword like": func() (*etable.Pattern, error) {
+			p, err := etable.Initiate(schema, "Papers")
+			if err != nil {
+				return nil, err
+			}
+			p, err = etable.Add(schema, p, "Papers→Paper_Keywords: keyword")
+			if err != nil {
+				return nil, err
+			}
+			p, err = etable.Select(p, "keyword like '%user%'")
+			if err != nil {
+				return nil, err
+			}
+			return etable.Shift(p, "Papers")
+		},
+		"self reference": func() (*etable.Pattern, error) {
+			p, err := etable.Initiate(schema, "Papers")
+			if err != nil {
+				return nil, err
+			}
+			return etable.Add(schema, p, "Paper_References")
+		},
+	}
+	for name, build := range patterns {
+		p, err := build()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mem, err := etable.Execute(res.Instance, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		mono, err := st.ExecutePattern(p, Monolithic)
+		if err != nil {
+			t.Fatalf("%s monolithic: %v", name, err)
+		}
+		part, err := st.ExecutePattern(p, Partitioned)
+		if err != nil {
+			t.Fatalf("%s partitioned: %v", name, err)
+		}
+		t.Run(name+"/mono", func(t *testing.T) { assertEquivalent(t, mem, mono) })
+		t.Run(name+"/part", func(t *testing.T) { assertEquivalent(t, mem, part) })
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	_, st := fixture(t)
+	bad := &etable.Pattern{}
+	if _, err := st.ExecutePattern(bad, Monolithic); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+	if _, err := st.TranslateMonolithic(bad); err == nil {
+		t.Error("invalid pattern accepted by translator")
+	}
+	res, _ := testdb.Figure3Translation()
+	p, _ := etable.Initiate(res.Schema, "Papers")
+	if _, err := st.ExecutePattern(p, Mode(42)); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestSubtreeTowards(t *testing.T) {
+	res, _ := fixture(t)
+	p := figure7Pattern(t, res)
+	// From Authors (primary) toward Conferences: the subtree is
+	// Papers—Conferences, so 3 nodes (with the primary) and 2 edges.
+	nodes, edges, err := subtreeTowards(p, "Conferences")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 3 || len(edges) != 2 {
+		t.Errorf("subtree = %d nodes, %d edges, want 3/2", len(nodes), len(edges))
+	}
+	if nodes[0] != "Authors" {
+		t.Errorf("first node = %q, want primary", nodes[0])
+	}
+	// Toward Institutions: just primary + Institutions.
+	nodes, edges, err = subtreeTowards(p, "Institutions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 2 || len(edges) != 1 {
+		t.Errorf("subtree = %d nodes, %d edges, want 2/1", len(nodes), len(edges))
+	}
+	if _, _, err := subtreeTowards(p, "Nope"); err == nil {
+		t.Error("missing target accepted")
+	}
+}

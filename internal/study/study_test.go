@@ -1,0 +1,268 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+
+	"repro/internal/dataset"
+	"repro/internal/relational"
+	"repro/internal/translate"
+)
+
+var (
+	cachedTr *translate.Result
+	cachedDB *relational.DB
+)
+
+// fixture generates a small dataset once; study tests share it.
+func fixture(t testing.TB) (*translate.Result, *relational.DB) {
+	t.Helper()
+	if cachedTr == nil {
+		db, err := dataset.Generate(dataset.SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := translate.Translate(db, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedTr, cachedDB = tr, db
+	}
+	return cachedTr, cachedDB
+}
+
+func TestChooseParams(t *testing.T) {
+	tr, db := fixture(t)
+	p, err := ChooseParams(tr, db, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Paper1 == "" || p.Paper2 == "" || p.Paper1 == p.Paper2 {
+		t.Errorf("paper params = %q, %q", p.Paper1, p.Paper2)
+	}
+	if p.Author == "" || p.MinYear < 2000 {
+		t.Errorf("author params = %q, %d", p.Author, p.MinYear)
+	}
+	if p.Institution == "" || p.Conference == "" || p.Country == "" || p.Conference2 == "" {
+		t.Errorf("params = %+v", p)
+	}
+	alt, err := ChooseParams(tr, db, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Paper1 == p.Paper1 {
+		t.Error("matched sets should differ in parameters")
+	}
+}
+
+func TestAnswersEqual(t *testing.T) {
+	if !AnswersEqual([]string{"b", "a"}, []string{"a", "b"}) {
+		t.Error("order-insensitive equality")
+	}
+	if AnswersEqual([]string{"a"}, []string{"a", "b"}) {
+		t.Error("length mismatch")
+	}
+	if AnswersEqual([]string{"a"}, []string{"b"}) {
+		t.Error("content mismatch")
+	}
+}
+
+// TestTable2_TaskAnswers runs every task in both conditions and checks
+// the answers agree — the executable form of Table 2.
+func TestTable2_TaskAnswers(t *testing.T) {
+	tr, db := fixture(t)
+	rep, err := RunStudy(tr, db, Config{Participants: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 6 {
+		t.Fatalf("outcomes = %d", len(rep.Outcomes))
+	}
+	for _, o := range rep.Outcomes {
+		if !o.AnswersAgree {
+			t.Errorf("task %d: answers differ\n  ETable:  %v\n  builder: %v",
+				o.Task.ID, o.EAnswer, o.NAnswer)
+		}
+		if len(o.EAnswer) == 0 {
+			t.Errorf("task %d: empty answer", o.Task.ID)
+		}
+	}
+}
+
+// TestFigure10_Shape verifies the reproduction target: ETable faster on
+// every task, and the builder's variance inflated by the error model.
+func TestFigure10_Shape(t *testing.T) {
+	tr, db := fixture(t)
+	rep, err := RunStudy(tr, db, Config{Participants: 12, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fasterCount := 0
+	for _, o := range rep.Outcomes {
+		if o.EMean < o.NMean {
+			fasterCount++
+		}
+		if len(o.ETimes) != 12 || len(o.NTimes) != 12 {
+			t.Errorf("task %d: sample sizes %d/%d", o.Task.ID, len(o.ETimes), len(o.NTimes))
+		}
+		for _, ti := range o.ETimes {
+			if ti <= 0 || ti > Timeout {
+				t.Errorf("task %d: out-of-range time %v", o.Task.ID, ti)
+			}
+		}
+	}
+	if fasterCount != 6 {
+		t.Errorf("ETable faster on %d/6 tasks, want 6/6", fasterCount)
+	}
+	// Aggregate tasks (5, 6) show the largest relative gaps (the paper's
+	// GROUP BY observation): their ratio should exceed task 1's.
+	ratio := func(i int) float64 { return rep.Outcomes[i].NMean / rep.Outcomes[i].EMean }
+	if ratio(4) <= ratio(0) {
+		t.Errorf("task 5 ratio %.2f should exceed task 1 ratio %.2f", ratio(4), ratio(0))
+	}
+	// At least half the tasks reach significance at p < 0.01 with 12
+	// participants (the paper has 4 of 6).
+	sig := 0
+	for _, o := range rep.Outcomes {
+		if o.TTest.P < 0.01 {
+			sig++
+		}
+	}
+	if sig < 3 {
+		t.Errorf("significant tasks = %d, want >= 3", sig)
+	}
+}
+
+func TestStudyDeterminism(t *testing.T) {
+	tr, db := fixture(t)
+	a, err := RunStudy(tr, db, Config{Participants: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStudy(tr, db, Config{Participants: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i].EMean != b.Outcomes[i].EMean || a.Outcomes[i].NMean != b.Outcomes[i].NMean {
+			t.Fatalf("task %d: non-deterministic means", i+1)
+		}
+	}
+}
+
+func TestRatingsAndPreferences(t *testing.T) {
+	tr, db := fixture(t)
+	rep, err := RunStudy(tr, db, Config{Participants: 12, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Ratings) != 10 {
+		t.Fatalf("ratings = %d", len(rep.Ratings))
+	}
+	for _, r := range rep.Ratings {
+		if r.Mean < 1 || r.Mean > 7 {
+			t.Errorf("%q mean = %v", r.Question, r.Mean)
+		}
+		if len(r.Ratings) != 12 {
+			t.Errorf("%q has %d responses", r.Question, len(r.Ratings))
+		}
+		// Positive experience overall: means clearly above the midpoint.
+		if r.Mean < 4.5 {
+			t.Errorf("%q mean = %.2f, expected positive (> 4.5)", r.Question, r.Mean)
+		}
+	}
+	if len(rep.Preferences) != 7 {
+		t.Fatalf("preferences = %d", len(rep.Preferences))
+	}
+	for _, p := range rep.Preferences {
+		if p.ETable < 0 || p.ETable > p.Of {
+			t.Errorf("%q = %d/%d", p.Aspect, p.ETable, p.Of)
+		}
+	}
+	// Majorities prefer ETable on the strongly-differentiating aspects.
+	if rep.Preferences[0].ETable < rep.Preferences[0].Of/2 {
+		t.Errorf("easier-to-learn preference = %d/%d", rep.Preferences[0].ETable, rep.Preferences[0].Of)
+	}
+}
+
+func TestTopKValid(t *testing.T) {
+	counts := map[string]int{"a": 5, "b": 5, "c": 3, "d": 1}
+	if !topKValid(counts, []string{"a"}, 1) || !topKValid(counts, []string{"b"}, 1) {
+		t.Error("tied top-1 alternatives should both validate")
+	}
+	if topKValid(counts, []string{"c"}, 1) {
+		t.Error("non-max accepted")
+	}
+	if !topKValid(counts, []string{"b", "a", "c"}, 3) {
+		t.Error("valid top-3 rejected")
+	}
+	if topKValid(counts, []string{"a", "b", "d"}, 3) {
+		t.Error("top-3 skipping c accepted")
+	}
+	if topKValid(counts, []string{"a", "a", "b"}, 3) {
+		t.Error("duplicates accepted")
+	}
+	if topKValid(counts, []string{"a", "x", "b"}, 3) {
+		t.Error("unknown key accepted")
+	}
+	if topKValid(counts, []string{"a"}, 2) {
+		t.Error("wrong length accepted")
+	}
+	if topKValid(map[string]int{"a": 1}, []string{"a", "a"}, 2) {
+		t.Error("k exceeding population accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	tr, db := fixture(t)
+	rep, err := RunStudy(tr, db, Config{Participants: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteReport(&sb, rep)
+	out := sb.String()
+	for _, frag := range []string{
+		"Figure 10", "Table 2", "Table 3", "Preference comparison",
+		"paired t-test", "Easy to learn", "ANSWERS AGREE",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("report missing %q", frag)
+		}
+	}
+	if strings.Contains(out, "ANSWERS DIFFER") {
+		t.Error("report contains disagreeing answers")
+	}
+}
+
+func TestErrorModelMonotone(t *testing.T) {
+	lo := errorModel(baseline.Complexity{Joins: 1})
+	hi := errorModel(baseline.Complexity{Joins: 4, HasAgg: true, HasLike: true})
+	if lo >= hi {
+		t.Errorf("error model not monotone: %v vs %v", lo, hi)
+	}
+	if capped := errorModel(baseline.Complexity{Joins: 20, HasAgg: true, HasLike: true}); capped > 0.85 {
+		t.Errorf("error probability uncapped: %v", capped)
+	}
+}
+
+// TestMatchedTaskSets runs both §7.1 matched sets; answers must agree in
+// both conditions for either parameterization.
+func TestMatchedTaskSets(t *testing.T) {
+	tr, db := fixture(t)
+	for _, alt := range []bool{false, true} {
+		rep, err := RunStudy(tr, db, Config{Participants: 3, Seed: 5, AltTaskSet: alt})
+		if err != nil {
+			t.Fatalf("alt=%v: %v", alt, err)
+		}
+		for _, o := range rep.Outcomes {
+			if !o.AnswersAgree {
+				t.Errorf("alt=%v task %d: answers differ", alt, o.Task.ID)
+			}
+		}
+	}
+}

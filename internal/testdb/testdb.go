@@ -1,0 +1,199 @@
+// Package testdb provides the small Figure 3 / Figure 5 academic
+// database used as a shared fixture by tests across the presentation,
+// session, storage, and server packages. It is deliberately tiny and
+// hand-checkable; the full-scale synthetic dataset lives in
+// internal/dataset.
+package testdb
+
+import (
+	"fmt"
+
+	"repro/internal/relational"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// Figure3DB builds the paper's Figure 3 schema (7 relations, 7 foreign
+// keys) with a small instance mirroring Figure 5's excerpt.
+func Figure3DB() (*relational.DB, error) {
+	db := relational.NewDB()
+	creates := []relational.Schema{
+		{
+			Name: "Conferences",
+			Columns: []relational.Column{
+				{Name: "id", Type: value.KindInt},
+				{Name: "acronym", Type: value.KindString},
+				{Name: "title", Type: value.KindString},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "Institutions",
+			Columns: []relational.Column{
+				{Name: "id", Type: value.KindInt},
+				{Name: "name", Type: value.KindString},
+				{Name: "country", Type: value.KindString},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "Authors",
+			Columns: []relational.Column{
+				{Name: "id", Type: value.KindInt},
+				{Name: "name", Type: value.KindString},
+				{Name: "institution_id", Type: value.KindInt},
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []relational.ForeignKey{
+				{Col: "institution_id", RefTable: "Institutions", RefCol: "id"},
+			},
+		},
+		{
+			Name: "Papers",
+			Columns: []relational.Column{
+				{Name: "id", Type: value.KindInt},
+				{Name: "conference_id", Type: value.KindInt},
+				{Name: "title", Type: value.KindString},
+				{Name: "year", Type: value.KindInt},
+				{Name: "page_start", Type: value.KindInt},
+				{Name: "page_end", Type: value.KindInt},
+			},
+			PrimaryKey: []string{"id"},
+			ForeignKeys: []relational.ForeignKey{
+				{Col: "conference_id", RefTable: "Conferences", RefCol: "id"},
+			},
+		},
+		{
+			Name: "Paper_Authors",
+			Columns: []relational.Column{
+				{Name: "paper_id", Type: value.KindInt},
+				{Name: "author_id", Type: value.KindInt},
+				{Name: "order", Type: value.KindInt},
+			},
+			PrimaryKey: []string{"paper_id", "author_id"},
+			ForeignKeys: []relational.ForeignKey{
+				{Col: "paper_id", RefTable: "Papers", RefCol: "id"},
+				{Col: "author_id", RefTable: "Authors", RefCol: "id"},
+			},
+		},
+		{
+			Name: "Paper_References",
+			Columns: []relational.Column{
+				{Name: "paper_id", Type: value.KindInt},
+				{Name: "ref_paper_id", Type: value.KindInt},
+			},
+			PrimaryKey: []string{"paper_id", "ref_paper_id"},
+			ForeignKeys: []relational.ForeignKey{
+				{Col: "paper_id", RefTable: "Papers", RefCol: "id"},
+				{Col: "ref_paper_id", RefTable: "Papers", RefCol: "id"},
+			},
+		},
+		{
+			Name: "Paper_Keywords",
+			Columns: []relational.Column{
+				{Name: "paper_id", Type: value.KindInt},
+				{Name: "keyword", Type: value.KindString},
+			},
+			PrimaryKey: []string{"paper_id", "keyword"},
+			ForeignKeys: []relational.ForeignKey{
+				{Col: "paper_id", RefTable: "Papers", RefCol: "id"},
+			},
+		},
+	}
+	for _, s := range creates {
+		if _, err := db.CreateTable(s); err != nil {
+			return nil, err
+		}
+	}
+
+	ins := func(table string, rows ...[]value.V) error {
+		tb, err := db.Table(table)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if _, err := tb.Insert(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	steps := []error{
+		ins("Conferences",
+			[]value.V{value.Int(1), value.Str("SIGMOD"), value.Str("ACM SIGMOD Conference")},
+			[]value.V{value.Int(2), value.Str("KDD"), value.Str("ACM SIGKDD Conference")},
+			[]value.V{value.Int(3), value.Str("CHI"), value.Str("ACM CHI Conference")},
+		),
+		ins("Institutions",
+			[]value.V{value.Int(1), value.Str("Univ. of Michigan"), value.Str("USA")},
+			[]value.V{value.Int(2), value.Str("Seoul National Univ."), value.Str("South Korea")},
+			[]value.V{value.Int(3), value.Str("Univ. of Washington"), value.Str("USA")},
+			[]value.V{value.Int(4), value.Str("KAIST"), value.Str("South Korea")},
+		),
+		ins("Authors",
+			[]value.V{value.Int(1), value.Str("H. V. Jagadish"), value.Int(1)},
+			[]value.V{value.Int(2), value.Str("Arnab Nandi"), value.Int(1)},
+			[]value.V{value.Int(3), value.Str("Jeff Heer"), value.Int(3)},
+			[]value.V{value.Int(4), value.Str("Minsuk Kahng"), value.Int(2)},
+			[]value.V{value.Int(5), value.Str("Sang Kim"), value.Int(4)},
+		),
+		ins("Papers",
+			[]value.V{value.Int(1), value.Int(1), value.Str("Making database systems usable"), value.Int(2007), value.Int(13), value.Int(24)},
+			[]value.V{value.Int(2), value.Int(1), value.Str("Schema-free SQL"), value.Int(2014), value.Int(1051), value.Int(1062)},
+			[]value.V{value.Int(3), value.Int(3), value.Str("Wrangler: interactive visual specification"), value.Int(2011), value.Int(3363), value.Int(3372)},
+			[]value.V{value.Int(4), value.Int(2), value.Str("Collaborative filtering with temporal dynamics"), value.Int(2009), value.Int(447), value.Int(456)},
+			[]value.V{value.Int(5), value.Int(1), value.Str("Organic databases"), value.Int(2011), value.Int(49), value.Int(63)},
+			[]value.V{value.Int(6), value.Int(1), value.Str("Guided interaction"), value.Int(2011), value.Int(1466), value.Int(1469)},
+		),
+		ins("Paper_Authors",
+			[]value.V{value.Int(1), value.Int(1), value.Int(1)},
+			[]value.V{value.Int(1), value.Int(2), value.Int(2)},
+			[]value.V{value.Int(2), value.Int(1), value.Int(1)},
+			[]value.V{value.Int(3), value.Int(3), value.Int(1)},
+			[]value.V{value.Int(4), value.Int(4), value.Int(1)},
+			[]value.V{value.Int(5), value.Int(1), value.Int(1)},
+			[]value.V{value.Int(5), value.Int(2), value.Int(2)},
+			[]value.V{value.Int(6), value.Int(2), value.Int(1)},
+			[]value.V{value.Int(6), value.Int(5), value.Int(2)},
+		),
+		ins("Paper_References",
+			[]value.V{value.Int(2), value.Int(1)},
+			[]value.V{value.Int(3), value.Int(1)},
+			[]value.V{value.Int(4), value.Int(3)},
+			[]value.V{value.Int(5), value.Int(1)},
+			[]value.V{value.Int(6), value.Int(1)},
+			[]value.V{value.Int(6), value.Int(5)},
+		),
+		ins("Paper_Keywords",
+			[]value.V{value.Int(1), value.Str("usability")},
+			[]value.V{value.Int(1), value.Str("user interface")},
+			[]value.V{value.Int(2), value.Str("user interface")},
+			[]value.V{value.Int(3), value.Str("data cleaning")},
+			[]value.V{value.Int(5), value.Str("usability")},
+			[]value.V{value.Int(6), value.Str("user interface")},
+			[]value.V{value.Int(6), value.Str("query specification")},
+		),
+	}
+	for _, err := range steps {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		return nil, fmt.Errorf("testdb: %w", err)
+	}
+	return db, nil
+}
+
+// Figure3Translation translates the Figure 3 database with the
+// categorical attributes the paper's figures use (Papers.year,
+// Institutions.country).
+func Figure3Translation() (*translate.Result, error) {
+	db, err := Figure3DB()
+	if err != nil {
+		return nil, err
+	}
+	return translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+}

@@ -1,0 +1,37 @@
+package testdb
+
+import "testing"
+
+func TestFigure3DBIntegrity(t *testing.T) {
+	db, err := Figure3DB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := db.Stats()
+	want := map[string]int{
+		"Conferences": 3, "Institutions": 4, "Authors": 5, "Papers": 6,
+		"Paper_Authors": 9, "Paper_References": 6, "Paper_Keywords": 7,
+	}
+	for table, n := range want {
+		if stats[table] != n {
+			t.Errorf("%s = %d rows, want %d", table, stats[table], n)
+		}
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		t.Errorf("referential integrity: %v", err)
+	}
+}
+
+func TestFigure3Translation(t *testing.T) {
+	tr, err := Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Schema.NodeTypes()); got != 7 {
+		t.Errorf("node types = %d, want 7 (4 entity + keyword + year + country)", got)
+	}
+	s := tr.Instance.ComputeStats()
+	if s.Nodes == 0 || s.Edges == 0 {
+		t.Errorf("instance graph empty: %+v", s)
+	}
+}

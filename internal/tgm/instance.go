@@ -1,0 +1,233 @@
+package tgm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/value"
+)
+
+// NodeID identifies a node in an instance graph. IDs are dense ordinals
+// assigned at insertion.
+type NodeID int32
+
+// Node is one entity instance (Definition 2): its type, attribute
+// values (aligned with the node type's Attrs), and derived label.
+type Node struct {
+	ID    NodeID
+	Type  *NodeType
+	Attrs []value.V
+}
+
+// Attr returns the named attribute's value (NULL if absent).
+func (n *Node) Attr(name string) value.V {
+	i := n.Type.AttrIndex(name)
+	if i < 0 {
+		return value.Null
+	}
+	return n.Attrs[i]
+}
+
+// Label returns label(v) = v[β_i]: the label attribute rendered as text.
+func (n *Node) Label() string {
+	return n.Attrs[n.Type.LabelIndex()].Format()
+}
+
+// InstanceGraph is G_I = (V, E) from Definition 2, with per-edge-type
+// adjacency indexes for the neighbor lookups the presentation layer
+// performs.
+type InstanceGraph struct {
+	schema *SchemaGraph
+	nodes  []*Node
+	byType map[string][]NodeID
+	// adj maps edge type name → source node → ordered target nodes.
+	adj map[string]map[NodeID][]NodeID
+	// edgeSeen deduplicates edges per edge type: key = src<<32|dst.
+	edgeSeen  map[string]map[uint64]bool
+	edgeCount int
+}
+
+// NewInstanceGraph returns an empty instance graph over schema.
+func NewInstanceGraph(schema *SchemaGraph) *InstanceGraph {
+	return &InstanceGraph{
+		schema:   schema,
+		byType:   make(map[string][]NodeID),
+		adj:      make(map[string]map[NodeID][]NodeID),
+		edgeSeen: make(map[string]map[uint64]bool),
+	}
+}
+
+// Schema returns the schema graph this instance conforms to.
+func (g *InstanceGraph) Schema() *SchemaGraph { return g.schema }
+
+// AddNode inserts a node of the named type with the given attribute
+// values (aligned with the type's Attrs) and returns its ID.
+func (g *InstanceGraph) AddNode(typeName string, attrs []value.V) (NodeID, error) {
+	nt := g.schema.NodeType(typeName)
+	if nt == nil {
+		return 0, fmt.Errorf("tgm: unknown node type %q", typeName)
+	}
+	if len(attrs) != len(nt.Attrs) {
+		return 0, fmt.Errorf("tgm: node type %q expects %d attributes, got %d",
+			typeName, len(nt.Attrs), len(attrs))
+	}
+	id := NodeID(len(g.nodes))
+	n := &Node{ID: id, Type: nt, Attrs: append([]value.V(nil), attrs...)}
+	g.nodes = append(g.nodes, n)
+	g.byType[typeName] = append(g.byType[typeName], id)
+	return id, nil
+}
+
+// Node returns the node with the given ID, or nil if out of range.
+func (g *InstanceGraph) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id]
+}
+
+// NumNodes returns the total node count.
+func (g *InstanceGraph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of directed edges added (including
+// automatically added reverse edges).
+func (g *InstanceGraph) NumEdges() int { return g.edgeCount }
+
+// NodesOfType returns the IDs of all nodes of the named type, in
+// insertion order. The returned slice must not be modified.
+func (g *InstanceGraph) NodesOfType(typeName string) []NodeID {
+	return g.byType[typeName]
+}
+
+// AddEdge inserts a directed edge of the named type and, when the type
+// has a registered reverse, the corresponding reverse edge. Duplicate
+// edges are ignored. Node types of the endpoints are checked.
+func (g *InstanceGraph) AddEdge(edgeType string, src, dst NodeID) error {
+	et := g.schema.EdgeType(edgeType)
+	if et == nil {
+		return fmt.Errorf("tgm: unknown edge type %q", edgeType)
+	}
+	sn, dn := g.Node(src), g.Node(dst)
+	if sn == nil || dn == nil {
+		return fmt.Errorf("tgm: edge %q endpoints out of range (%d→%d)", edgeType, src, dst)
+	}
+	if sn.Type.Name != et.Source {
+		return fmt.Errorf("tgm: edge %q source must be %q, got %q", edgeType, et.Source, sn.Type.Name)
+	}
+	if dn.Type.Name != et.Target {
+		return fmt.Errorf("tgm: edge %q target must be %q, got %q", edgeType, et.Target, dn.Type.Name)
+	}
+	if g.insertEdge(et.Name, src, dst) && et.Reverse != "" {
+		g.insertEdge(et.Reverse, dst, src)
+	}
+	return nil
+}
+
+func (g *InstanceGraph) insertEdge(edgeType string, src, dst NodeID) bool {
+	seen := g.edgeSeen[edgeType]
+	if seen == nil {
+		seen = make(map[uint64]bool)
+		g.edgeSeen[edgeType] = seen
+	}
+	key := uint64(uint32(src))<<32 | uint64(uint32(dst))
+	if seen[key] {
+		return false
+	}
+	seen[key] = true
+	m := g.adj[edgeType]
+	if m == nil {
+		m = make(map[NodeID][]NodeID)
+		g.adj[edgeType] = m
+	}
+	m[src] = append(m[src], dst)
+	g.edgeCount++
+	return true
+}
+
+// Neighbors returns the targets of the given node's out-edges of the
+// named edge type, in insertion order. This is the "quick
+// neighbor-lookup" the paper relies on for entity-reference columns.
+// The returned slice must not be modified.
+func (g *InstanceGraph) Neighbors(id NodeID, edgeType string) []NodeID {
+	m := g.adj[edgeType]
+	if m == nil {
+		return nil
+	}
+	return m[id]
+}
+
+// Degree returns the number of out-neighbors of id along edgeType.
+func (g *InstanceGraph) Degree(id NodeID, edgeType string) int {
+	return len(g.Neighbors(id, edgeType))
+}
+
+// HasEdge reports whether a directed edge of the given type exists.
+func (g *InstanceGraph) HasEdge(edgeType string, src, dst NodeID) bool {
+	seen := g.edgeSeen[edgeType]
+	if seen == nil {
+		return false
+	}
+	return seen[uint64(uint32(src))<<32|uint64(uint32(dst))]
+}
+
+// FindNode returns the first node of the named type whose attribute
+// equals v. It scans the type's nodes; callers needing repeated lookups
+// should build their own index.
+func (g *InstanceGraph) FindNode(typeName, attr string, v value.V) (*Node, bool) {
+	nt := g.schema.NodeType(typeName)
+	if nt == nil {
+		return nil, false
+	}
+	ai := nt.AttrIndex(attr)
+	if ai < 0 {
+		return nil, false
+	}
+	for _, id := range g.byType[typeName] {
+		n := g.nodes[id]
+		if value.Equal(n.Attrs[ai], v) {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// Stats summarizes the instance graph: node counts per type and edge
+// counts per edge type.
+type Stats struct {
+	NodesByType map[string]int
+	EdgesByType map[string]int
+	Nodes       int
+	Edges       int
+}
+
+// ComputeStats returns counts for the whole graph.
+func (g *InstanceGraph) ComputeStats() Stats {
+	s := Stats{
+		NodesByType: make(map[string]int),
+		EdgesByType: make(map[string]int),
+		Nodes:       len(g.nodes),
+		Edges:       g.edgeCount,
+	}
+	for t, ids := range g.byType {
+		s.NodesByType[t] = len(ids)
+	}
+	for et, m := range g.adj {
+		n := 0
+		for _, dsts := range m {
+			n += len(dsts)
+		}
+		s.EdgesByType[et] = n
+	}
+	return s
+}
+
+// SortedTypeNames returns node type names present in the instance graph,
+// sorted, for deterministic reporting.
+func (g *InstanceGraph) SortedTypeNames() []string {
+	names := make([]string, 0, len(g.byType))
+	for n := range g.byType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
