@@ -103,6 +103,7 @@ func figure7Pattern(b *testing.B, tr *translate.Result) *etable.Pattern {
 func BenchmarkFigure1_EnrichedTable(b *testing.B) {
 	_, tr, _ := fixtures(b)
 	p := figure1Pattern(b, tr)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := etable.Execute(tr.Instance, p)
@@ -120,6 +121,7 @@ func BenchmarkFigure1_EnrichedTable(b *testing.B) {
 // executed, as the interactive interface would).
 func BenchmarkFigure7_OperatorPipeline(b *testing.B) {
 	_, tr, _ := fixtures(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := etable.Initiate(tr.Schema, "Conferences")
@@ -151,6 +153,7 @@ func BenchmarkFigure7_OperatorPipeline(b *testing.B) {
 func BenchmarkFigure8_InstanceMatching(b *testing.B) {
 	_, tr, _ := fixtures(b)
 	p := figure7Pattern(b, tr)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := etable.Match(tr.Instance, p)
@@ -169,12 +172,38 @@ func BenchmarkFigure8_InstanceMatching(b *testing.B) {
 func BenchmarkFigure8_FormatTransformation(b *testing.B) {
 	_, tr, _ := fixtures(b)
 	p := figure7Pattern(b, tr)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := etable.Execute(tr.Instance, p); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkAblation_JoinPlanner compares the selectivity-ordered join
+// plan against the pre-planner declaration order on the Figure 7
+// pattern, where the naive order starts at the unfiltered Authors side
+// and the planner starts at the single SIGMOD conference.
+func BenchmarkAblation_JoinPlanner(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	p := figure7Pattern(b, tr)
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.Match(tr.Instance, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("declared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.MatchNaive(tr.Instance, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTable1_Translation measures the Appendix A schema + instance

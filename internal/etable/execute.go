@@ -23,54 +23,84 @@ func Execute(g *tgm.InstanceGraph, p *Pattern) (*Result, error) {
 	return transform(g, p, matched)
 }
 
-// Match implements the instance matching function m(Q): it joins the
-// per-node base graph relations (with their selection conditions pushed
-// down) along the pattern's tree edges, starting from the primary node.
-// The resulting graph relation has one attribute per pattern node, named
-// by the node's key.
-func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
-	prim := p.PrimaryNode()
-	if prim == nil {
-		return nil, fmt.Errorf("etable: pattern has no primary node")
-	}
-	base := func(n *PatternNode) (*graphrel.Relation, error) {
+// baseRelation builds one pattern node's selected base relation,
+// σ_C(R^G), with the node's condition pushed down.
+func baseRelation(g *tgm.InstanceGraph) func(n *PatternNode) (*graphrel.Relation, error) {
+	return func(n *PatternNode) (*graphrel.Relation, error) {
 		r, err := graphrel.BaseNamed(g, n.Type, n.Key)
 		if err != nil {
 			return nil, err
 		}
 		return graphrel.Select(r, n.Key, n.Cond)
 	}
-	cur, err := base(prim)
+}
+
+// Match implements the instance matching function m(Q): it joins the
+// per-node base graph relations (with their selection conditions pushed
+// down) along the pattern's tree edges. Joins run in the selectivity
+// order chosen by planJoins, which produces the same tuple set as the
+// declaration order (MatchNaive) with smaller intermediates. The
+// resulting graph relation has one attribute per pattern node, named by
+// the node's key.
+func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
+	return MatchColumns(g, p)
+}
+
+// MatchColumns is Match with projection pushdown: when keep is
+// non-empty, attribute columns outside keep are dropped as soon as no
+// remaining join anchors on them, and only the keep columns are
+// returned. With no keep arguments every pattern node's column is
+// retained.
+func MatchColumns(g *tgm.InstanceGraph, p *Pattern, keep ...string) (*graphrel.Relation, error) {
+	if p.PrimaryNode() == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	bases, sizes, err := selectedBases(p, baseRelation(g))
 	if err != nil {
 		return nil, err
 	}
-	joined := map[string]bool{prim.Key: true}
-	remaining := len(p.Nodes) - 1
-	for remaining > 0 {
-		progressed := false
-		for _, e := range p.Edges {
-			anchorKey, newKey, edgeName, ok := orientEdge(g.Schema(), e, joined)
-			if !ok {
-				continue
+	start, steps, err := planJoins(g, p, sizes)
+	if err != nil {
+		return nil, err
+	}
+	var needed map[string]bool
+	if len(keep) > 0 {
+		needed = make(map[string]bool, len(keep))
+		for _, k := range keep {
+			if p.Node(k) == nil {
+				return nil, fmt.Errorf("etable: projected key %q is not in the pattern", k)
 			}
-			nn := p.Node(newKey)
-			nr, err := base(nn)
-			if err != nil {
-				return nil, err
-			}
-			cur, err = graphrel.Join(cur, nr, edgeName, anchorKey, newKey)
-			if err != nil {
-				return nil, err
-			}
-			joined[newKey] = true
-			remaining--
-			progressed = true
-		}
-		if !progressed {
-			return nil, errDisconnected
+			needed[k] = true
 		}
 	}
-	return cur, nil
+	matched, err := matchSteps(bases, start, steps, needed)
+	if err != nil {
+		return nil, err
+	}
+	if needed != nil {
+		// Restore the caller's column order (pushdown keeps join order).
+		return matched.Retain(keep...)
+	}
+	return matched, nil
+}
+
+// MatchNaive matches with the pre-planner join order: starting at the
+// primary node, taking pattern edges in declaration order. It exists as
+// the equivalence baseline the planner is verified against and as the
+// ablation arm of the planner benchmark.
+func MatchNaive(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
+	if p.PrimaryNode() == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	bases, _, err := selectedBases(p, baseRelation(g))
+	if err != nil {
+		return nil, err
+	}
+	start, steps, err := declaredSteps(g.Schema(), p)
+	if err != nil {
+		return nil, err
+	}
+	return matchSteps(bases, start, steps, nil)
 }
 
 // errDisconnected reports a pattern whose edges do not connect all nodes
@@ -101,16 +131,22 @@ func orientEdge(schema *tgm.SchemaGraph, e PatternEdge, joined map[string]bool) 
 // distinct primary nodes of the matched relation; columns are the base
 // attributes A_b, the participating node columns A_t, and the neighbor
 // node columns A_h.
+//
+// The enriched table is canonical: rows ascend by primary node ID (the
+// order the declaration-order matcher produced them in) and the entity
+// references of participating cells ascend by node ID, so Execute's
+// output does not depend on the join order the planner picked.
 func transform(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*Result, error) {
 	prim := p.PrimaryNode()
 	primType := g.Schema().NodeType(prim.Type)
 	res := &Result{Pattern: p, PrimaryType: primType}
 
-	// Rows: Π_τa of the matched relation, in encounter order.
+	// Rows: Π_τa of the matched relation, canonically ordered.
 	rowIDs, err := graphrel.DistinctNodes(matched, prim.Key)
 	if err != nil {
 		return nil, err
 	}
+	sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
 
 	// Base attribute columns A_b.
 	for _, a := range primType.Attrs {
@@ -132,6 +168,9 @@ func transform(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*R
 		groups, err := graphrel.GroupNeighbors(matched, prim.Key, n.Key)
 		if err != nil {
 			return nil, err
+		}
+		for _, ids := range groups {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		}
 		res.Columns = append(res.Columns, Column{
 			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,

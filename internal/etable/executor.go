@@ -112,7 +112,9 @@ func (e *Executor) base(n *PatternNode) (*graphrel.Relation, error) {
 	return r, nil
 }
 
-// Match is the caching counterpart of the package-level Match.
+// Match is the caching counterpart of the package-level Match: it uses
+// the same selectivity-ordered join plan, with base relations additionally
+// served from the per-(type, condition) cache.
 func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
 	sig := Signature(p)
 	if r, ok := e.matchCache[sig]; ok {
@@ -120,34 +122,17 @@ func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
 		return r, nil
 	}
 	e.Misses++
-	prim := p.PrimaryNode()
-	cur, err := e.base(prim)
+	bases, sizes, err := selectedBases(p, e.base)
 	if err != nil {
 		return nil, err
 	}
-	joined := map[string]bool{prim.Key: true}
-	remaining := len(p.Nodes) - 1
-	for remaining > 0 {
-		progressed := false
-		for _, pe := range p.Edges {
-			anchorKey, newKey, edgeName, ok := orientEdge(e.g.Schema(), pe, joined)
-			if !ok {
-				continue
-			}
-			nr, err := e.base(p.Node(newKey))
-			if err != nil {
-				return nil, err
-			}
-			if cur, err = graphrel.Join(cur, nr, edgeName, anchorKey, newKey); err != nil {
-				return nil, err
-			}
-			joined[newKey] = true
-			remaining--
-			progressed = true
-		}
-		if !progressed {
-			return nil, errDisconnected
-		}
+	start, steps, err := planJoins(e.g, p, sizes)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := matchSteps(bases, start, steps, nil)
+	if err != nil {
+		return nil, err
 	}
 	e.putMatch(sig, cur)
 	return cur, nil

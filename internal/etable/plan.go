@@ -1,0 +1,158 @@
+package etable
+
+import (
+	"repro/internal/graphrel"
+	"repro/internal/tgm"
+)
+
+// JoinStep is one planned join of the instance-matching pipeline: extend
+// the matched relation from AnchorKey (already joined) to NewKey along
+// EdgeName, which is oriented anchor → new.
+type JoinStep struct {
+	AnchorKey string
+	NewKey    string
+	EdgeName  string
+}
+
+// selectedBases builds σ_C(R^G) for every pattern node through base and
+// returns the relations keyed by node key together with their sizes —
+// the planner's post-selection cardinality input.
+func selectedBases(p *Pattern, base func(*PatternNode) (*graphrel.Relation, error)) (map[string]*graphrel.Relation, map[string]int, error) {
+	bases := make(map[string]*graphrel.Relation, len(p.Nodes))
+	sizes := make(map[string]int, len(p.Nodes))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		r, err := base(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		bases[n.Key] = r
+		sizes[n.Key] = r.Len()
+	}
+	return bases, sizes, nil
+}
+
+// selFrac estimates the selectivity of a pattern node's condition: the
+// fraction of its type's instances surviving selection.
+func selFrac(g *tgm.InstanceGraph, p *Pattern, key string, sizes map[string]int) float64 {
+	total := len(g.NodesOfType(p.Node(key).Type))
+	if total == 0 {
+		return 0
+	}
+	return float64(sizes[key]) / float64(total)
+}
+
+// planJoins orders the pattern's joins greedily by estimated output
+// cardinality instead of edge-declaration order. The estimate for
+// extending a partial match of est tuples across an edge is
+//
+//	est × AvgOutDegree(edge) × selFrac(new node)
+//
+// — the average adjacency fan-out scaled by the fraction of target
+// instances surviving the new node's selection. Matching starts at the
+// smallest post-selection base relation and always picks the frontier
+// edge with the lowest estimate (ties broken by declaration order), so
+// selective branches prune the intermediate result before high-fan-out
+// joins multiply it. The tuple set produced is independent of the order;
+// only intermediate sizes change.
+func planJoins(g *tgm.InstanceGraph, p *Pattern, sizes map[string]int) (startKey string, steps []JoinStep, err error) {
+	for _, n := range p.Nodes {
+		if startKey == "" || sizes[n.Key] < sizes[startKey] {
+			startKey = n.Key
+		}
+	}
+	joined := map[string]bool{startKey: true}
+	est := float64(sizes[startKey])
+	for len(joined) < len(p.Nodes) {
+		found := false
+		var bestStep JoinStep
+		var bestEst float64
+		for _, e := range p.Edges {
+			anchorKey, newKey, edgeName, ok := orientEdge(g.Schema(), e, joined)
+			if !ok {
+				continue
+			}
+			cand := est * g.AvgOutDegree(edgeName) * selFrac(g, p, newKey, sizes)
+			if !found || cand < bestEst {
+				found = true
+				bestEst = cand
+				bestStep = JoinStep{AnchorKey: anchorKey, NewKey: newKey, EdgeName: edgeName}
+			}
+		}
+		if !found {
+			return "", nil, errDisconnected
+		}
+		steps = append(steps, bestStep)
+		joined[bestStep.NewKey] = true
+		if est = bestEst; est < 1 {
+			est = 1
+		}
+	}
+	return startKey, steps, nil
+}
+
+// declaredSteps reproduces the pre-planner join order: start at the
+// primary node and take pattern edges in declaration order as they
+// become connected. It is kept as the equivalence baseline the planner
+// is tested against.
+func declaredSteps(schema *tgm.SchemaGraph, p *Pattern) (startKey string, steps []JoinStep, err error) {
+	prim := p.PrimaryNode()
+	joined := map[string]bool{prim.Key: true}
+	remaining := len(p.Nodes) - 1
+	for remaining > 0 {
+		progressed := false
+		for _, e := range p.Edges {
+			anchorKey, newKey, edgeName, ok := orientEdge(schema, e, joined)
+			if !ok {
+				continue
+			}
+			steps = append(steps, JoinStep{AnchorKey: anchorKey, NewKey: newKey, EdgeName: edgeName})
+			joined[newKey] = true
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			return "", nil, errDisconnected
+		}
+	}
+	return prim.Key, steps, nil
+}
+
+// matchSteps executes a join plan over pre-selected base relations.
+// When needed is non-nil, attribute columns that are neither join
+// anchors of a remaining step nor in needed are dropped right after each
+// join (projection pushdown; Retain shares columns, so dropping is
+// zero-copy).
+func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []JoinStep, needed map[string]bool) (*graphrel.Relation, error) {
+	cur := bases[startKey]
+	for si, st := range steps {
+		var err error
+		if cur, err = graphrel.Join(cur, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey); err != nil {
+			return nil, err
+		}
+		if needed == nil {
+			continue
+		}
+		keep := make([]string, 0, len(cur.Attrs))
+		for _, a := range cur.Attrs {
+			if needed[a.Name] || anchorsRemaining(a.Name, steps[si+1:]) {
+				keep = append(keep, a.Name)
+			}
+		}
+		if len(keep) < len(cur.Attrs) {
+			if cur, err = cur.Retain(keep...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cur, nil
+}
+
+func anchorsRemaining(name string, steps []JoinStep) bool {
+	for _, st := range steps {
+		if st.AnchorKey == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+package etable
+
+import (
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/graphrel"
+	"repro/internal/translate"
+	"repro/internal/value"
+)
+
+// planFixture generates a mid-sized corpus and its TGDB translation.
+func planFixture(t testing.TB) *translate.Result {
+	t.Helper()
+	db, err := dataset.Generate(dataset.Config{Papers: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// buildPattern applies Initiate followed by a list of operator steps.
+func buildPattern(t testing.TB, tr *translate.Result, initType string, steps ...func(*Pattern) (*Pattern, error)) *Pattern {
+	t.Helper()
+	p, err := Initiate(tr.Schema, initType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range steps {
+		if p, err = s(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func opAdd(tr *translate.Result, edge string) func(*Pattern) (*Pattern, error) {
+	return func(p *Pattern) (*Pattern, error) { return Add(tr.Schema, p, edge) }
+}
+
+func opSelect(cond string) func(*Pattern) (*Pattern, error) {
+	return func(p *Pattern) (*Pattern, error) { return Select(p, cond) }
+}
+
+func opShift(key string) func(*Pattern) (*Pattern, error) {
+	return func(p *Pattern) (*Pattern, error) { return Shift(p, key) }
+}
+
+// figure1PlanPattern is the Figure 1 query (SIGMOD papers with a %user%
+// keyword, pivoted to Papers).
+func figure1PlanPattern(t testing.TB, tr *translate.Result) *Pattern {
+	return buildPattern(t, tr, "Papers",
+		opAdd(tr, "Papers→Paper_Keywords: keyword"),
+		opSelect("keyword like '%user%'"),
+		opShift("Papers"),
+		opAdd(tr, "Papers→Conferences"),
+		opSelect("acronym = 'SIGMOD'"),
+		opShift("Papers"),
+	)
+}
+
+// figure7PlanPattern is the Figure 6/7 query (Korean-institution authors
+// of recent SIGMOD papers).
+func figure7PlanPattern(t testing.TB, tr *translate.Result) *Pattern {
+	return buildPattern(t, tr, "Conferences",
+		opSelect("acronym = 'SIGMOD'"),
+		opAdd(tr, "Papers→Conferences_rev"),
+		opSelect("year > 2005"),
+		opAdd(tr, "Paper_Authors"),
+		opAdd(tr, "Authors→Institutions"),
+		opSelect("country like '%Korea%'"),
+		opShift("Authors"),
+	)
+}
+
+// canonMatch renders a matched relation as a sorted multiset of
+// attribute-name→node bindings, so join order cannot affect equality.
+func canonMatch(r *graphrel.Relation) []string {
+	names := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		names[i] = a.Name
+	}
+	order := make([]int, len(names))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return names[order[i]] < names[order[j]] })
+	out := make([]string, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		key := ""
+		for _, ai := range order {
+			key += names[ai] + "=" + strconv.Itoa(int(r.At(i, ai))) + ";"
+		}
+		out[i] = key
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestPlannerMatchEquivalence asserts the planner-ordered Match produces
+// exactly the tuple set of the declaration-order MatchNaive on the
+// paper's Figure 1 and Figure 7 patterns.
+func TestPlannerMatchEquivalence(t *testing.T) {
+	tr := planFixture(t)
+	for name, build := range map[string]func(testing.TB, *translate.Result) *Pattern{
+		"figure1": figure1PlanPattern,
+		"figure7": figure7PlanPattern,
+	} {
+		p := build(t, tr)
+		planned, err := Match(tr.Instance, p)
+		if err != nil {
+			t.Fatalf("%s: planned: %v", name, err)
+		}
+		naive, err := MatchNaive(tr.Instance, p)
+		if err != nil {
+			t.Fatalf("%s: naive: %v", name, err)
+		}
+		if planned.Len() == 0 {
+			t.Fatalf("%s: empty match", name)
+		}
+		cp, cn := canonMatch(planned), canonMatch(naive)
+		if len(cp) != len(cn) {
+			t.Fatalf("%s: %d vs %d tuples", name, len(cp), len(cn))
+		}
+		for i := range cp {
+			if cp[i] != cn[i] {
+				t.Fatalf("%s: tuple %d differs:\nplanned %q\nnaive   %q", name, i, cp[i], cn[i])
+			}
+		}
+	}
+}
+
+// TestPlannerExecuteEquivalence asserts Execute built on the planner
+// returns row- and cell-identical results to the transformation of the
+// pre-planner join order.
+func TestPlannerExecuteEquivalence(t *testing.T) {
+	tr := planFixture(t)
+	for name, build := range map[string]func(testing.TB, *translate.Result) *Pattern{
+		"figure1": figure1PlanPattern,
+		"figure7": figure7PlanPattern,
+	} {
+		p := build(t, tr)
+		planned, err := Execute(tr.Instance, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		naiveMatch, err := MatchNaive(tr.Instance, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		naive, err := transform(tr.Instance, p, naiveMatch)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if planned.NumRows() == 0 || planned.NumRows() != naive.NumRows() {
+			t.Fatalf("%s: rows %d vs %d", name, planned.NumRows(), naive.NumRows())
+		}
+		if len(planned.Columns) != len(naive.Columns) {
+			t.Fatalf("%s: columns %d vs %d", name, len(planned.Columns), len(naive.Columns))
+		}
+		for ri := range planned.Rows {
+			pr, nr := &planned.Rows[ri], &naive.Rows[ri]
+			if pr.Node != nr.Node || pr.Label != nr.Label {
+				t.Fatalf("%s: row %d: %v/%q vs %v/%q", name, ri, pr.Node, pr.Label, nr.Node, nr.Label)
+			}
+			for ci := range pr.Cells {
+				pc, nc := &pr.Cells[ci], &nr.Cells[ci]
+				if !value.Equal(pc.Value, nc.Value) && !(pc.Value.IsNull() && nc.Value.IsNull()) {
+					t.Fatalf("%s: row %d cell %d: %v vs %v", name, ri, ci, pc.Value, nc.Value)
+				}
+				if len(pc.Refs) != len(nc.Refs) {
+					t.Fatalf("%s: row %d cell %d: %d vs %d refs", name, ri, ci, len(pc.Refs), len(nc.Refs))
+				}
+				for k := range pc.Refs {
+					if pc.Refs[k] != nc.Refs[k] {
+						t.Fatalf("%s: row %d cell %d ref %d: %v vs %v", name, ri, ci, k, pc.Refs[k], nc.Refs[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlannerStartsAtMostSelectiveNode pins the planner's greedy choice:
+// on Figure 7 the SIGMOD-filtered Conferences base (1 node) must be the
+// join start, not the primary Authors node the naive order uses.
+func TestPlannerStartsAtMostSelectiveNode(t *testing.T) {
+	tr := planFixture(t)
+	p := figure7PlanPattern(t, tr)
+	bases, sizes, err := selectedBases(p, baseRelation(tr.Instance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, steps, err := planJoins(tr.Instance, p, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != "Conferences" {
+		t.Errorf("planner start = %q, want Conferences (size %d)", start, sizes[start])
+	}
+	if len(steps) != len(p.Nodes)-1 {
+		t.Errorf("planned %d steps, want %d", len(steps), len(p.Nodes)-1)
+	}
+	if bases[start].Len() != sizes[start] {
+		t.Errorf("base size bookkeeping inconsistent")
+	}
+}
+
+// TestMatchColumnsPushdown asserts the projected matcher returns exactly
+// the requested columns with the same distinct node sets as the full
+// match.
+func TestMatchColumnsPushdown(t *testing.T) {
+	tr := planFixture(t)
+	p := figure7PlanPattern(t, tr)
+	full, err := Match(tr.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := MatchColumns(tr.Instance, p, "Authors", "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Attrs) != 2 || proj.Attrs[0].Name != "Authors" || proj.Attrs[1].Name != "Papers" {
+		t.Fatalf("projected attrs = %v", proj.Attrs)
+	}
+	for _, key := range []string{"Authors", "Papers"} {
+		want, err := graphrel.DistinctNodes(full, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := graphrel.DistinctNodes(proj, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := map[int32]bool{}
+		for _, id := range want {
+			ws[int32(id)] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d distinct nodes, want %d", key, len(got), len(want))
+		}
+		for _, id := range got {
+			if !ws[int32(id)] {
+				t.Fatalf("%s: unexpected node %v", key, id)
+			}
+		}
+	}
+	if _, err := MatchColumns(tr.Instance, p, "Nope"); err == nil {
+		t.Error("unknown projected key accepted")
+	}
+}

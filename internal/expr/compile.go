@@ -1,0 +1,308 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// Pred is a selection predicate compiled against one node type: it
+// evaluates a condition on a node of that type with WHERE-clause
+// truthiness (non-NULL true).
+type Pred func(n *tgm.Node) (bool, error)
+
+// evalFn is a compiled sub-expression evaluated directly against a
+// node's attribute slice, with all column names resolved to indices at
+// compile time.
+type evalFn func(attrs []value.V) (value.V, error)
+
+// Compile binds e's column references to attribute indices of nt once,
+// returning a predicate that evaluates rows without per-row string
+// resolution. Names resolve like the interpreted path: the bare name
+// first, then the unqualified suffix of a dotted name. Unknown columns
+// are reported at compile time rather than on the first row.
+func Compile(e Expr, nt *tgm.NodeType) (Pred, error) {
+	fn, err := compile(e, nt)
+	if err != nil {
+		return nil, err
+	}
+	return func(n *tgm.Node) (bool, error) {
+		v, err := fn(n.Attrs)
+		if err != nil {
+			return false, err
+		}
+		return !v.IsNull() && v.AsBool(), nil
+	}, nil
+}
+
+// resolveAttr mirrors the lookup order of graphrel's node environment.
+func resolveAttr(nt *tgm.NodeType, name string) int {
+	if i := nt.AttrIndex(name); i >= 0 {
+		return i
+	}
+	for j := len(name) - 1; j >= 0; j-- {
+		if name[j] == '.' {
+			return nt.AttrIndex(name[j+1:])
+		}
+	}
+	return -1
+}
+
+func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
+	switch ex := e.(type) {
+	case Const:
+		v := ex.Val
+		return func([]value.V) (value.V, error) { return v, nil }, nil
+	case Col:
+		i := resolveAttr(nt, ex.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: unknown column %q", ex.Name)
+		}
+		return func(attrs []value.V) (value.V, error) { return attrs[i], nil }, nil
+	case Cmp:
+		l, r, err := compile2(ex.Left, ex.Right, nt)
+		if err != nil {
+			return nil, err
+		}
+		op := ex.Op
+		return func(attrs []value.V) (value.V, error) {
+			lv, rv, err := eval2(l, r, attrs)
+			if err != nil || lv.IsNull() || rv.IsNull() {
+				return value.Null, err
+			}
+			d := value.Compare(lv, rv)
+			var out bool
+			switch op {
+			case OpEq:
+				out = d == 0
+			case OpNe:
+				out = d != 0
+			case OpLt:
+				out = d < 0
+			case OpLe:
+				out = d <= 0
+			case OpGt:
+				out = d > 0
+			case OpGe:
+				out = d >= 0
+			}
+			return value.Bool(out), nil
+		}, nil
+	case Like:
+		l, p, err := compile2(ex.Left, ex.Pattern, nt)
+		if err != nil {
+			return nil, err
+		}
+		fold, negate := ex.CaseFold, ex.Negate
+		return func(attrs []value.V) (value.V, error) {
+			lv, pv, err := eval2(l, p, attrs)
+			if err != nil || lv.IsNull() || pv.IsNull() {
+				return value.Null, err
+			}
+			ok := MatchLike(lv.AsString(), pv.AsString(), fold)
+			if negate {
+				ok = !ok
+			}
+			return value.Bool(ok), nil
+		}, nil
+	case In:
+		l, err := compile(ex.Left, nt)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]evalFn, len(ex.List))
+		for i, le := range ex.List {
+			if list[i], err = compile(le, nt); err != nil {
+				return nil, err
+			}
+		}
+		negate := ex.Negate
+		return func(attrs []value.V) (value.V, error) {
+			lv, err := l(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			if lv.IsNull() {
+				return value.Null, nil
+			}
+			found := false
+			for _, fe := range list {
+				rv, err := fe(attrs)
+				if err != nil {
+					return value.Null, err
+				}
+				if value.Equal(lv, rv) {
+					found = true
+					break
+				}
+			}
+			if negate {
+				found = !found
+			}
+			return value.Bool(found), nil
+		}, nil
+	case Between:
+		l, err := compile(ex.Left, nt)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi, err := compile2(ex.Low, ex.High, nt)
+		if err != nil {
+			return nil, err
+		}
+		negate := ex.Negate
+		return func(attrs []value.V) (value.V, error) {
+			lv, err := l(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			lov, hiv, err := eval2(lo, hi, attrs)
+			if err != nil || lv.IsNull() || lov.IsNull() || hiv.IsNull() {
+				return value.Null, err
+			}
+			ok := value.Compare(lv, lov) >= 0 && value.Compare(lv, hiv) <= 0
+			if negate {
+				ok = !ok
+			}
+			return value.Bool(ok), nil
+		}, nil
+	case IsNull:
+		l, err := compile(ex.Left, nt)
+		if err != nil {
+			return nil, err
+		}
+		negate := ex.Negate
+		return func(attrs []value.V) (value.V, error) {
+			lv, err := l(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			ok := lv.IsNull()
+			if negate {
+				ok = !ok
+			}
+			return value.Bool(ok), nil
+		}, nil
+	case And:
+		l, r, err := compile2(ex.Left, ex.Right, nt)
+		if err != nil {
+			return nil, err
+		}
+		return func(attrs []value.V) (value.V, error) {
+			lv, err := l(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			if !lv.IsNull() && !lv.AsBool() {
+				return value.Bool(false), nil
+			}
+			rv, err := r(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			if !rv.IsNull() && !rv.AsBool() {
+				return value.Bool(false), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.Null, nil
+			}
+			return value.Bool(true), nil
+		}, nil
+	case Or:
+		l, r, err := compile2(ex.Left, ex.Right, nt)
+		if err != nil {
+			return nil, err
+		}
+		return func(attrs []value.V) (value.V, error) {
+			lv, err := l(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			if !lv.IsNull() && lv.AsBool() {
+				return value.Bool(true), nil
+			}
+			rv, err := r(attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			if !rv.IsNull() && rv.AsBool() {
+				return value.Bool(true), nil
+			}
+			if lv.IsNull() || rv.IsNull() {
+				return value.Null, nil
+			}
+			return value.Bool(false), nil
+		}, nil
+	case Not:
+		inner, err := compile(ex.Inner, nt)
+		if err != nil {
+			return nil, err
+		}
+		return func(attrs []value.V) (value.V, error) {
+			v, err := inner(attrs)
+			if err != nil || v.IsNull() {
+				return value.Null, err
+			}
+			return value.Bool(!v.AsBool()), nil
+		}, nil
+	case Arith:
+		l, r, err := compile2(ex.Left, ex.Right, nt)
+		if err != nil {
+			return nil, err
+		}
+		op := ex.Op
+		return func(attrs []value.V) (value.V, error) {
+			lv, rv, err := eval2(l, r, attrs)
+			if err != nil {
+				return value.Null, err
+			}
+			return arithApply(op, lv, rv)
+		}, nil
+	default:
+		// Unknown expression types fall back to the interpreted path
+		// through an attribute-slice environment.
+		return func(attrs []value.V) (value.V, error) {
+			return e.Eval(attrsEnv{nt: nt, attrs: attrs})
+		}, nil
+	}
+}
+
+func compile2(a, b Expr, nt *tgm.NodeType) (evalFn, evalFn, error) {
+	fa, err := compile(a, nt)
+	if err != nil {
+		return nil, nil, err
+	}
+	fb, err := compile(b, nt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fa, fb, nil
+}
+
+func eval2(a, b evalFn, attrs []value.V) (value.V, value.V, error) {
+	av, err := a(attrs)
+	if err != nil {
+		return value.Null, value.Null, err
+	}
+	bv, err := b(attrs)
+	if err != nil {
+		return value.Null, value.Null, err
+	}
+	return av, bv, nil
+}
+
+// attrsEnv adapts a node-type/attribute-slice pair to Env for the
+// interpreted fallback.
+type attrsEnv struct {
+	nt    *tgm.NodeType
+	attrs []value.V
+}
+
+// Lookup implements Env.
+func (e attrsEnv) Lookup(name string) (value.V, bool) {
+	if i := resolveAttr(e.nt, name); i >= 0 {
+		return e.attrs[i], true
+	}
+	return value.Null, false
+}

@@ -1,0 +1,119 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+func compileFixture(t testing.TB) (*tgm.NodeType, *tgm.Node, *tgm.Node) {
+	t.Helper()
+	s := tgm.NewSchemaGraph()
+	nt, err := s.AddNodeType(tgm.NodeType{Name: "Papers", Label: "title",
+		Attrs: []tgm.Attr{
+			{Name: "id", Type: value.KindInt},
+			{Name: "title", Type: value.KindString},
+			{Name: "year", Type: value.KindInt},
+			{Name: "score", Type: value.KindFloat},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := &tgm.Node{ID: 0, Type: nt, Attrs: []value.V{
+		value.Int(1), value.Str("usable databases"), value.Int(2007), value.Float(0.5)}}
+	n2 := &tgm.Node{ID: 1, Type: nt, Attrs: []value.V{
+		value.Int(2), value.Str("SkewTune"), value.Null, value.Null}}
+	return nt, n1, n2
+}
+
+// TestCompileParityWithEval asserts the compiled predicate agrees with
+// the interpreted Truthy path across the operator surface, including
+// three-valued logic over NULL attributes.
+func TestCompileParityWithEval(t *testing.T) {
+	nt, n1, n2 := compileFixture(t)
+	conds := []string{
+		"year > 2005",
+		"Papers.year > 2005",
+		"year = 2007 AND title like '%data%'",
+		"year = 2007 OR title like 'Skew%'",
+		"NOT (year < 2000)",
+		"title ilike '%USABLE%'",
+		"title not like 'x%'",
+		"year in (2007, 2012)",
+		"year not in (1999)",
+		"year between 2000 and 2010",
+		"year not between 2000 and 2010",
+		"year is null",
+		"year is not null",
+		"year + 1 = 2008",
+		"year % 2 = 1",
+		"score * 2 = 1",
+		"year > 2005 AND score is null",
+	}
+	for _, src := range conds {
+		e := MustParse(src)
+		pred, err := Compile(e, nt)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", src, err)
+		}
+		for _, n := range []*tgm.Node{n1, n2} {
+			want, werr := Truthy(e, mapEnvFor(n))
+			got, gerr := pred(n)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s on node %d: err %v vs %v", src, n.ID, werr, gerr)
+			}
+			if want != got {
+				t.Errorf("%s on node %d: compiled %v, interpreted %v", src, n.ID, got, want)
+			}
+		}
+	}
+}
+
+// mapEnvFor mirrors the interpreted lookup used before compilation.
+func mapEnvFor(n *tgm.Node) Env {
+	m := MapEnv{}
+	for i, a := range n.Type.Attrs {
+		m[a.Name] = n.Attrs[i]
+	}
+	return m
+}
+
+func TestCompileUnknownColumn(t *testing.T) {
+	nt, _, _ := compileFixture(t)
+	if _, err := Compile(MustParse("nope = 1"), nt); err == nil {
+		t.Error("unknown column compiled")
+	}
+	if _, err := Compile(MustParse("year in (1, nope)"), nt); err == nil {
+		t.Error("unknown column in IN list compiled")
+	}
+	// Qualified names resolve through the dotted-suffix fallback.
+	if _, err := Compile(MustParse("Whatever.year = 2007"), nt); err != nil {
+		t.Errorf("dotted fallback: %v", err)
+	}
+}
+
+// stubExpr is an expression type Compile does not know, forcing the
+// interpreted fallback.
+type stubExpr struct{}
+
+func (stubExpr) Eval(env Env) (value.V, error) {
+	v, _ := env.Lookup("year")
+	return Cmp{Op: OpGt, Left: Const{Val: v}, Right: Const{Val: value.Int(2005)}}.Eval(env)
+}
+func (stubExpr) String() string                { return "stub" }
+func (stubExpr) Columns(dst []string) []string { return append(dst, "year") }
+
+func TestCompileFallback(t *testing.T) {
+	nt, n1, n2 := compileFixture(t)
+	pred, err := Compile(stubExpr{}, nt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := pred(n1); err != nil || !ok {
+		t.Errorf("fallback on n1 = %v, %v", ok, err)
+	}
+	if ok, err := pred(n2); err != nil || ok {
+		t.Errorf("fallback on n2 = %v, %v (NULL year must be false)", ok, err)
+	}
+}

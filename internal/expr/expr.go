@@ -472,12 +472,18 @@ func (a Arith) Eval(env Env) (value.V, error) {
 	if err != nil {
 		return value.Null, err
 	}
+	return arithApply(a.Op, l, r)
+}
+
+// arithApply evaluates one arithmetic operation on computed operands; it
+// is shared by the interpreted and compiled paths.
+func arithApply(op ArithOp, l, r value.V) (value.V, error) {
 	if l.IsNull() || r.IsNull() {
 		return value.Null, nil
 	}
 	if l.Kind() == value.KindInt && r.Kind() == value.KindInt {
 		x, y := l.AsInt(), r.AsInt()
-		switch a.Op {
+		switch op {
 		case OpAdd:
 			return value.Int(x + y), nil
 		case OpSub:
@@ -497,7 +503,7 @@ func (a Arith) Eval(env Env) (value.V, error) {
 		}
 	}
 	x, y := l.AsFloat(), r.AsFloat()
-	switch a.Op {
+	switch op {
 	case OpAdd:
 		return value.Float(x + y), nil
 	case OpSub:
@@ -515,7 +521,7 @@ func (a Arith) Eval(env Env) (value.V, error) {
 		}
 		return value.Float(float64(int64(x) % int64(y))), nil
 	}
-	return value.Null, fmt.Errorf("expr: bad arithmetic operator %v", a.Op)
+	return value.Null, fmt.Errorf("expr: bad arithmetic operator %v", op)
 }
 
 // String implements Expr.

@@ -9,6 +9,12 @@
 // is a list of node IDs. Node attribute values stay in the instance
 // graph; selection conditions are evaluated against them through an
 // expression environment.
+//
+// Relations are stored column-major: one node-ID column per attribute,
+// all columns of a relation carved from a single shared arena. Operators
+// build row-index lists and gather whole columns at once, so the cost of
+// a join is two index slices plus one arena allocation instead of one
+// tuple slice per output row.
 package graphrel
 
 import (
@@ -28,12 +34,29 @@ type Attr struct {
 	Type *tgm.NodeType
 }
 
-// Relation is a graph relation R^G: an attribute list and tuples of node
-// IDs, one per attribute.
+// Relation is a graph relation R^G: an attribute list and, per
+// attribute, a column of node IDs. All columns have equal length; the
+// tuple at row i is (cols[0][i], …, cols[k-1][i]). Columns are immutable
+// once built and may be shared between relations (Base aliases the
+// instance graph's node lists; Retain re-slices its input).
 type Relation struct {
-	g      *tgm.InstanceGraph
-	Attrs  []Attr
-	Tuples [][]tgm.NodeID
+	g     *tgm.InstanceGraph
+	Attrs []Attr
+	cols  [][]tgm.NodeID
+	n     int
+}
+
+// newRelation allocates a relation with one column per attribute, all
+// backed by a single arena of n×len(attrs) IDs.
+func newRelation(g *tgm.InstanceGraph, attrs []Attr, n int) *Relation {
+	r := &Relation{g: g, Attrs: attrs, n: n, cols: make([][]tgm.NodeID, len(attrs))}
+	if n > 0 && len(attrs) > 0 {
+		arena := make([]tgm.NodeID, n*len(attrs))
+		for i := range r.cols {
+			r.cols[i] = arena[i*n : (i+1)*n : (i+1)*n]
+		}
+	}
+	return r
 }
 
 // Graph returns the instance graph the relation's nodes live in.
@@ -50,7 +73,68 @@ func (r *Relation) AttrIndex(name string) int {
 }
 
 // Len returns the number of tuples.
-func (r *Relation) Len() int { return len(r.Tuples) }
+func (r *Relation) Len() int { return r.n }
+
+// Column returns the column of the attribute at ordinal ai. The returned
+// slice must not be modified.
+func (r *Relation) Column(ai int) []tgm.NodeID { return r.cols[ai] }
+
+// ColumnNamed returns the named attribute's column, or nil. The returned
+// slice must not be modified.
+func (r *Relation) ColumnNamed(name string) []tgm.NodeID {
+	if ai := r.AttrIndex(name); ai >= 0 {
+		return r.cols[ai]
+	}
+	return nil
+}
+
+// At returns the node at (row, attribute ordinal).
+func (r *Relation) At(row, ai int) tgm.NodeID { return r.cols[ai][row] }
+
+// Tuple materializes row i as a fresh node-ID slice, in attribute order.
+// It allocates; iterate columns directly on hot paths.
+func (r *Relation) Tuple(i int) []tgm.NodeID {
+	out := make([]tgm.NodeID, len(r.cols))
+	for c, col := range r.cols {
+		out[c] = col[i]
+	}
+	return out
+}
+
+// gather materializes the listed rows into a fresh relation, copying
+// column-wise from the source.
+func (r *Relation) gather(rows []int32) *Relation {
+	out := newRelation(r.g, r.Attrs, len(rows))
+	for c, col := range r.cols {
+		gatherInto(out.cols[c], col, rows)
+	}
+	return out
+}
+
+func gatherInto(dst, src []tgm.NodeID, rows []int32) {
+	for j, ri := range rows {
+		dst[j] = src[ri]
+	}
+}
+
+// Retain returns r restricted to the named attributes without duplicate
+// elimination. Columns are shared with r (zero copy), which is what the
+// matcher's projection pushdown uses to drop attributes no longer needed
+// by later joins or the caller.
+func (r *Relation) Retain(attrNames ...string) (*Relation, error) {
+	out := &Relation{g: r.g, n: r.n,
+		Attrs: make([]Attr, len(attrNames)),
+		cols:  make([][]tgm.NodeID, len(attrNames))}
+	for i, name := range attrNames {
+		ai := r.AttrIndex(name)
+		if ai < 0 {
+			return nil, fmt.Errorf("graphrel: no attribute %q", name)
+		}
+		out.Attrs[i] = r.Attrs[ai]
+		out.cols[i] = r.cols[ai]
+	}
+	return out, nil
+}
 
 // Base returns the base graph relation of a node type: one
 // single-attribute tuple per node instance, in insertion order.
@@ -59,19 +143,21 @@ func Base(g *tgm.InstanceGraph, typeName string) (*Relation, error) {
 }
 
 // BaseNamed is Base with an explicit attribute name, used when the same
-// node type participates in a query more than once.
+// node type participates in a query more than once. The column aliases
+// the instance graph's node list, so a base relation allocates nothing
+// beyond its header.
 func BaseNamed(g *tgm.InstanceGraph, typeName, attrName string) (*Relation, error) {
 	nt := g.Schema().NodeType(typeName)
 	if nt == nil {
 		return nil, fmt.Errorf("graphrel: unknown node type %q", typeName)
 	}
 	ids := g.NodesOfType(typeName)
-	r := &Relation{g: g, Attrs: []Attr{{Name: attrName, Type: nt}}}
-	r.Tuples = make([][]tgm.NodeID, len(ids))
-	for i, id := range ids {
-		r.Tuples[i] = []tgm.NodeID{id}
-	}
-	return r, nil
+	return &Relation{
+		g:     g,
+		Attrs: []Attr{{Name: attrName, Type: nt}},
+		cols:  [][]tgm.NodeID{ids},
+		n:     len(ids),
+	}, nil
 }
 
 // nodeEnv evaluates selection conditions against one node's attributes.
@@ -100,7 +186,11 @@ func (e nodeEnv) Lookup(name string) (value.V, bool) {
 func NodeEnv(n *tgm.Node) expr.Env { return nodeEnv{n: n} }
 
 // Select returns the tuples whose node at the named attribute satisfies
-// cond (σ_Ci applied to attribute A_i). A nil condition returns r.
+// cond (σ_Ci applied to attribute A_i). A nil condition returns r. The
+// condition is compiled against the attribute's node type once, so rows
+// evaluate without per-row attribute-name resolution; when the relation
+// has several attributes, results are memoized per node, since nodes
+// repeat after joins.
 func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
 	if cond == nil {
 		return r, nil
@@ -109,68 +199,117 @@ func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
 	if ai < 0 {
 		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
 	}
-	out := &Relation{g: r.g, Attrs: r.Attrs}
-	for _, t := range r.Tuples {
-		ok, err := expr.Truthy(cond, nodeEnv{n: r.g.Node(t[ai])})
-		if err != nil {
-			return nil, err
+	pred, err := expr.Compile(cond, r.Attrs[ai].Type)
+	if err != nil {
+		return nil, err
+	}
+	col := r.cols[ai]
+	keep := make([]int32, 0, r.n)
+	if len(r.Attrs) == 1 {
+		// Base relations have distinct nodes; no memoization value.
+		for i, id := range col {
+			ok, err := pred(r.g.Node(id))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, int32(i))
+			}
 		}
-		if ok {
-			out.Tuples = append(out.Tuples, t)
+	} else {
+		memo := make(map[tgm.NodeID]bool, 64)
+		for i, id := range col {
+			ok, seen := memo[id]
+			if !seen {
+				var err error
+				if ok, err = pred(r.g.Node(id)); err != nil {
+					return nil, err
+				}
+				memo[id] = ok
+			}
+			if ok {
+				keep = append(keep, int32(i))
+			}
 		}
 	}
-	return out, nil
+	return r.gather(keep), nil
+}
+
+// checkJoin validates a join's edge type and attributes, returning the
+// resolved column ordinals.
+func checkJoin(r1, r2 *Relation, edgeType, leftAttr, rightAttr string, typed bool) (li, ri int, err error) {
+	if r1.g != r2.g {
+		return 0, 0, fmt.Errorf("graphrel: joining relations from different graphs")
+	}
+	et := r1.g.Schema().EdgeType(edgeType)
+	if et == nil {
+		return 0, 0, fmt.Errorf("graphrel: unknown edge type %q", edgeType)
+	}
+	li, ri = r1.AttrIndex(leftAttr), r2.AttrIndex(rightAttr)
+	if !typed {
+		if li < 0 || ri < 0 {
+			return 0, 0, fmt.Errorf("graphrel: bad join attributes %q, %q", leftAttr, rightAttr)
+		}
+		return li, ri, nil
+	}
+	if li < 0 {
+		return 0, 0, fmt.Errorf("graphrel: left relation has no attribute %q", leftAttr)
+	}
+	if ri < 0 {
+		return 0, 0, fmt.Errorf("graphrel: right relation has no attribute %q", rightAttr)
+	}
+	if r1.Attrs[li].Type.Name != et.Source {
+		return 0, 0, fmt.Errorf("graphrel: edge %q requires source type %q, attribute %q has %q",
+			edgeType, et.Source, leftAttr, r1.Attrs[li].Type.Name)
+	}
+	if r2.Attrs[ri].Type.Name != et.Target {
+		return 0, 0, fmt.Errorf("graphrel: edge %q requires target type %q, attribute %q has %q",
+			edgeType, et.Target, rightAttr, r2.Attrs[ri].Type.Name)
+	}
+	return li, ri, nil
+}
+
+// joinOutput materializes a join result from matched row-index pairs.
+func joinOutput(r1, r2 *Relation, lrows, rrows []int32) *Relation {
+	attrs := make([]Attr, 0, len(r1.Attrs)+len(r2.Attrs))
+	attrs = append(append(attrs, r1.Attrs...), r2.Attrs...)
+	out := newRelation(r1.g, attrs, len(lrows))
+	for c, col := range r1.cols {
+		gatherInto(out.cols[c], col, lrows)
+	}
+	for c, col := range r2.cols {
+		gatherInto(out.cols[len(r1.cols)+c], col, rrows)
+	}
+	return out
 }
 
 // Join computes r1 ∗_ρ r2: the tuples (t1, t2) such that an edge of type
 // edgeType connects t1's node at leftAttr to t2's node at rightAttr. It
 // uses the instance graph's adjacency index on the left side and a hash
-// index over r2 on the right, so cost is O(|r1|·deg + |r2|).
+// index over r2 on the right, so cost is O(|r1|·deg + |r2|). The output
+// is materialized column-wise: matching first collects row-index pairs,
+// then each attribute column is gathered in one pass.
 func Join(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, error) {
-	if r1.g != r2.g {
-		return nil, fmt.Errorf("graphrel: joining relations from different graphs")
+	li, ri, err := checkJoin(r1, r2, edgeType, leftAttr, rightAttr, true)
+	if err != nil {
+		return nil, err
 	}
-	et := r1.g.Schema().EdgeType(edgeType)
-	if et == nil {
-		return nil, fmt.Errorf("graphrel: unknown edge type %q", edgeType)
+	// Index r2 rows by their node at rightAttr.
+	rcol := r2.cols[ri]
+	index := make(map[tgm.NodeID][]int32, r2.n)
+	for i, id := range rcol {
+		index[id] = append(index[id], int32(i))
 	}
-	li := r1.AttrIndex(leftAttr)
-	if li < 0 {
-		return nil, fmt.Errorf("graphrel: left relation has no attribute %q", leftAttr)
-	}
-	ri := r2.AttrIndex(rightAttr)
-	if ri < 0 {
-		return nil, fmt.Errorf("graphrel: right relation has no attribute %q", rightAttr)
-	}
-	if r1.Attrs[li].Type.Name != et.Source {
-		return nil, fmt.Errorf("graphrel: edge %q requires source type %q, attribute %q has %q",
-			edgeType, et.Source, leftAttr, r1.Attrs[li].Type.Name)
-	}
-	if r2.Attrs[ri].Type.Name != et.Target {
-		return nil, fmt.Errorf("graphrel: edge %q requires target type %q, attribute %q has %q",
-			edgeType, et.Target, rightAttr, r2.Attrs[ri].Type.Name)
-	}
-
-	out := &Relation{g: r1.g}
-	out.Attrs = append(append([]Attr{}, r1.Attrs...), r2.Attrs...)
-
-	// Index r2 tuples by their node at rightAttr.
-	index := make(map[tgm.NodeID][]int, len(r2.Tuples))
-	for ti, t := range r2.Tuples {
-		index[t[ri]] = append(index[t[ri]], ti)
-	}
-	for _, t1 := range r1.Tuples {
-		for _, nb := range r1.g.Neighbors(t1[li], edgeType) {
-			for _, ti := range index[nb] {
-				t2 := r2.Tuples[ti]
-				tuple := make([]tgm.NodeID, 0, len(t1)+len(t2))
-				tuple = append(tuple, t1...)
-				tuple = append(tuple, t2...)
-				out.Tuples = append(out.Tuples, tuple)
+	var lrows, rrows []int32
+	for i, id := range r1.cols[li] {
+		for _, nb := range r1.g.Neighbors(id, edgeType) {
+			for _, j := range index[nb] {
+				lrows = append(lrows, int32(i))
+				rrows = append(rrows, j)
 			}
 		}
 	}
-	return out, nil
+	return joinOutput(r1, r2, lrows, rrows), nil
 }
 
 // JoinScan is Join without the adjacency index: it nested-loops over
@@ -178,62 +317,67 @@ func Join(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, er
 // baseline for BenchmarkAblation_AdjacencyIndex and must return the same
 // tuples as Join (possibly in a different order).
 func JoinScan(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, error) {
-	if r1.g != r2.g {
-		return nil, fmt.Errorf("graphrel: joining relations from different graphs")
+	li, ri, err := checkJoin(r1, r2, edgeType, leftAttr, rightAttr, false)
+	if err != nil {
+		return nil, err
 	}
-	et := r1.g.Schema().EdgeType(edgeType)
-	if et == nil {
-		return nil, fmt.Errorf("graphrel: unknown edge type %q", edgeType)
-	}
-	li, ri := r1.AttrIndex(leftAttr), r2.AttrIndex(rightAttr)
-	if li < 0 || ri < 0 {
-		return nil, fmt.Errorf("graphrel: bad join attributes %q, %q", leftAttr, rightAttr)
-	}
-	out := &Relation{g: r1.g}
-	out.Attrs = append(append([]Attr{}, r1.Attrs...), r2.Attrs...)
-	for _, t1 := range r1.Tuples {
-		for _, t2 := range r2.Tuples {
-			if r1.g.HasEdge(edgeType, t1[li], t2[ri]) {
-				tuple := make([]tgm.NodeID, 0, len(t1)+len(t2))
-				tuple = append(tuple, t1...)
-				tuple = append(tuple, t2...)
-				out.Tuples = append(out.Tuples, tuple)
+	var lrows, rrows []int32
+	for i, lid := range r1.cols[li] {
+		for j, rid := range r2.cols[ri] {
+			if r1.g.HasEdge(edgeType, lid, rid) {
+				lrows = append(lrows, int32(i))
+				rrows = append(rrows, int32(j))
 			}
 		}
 	}
-	return out, nil
+	return joinOutput(r1, r2, lrows, rrows), nil
 }
 
 // Project returns r restricted to the named attributes, eliminating
 // duplicate tuples (Π; the paper's projection removes duplicates).
 func Project(r *Relation, attrNames ...string) (*Relation, error) {
-	idx := make([]int, len(attrNames))
-	out := &Relation{g: r.g, Attrs: make([]Attr, len(attrNames))}
-	for i, name := range attrNames {
-		ai := r.AttrIndex(name)
-		if ai < 0 {
-			return nil, fmt.Errorf("graphrel: no attribute %q", name)
-		}
-		idx[i] = ai
-		out.Attrs[i] = r.Attrs[ai]
+	narrowed, err := r.Retain(attrNames...)
+	if err != nil {
+		return nil, err
 	}
-	seen := make(map[string]bool, len(r.Tuples))
-	for _, t := range r.Tuples {
-		key := make([]byte, 0, 4*len(idx))
-		proj := make([]tgm.NodeID, len(idx))
-		for i, ai := range idx {
-			proj[i] = t[ai]
-			id := uint32(t[ai])
-			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	var keep []int32
+	switch len(narrowed.cols) {
+	case 1:
+		seen := make(map[tgm.NodeID]bool, narrowed.n)
+		for i, id := range narrowed.cols[0] {
+			if !seen[id] {
+				seen[id] = true
+				keep = append(keep, int32(i))
+			}
 		}
-		k := string(key)
-		if seen[k] {
-			continue
+	case 2:
+		seen := make(map[uint64]bool, narrowed.n)
+		c0, c1 := narrowed.cols[0], narrowed.cols[1]
+		for i := range c0 {
+			key := uint64(uint32(c0[i]))<<32 | uint64(uint32(c1[i]))
+			if !seen[key] {
+				seen[key] = true
+				keep = append(keep, int32(i))
+			}
 		}
-		seen[k] = true
-		out.Tuples = append(out.Tuples, proj)
+	default:
+		seen := make(map[string]bool, narrowed.n)
+		key := make([]byte, 4*len(narrowed.cols))
+		for i := 0; i < narrowed.n; i++ {
+			for c, col := range narrowed.cols {
+				id := uint32(col[i])
+				key[4*c] = byte(id)
+				key[4*c+1] = byte(id >> 8)
+				key[4*c+2] = byte(id >> 16)
+				key[4*c+3] = byte(id >> 24)
+			}
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				keep = append(keep, int32(i))
+			}
+		}
 	}
-	return out, nil
+	return narrowed.gather(keep), nil
 }
 
 // DistinctNodes returns the distinct nodes at the named attribute in
@@ -245,10 +389,9 @@ func DistinctNodes(r *Relation, attrName string) ([]tgm.NodeID, error) {
 	if ai < 0 {
 		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
 	}
-	seen := make(map[tgm.NodeID]bool, len(r.Tuples))
+	seen := make(map[tgm.NodeID]bool, r.n)
 	var out []tgm.NodeID
-	for _, t := range r.Tuples {
-		id := t[ai]
+	for _, id := range r.cols[ai] {
 		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
@@ -272,9 +415,10 @@ func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]
 		return nil, fmt.Errorf("graphrel: no attribute %q", valueAttr)
 	}
 	out := make(map[tgm.NodeID][]tgm.NodeID)
-	seen := make(map[uint64]bool, len(r.Tuples))
-	for _, t := range r.Tuples {
-		g, v := t[gi], t[vi]
+	seen := make(map[uint64]bool, r.n)
+	gcol, vcol := r.cols[gi], r.cols[vi]
+	for i := range gcol {
+		g, v := gcol[i], vcol[i]
 		key := uint64(uint32(g))<<32 | uint64(uint32(v))
 		if seen[key] {
 			continue

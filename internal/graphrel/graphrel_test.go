@@ -149,9 +149,9 @@ func TestJoin(t *testing.T) {
 	if len(j.Attrs) != 2 || j.Attrs[0].Name != "Conferences" || j.Attrs[1].Name != "Papers" {
 		t.Errorf("join attrs = %v", j.Attrs)
 	}
-	for _, tup := range j.Tuples {
-		if tup[0] != ids["sigmod"] {
-			t.Errorf("joined tuple with wrong conference: %v", tup)
+	for _, id := range j.Column(0) {
+		if id != ids["sigmod"] {
+			t.Errorf("joined tuple with wrong conference: %v", id)
 		}
 	}
 	// Chain: filter papers by year, join to authors (Figure 8).
@@ -203,19 +203,7 @@ func TestJoinScanEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	canon := func(r *Relation) []string {
-		var out []string
-		for _, tup := range r.Tuples {
-			key := ""
-			for _, id := range tup {
-				key += string(rune(id)) + ","
-			}
-			out = append(out, key)
-		}
-		sort.Strings(out)
-		return out
-	}
-	ca, cb := canon(a), canon(b)
+	ca, cb := canonTuples(a), canonTuples(b)
 	if len(ca) != len(cb) {
 		t.Fatalf("lengths differ: %d vs %d", len(ca), len(cb))
 	}
@@ -224,6 +212,20 @@ func TestJoinScanEquivalence(t *testing.T) {
 			t.Fatalf("tuple %d differs", i)
 		}
 	}
+}
+
+// canonTuples renders a relation's tuple set order-insensitively.
+func canonTuples(r *Relation) []string {
+	out := make([]string, r.Len())
+	for i := 0; i < r.Len(); i++ {
+		key := ""
+		for _, id := range r.Tuple(i) {
+			key += string(rune(id)) + ","
+		}
+		out[i] = key
+	}
+	sort.Strings(out)
+	return out
 }
 
 func TestProject(t *testing.T) {

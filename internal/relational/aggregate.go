@@ -84,8 +84,7 @@ func GroupBy(r *Rel, keys []expr.Expr, keyNames []string, aggs []Aggregate) (*Re
 				return nil, err
 			}
 			keyVals[i] = v
-			kb = append(kb, v.Key()...)
-			kb = append(kb, 0x1f)
+			kb = AppendKey(kb, v)
 		}
 		gk := string(kb)
 		g, ok := groups[gk]

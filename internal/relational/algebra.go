@@ -59,7 +59,7 @@ func Distinct(r *Rel) *Rel {
 	out := &Rel{Cols: r.Cols}
 	seen := make(map[string]bool, len(r.Rows))
 	for _, row := range r.Rows {
-		k := rowKey(row)
+		k := RowKey(row)
 		if !seen[k] {
 			seen[k] = true
 			out.Rows = append(out.Rows, row)
@@ -68,11 +68,25 @@ func Distinct(r *Rel) *Rel {
 	return out
 }
 
-func rowKey(row Row) string {
-	var b []byte
+// AppendKey appends v's canonical key to dst, length-prefixed. A plain
+// separator byte is not enough: value keys can contain any byte
+// (including a 0x1f inside a string value), which made distinct rows
+// collide under the old separator scheme. The 4-byte little-endian
+// length prefix makes component boundaries unambiguous.
+func AppendKey(dst []byte, v value.V) []byte {
+	k := v.Key()
+	n := len(k)
+	dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	return append(dst, k...)
+}
+
+// RowKey returns a collision-free identity key for a whole row, shared
+// by every dedup/grouping map over rows (Distinct, GROUP BY, DISTINCT
+// projection, primary-key indexes).
+func RowKey(row Row) string {
+	b := make([]byte, 0, 16*len(row))
 	for _, v := range row {
-		b = append(b, v.Key()...)
-		b = append(b, 0x1f)
+		b = AppendKey(b, v)
 	}
 	return string(b)
 }
@@ -89,21 +103,23 @@ func EquiJoin(l, r *Rel, leftCol, rightCol string) (*Rel, error) {
 		return nil, fmt.Errorf("relational: join: right has no column %q", rightCol)
 	}
 	out := &Rel{Cols: append(append([]ColRef{}, l.Cols...), r.Cols...)}
-	// Build on the smaller side.
+	// Build on the smaller side, keyed by the shared AppendKey encoding.
+	var kb []byte
 	if len(l.Rows) <= len(r.Rows) {
 		build := make(map[string][]Row, len(l.Rows))
 		for _, lr := range l.Rows {
 			if lr[li].IsNull() {
 				continue
 			}
-			k := lr[li].Key()
-			build[k] = append(build[k], lr)
+			kb = AppendKey(kb[:0], lr[li])
+			build[string(kb)] = append(build[string(kb)], lr)
 		}
 		for _, rr := range r.Rows {
 			if rr[ri].IsNull() {
 				continue
 			}
-			for _, lr := range build[rr[ri].Key()] {
+			kb = AppendKey(kb[:0], rr[ri])
+			for _, lr := range build[string(kb)] {
 				out.Rows = append(out.Rows, concatRows(lr, rr))
 			}
 		}
@@ -113,14 +129,15 @@ func EquiJoin(l, r *Rel, leftCol, rightCol string) (*Rel, error) {
 			if rr[ri].IsNull() {
 				continue
 			}
-			k := rr[ri].Key()
-			build[k] = append(build[k], rr)
+			kb = AppendKey(kb[:0], rr[ri])
+			build[string(kb)] = append(build[string(kb)], rr)
 		}
 		for _, lr := range l.Rows {
 			if lr[li].IsNull() {
 				continue
 			}
-			for _, rr := range build[lr[li].Key()] {
+			kb = AppendKey(kb[:0], lr[li])
+			for _, rr := range build[string(kb)] {
 				out.Rows = append(out.Rows, concatRows(lr, rr))
 			}
 		}
@@ -207,7 +224,10 @@ func Sort(r *Rel, keys ...SortKey) (*Rel, error) {
 	return out, nil
 }
 
-// Limit returns at most n rows starting at offset.
+// Limit returns at most n rows starting at offset. The row slice is
+// copied so that appending to or reordering the returned relation cannot
+// write through into the parent's Rows (the individual Row value slices
+// are still shared, as everywhere in the algebra).
 func Limit(r *Rel, offset, n int) *Rel {
 	if offset < 0 {
 		offset = 0
@@ -219,7 +239,9 @@ func Limit(r *Rel, offset, n int) *Rel {
 	if n >= 0 && offset+n < end {
 		end = offset + n
 	}
-	return &Rel{Cols: r.Cols, Rows: r.Rows[offset:end]}
+	rows := make([]Row, end-offset)
+	copy(rows, r.Rows[offset:end])
+	return &Rel{Cols: r.Cols, Rows: rows}
 }
 
 // Rename changes the table qualifier of every column (aliasing).

@@ -2,7 +2,6 @@ package relational
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/value"
 )
@@ -61,13 +60,12 @@ func (t *Table) pkKey(r Row) string {
 	if len(t.schema.PrimaryKey) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	var b []byte
 	for _, col := range t.schema.PrimaryKey {
 		i := t.schema.ColumnIndex(col)
-		b.WriteString(r[i].Key())
-		b.WriteByte(0x1f)
+		b = AppendKey(b, r[i])
 	}
-	return b.String()
+	return string(b)
 }
 
 // coerce converts v toward the declared column kind where lossless
@@ -126,12 +124,11 @@ func (t *Table) LookupPK(keyVals ...value.V) (Row, bool) {
 	if t.pkIndex == nil || len(keyVals) != len(t.schema.PrimaryKey) {
 		return nil, false
 	}
-	var b strings.Builder
+	var b []byte
 	for i, v := range keyVals {
-		b.WriteString(coerce(v, t.schema.Columns[t.schema.ColumnIndex(t.schema.PrimaryKey[i])].Type).Key())
-		b.WriteByte(0x1f)
+		b = AppendKey(b, coerce(v, t.schema.Columns[t.schema.ColumnIndex(t.schema.PrimaryKey[i])].Type))
 	}
-	ord, ok := t.pkIndex[b.String()]
+	ord, ok := t.pkIndex[string(b)]
 	if !ok {
 		return nil, false
 	}

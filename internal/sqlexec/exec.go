@@ -215,12 +215,7 @@ func distinctParallel(out *relational.Rel, srcRows []relational.Row) (*relationa
 	dd := &relational.Rel{Cols: out.Cols}
 	var ds []relational.Row
 	for i, row := range out.Rows {
-		var kb []byte
-		for _, v := range row {
-			kb = append(kb, v.Key()...)
-			kb = append(kb, 0x1f)
-		}
-		k := string(kb)
+		k := relational.RowKey(row)
 		if seen[k] {
 			continue
 		}

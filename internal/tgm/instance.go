@@ -45,15 +45,19 @@ type InstanceGraph struct {
 	// edgeSeen deduplicates edges per edge type: key = src<<32|dst.
 	edgeSeen  map[string]map[uint64]bool
 	edgeCount int
+	// edgeTotals counts edges per edge type, maintained incrementally so
+	// the query planner's degree statistic is O(1) per lookup.
+	edgeTotals map[string]int
 }
 
 // NewInstanceGraph returns an empty instance graph over schema.
 func NewInstanceGraph(schema *SchemaGraph) *InstanceGraph {
 	return &InstanceGraph{
-		schema:   schema,
-		byType:   make(map[string][]NodeID),
-		adj:      make(map[string]map[NodeID][]NodeID),
-		edgeSeen: make(map[string]map[uint64]bool),
+		schema:     schema,
+		byType:     make(map[string][]NodeID),
+		adj:        make(map[string]map[NodeID][]NodeID),
+		edgeSeen:   make(map[string]map[uint64]bool),
+		edgeTotals: make(map[string]int),
 	}
 }
 
@@ -141,7 +145,29 @@ func (g *InstanceGraph) insertEdge(edgeType string, src, dst NodeID) bool {
 	}
 	m[src] = append(m[src], dst)
 	g.edgeCount++
+	g.edgeTotals[edgeType]++
 	return true
+}
+
+// EdgeTypeCount returns the number of edges of the named type.
+func (g *InstanceGraph) EdgeTypeCount(edgeType string) int {
+	return g.edgeTotals[edgeType]
+}
+
+// AvgOutDegree returns the mean out-degree of the named edge type over
+// all nodes of its source type (0 for unknown types or empty sources).
+// It is the cheap cardinality statistic the join planner uses to order
+// pattern joins by estimated selectivity.
+func (g *InstanceGraph) AvgOutDegree(edgeType string) float64 {
+	et := g.schema.EdgeType(edgeType)
+	if et == nil {
+		return 0
+	}
+	n := len(g.byType[et.Source])
+	if n == 0 {
+		return 0
+	}
+	return float64(g.edgeTotals[edgeType]) / float64(n)
 }
 
 // Neighbors returns the targets of the given node's out-edges of the
@@ -211,11 +237,7 @@ func (g *InstanceGraph) ComputeStats() Stats {
 	for t, ids := range g.byType {
 		s.NodesByType[t] = len(ids)
 	}
-	for et, m := range g.adj {
-		n := 0
-		for _, dsts := range m {
-			n += len(dsts)
-		}
+	for et, n := range g.edgeTotals {
 		s.EdgesByType[et] = n
 	}
 	return s

@@ -281,3 +281,28 @@ func TestKindStrings(t *testing.T) {
 		t.Error("unknown NodeTypeKind")
 	}
 }
+
+func TestDegreeStatistics(t *testing.T) {
+	g, _ := buildInstance(t)
+	// 3 Papers→Authors edges over 3 Papers nodes.
+	if got := g.EdgeTypeCount("Papers→Authors"); got != 3 {
+		t.Errorf("EdgeTypeCount = %d, want 3", got)
+	}
+	if got := g.AvgOutDegree("Papers→Authors"); got != 1.0 {
+		t.Errorf("AvgOutDegree(Papers→Authors) = %v, want 1", got)
+	}
+	// Reverse direction: 3 edges over 2 Authors nodes.
+	if got := g.AvgOutDegree("Papers→Authors_rev"); got != 1.5 {
+		t.Errorf("AvgOutDegree(Papers→Authors_rev) = %v, want 1.5", got)
+	}
+	if got := g.AvgOutDegree("nope"); got != 0 {
+		t.Errorf("AvgOutDegree(unknown) = %v, want 0", got)
+	}
+	// Statistics agree with the full recount in ComputeStats.
+	s := g.ComputeStats()
+	for et, n := range s.EdgesByType {
+		if g.EdgeTypeCount(et) != n {
+			t.Errorf("EdgeTypeCount(%s) = %d, stats say %d", et, g.EdgeTypeCount(et), n)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and record the results, so the
+# repo's performance trajectory is tracked PR over PR.
+#
+# Usage: scripts/bench.sh [go-test-bench-regexp]
+#
+# Writes BENCH_<date>.json (the `go test -json` event stream, which
+# includes every benchmark result line with -benchmem statistics) and
+# prints the human-readable results to stdout.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+stamp="$(date +%Y-%m-%d)"
+out="BENCH_${stamp}.json"
+
+status=0
+go test -run '^$' -bench "$pattern" -benchmem -json . >"$out" || status=$?
+
+grep -o '"Output":"[^"]*"' "$out" |
+	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' |
+	grep -E '^Benchmark|ns/op|^(goos|goarch|pkg|cpu):|^(PASS|FAIL|ok)' |
+	uniq
+
+if [ "$status" -ne 0 ]; then
+	echo "go test failed (exit $status); $out holds a partial event stream" >&2
+	exit "$status"
+fi
+echo "wrote $out" >&2
