@@ -6,6 +6,12 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -14,6 +20,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/graphrel"
 	"repro/internal/relational"
+	"repro/internal/server"
 	"repro/internal/sqlexec"
 	"repro/internal/storage"
 	"repro/internal/study"
@@ -405,4 +412,119 @@ func BenchmarkRankColumns(b *testing.B) {
 			b.Fatal("bad ranking")
 		}
 	}
+}
+
+// serverBenchClient drives the HTTP application server in-process
+// (handler invocation, no sockets), so the benchmark measures the
+// serving core, not the TCP stack.
+type serverBenchClient struct {
+	h http.Handler
+}
+
+func (c serverBenchClient) do(b *testing.B, method, target string, body any) serverState {
+	b.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf := new(bytes.Buffer)
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
+			b.Fatal(err)
+		}
+		rd = buf
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	c.h.ServeHTTP(rec, req)
+	if rec.Code >= 400 {
+		b.Fatalf("%s %s = %d: %s", method, target, rec.Code, rec.Body.String())
+	}
+	var st serverState
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		b.Fatalf("%s %s: %v", method, target, err)
+	}
+	return st
+}
+
+type serverState struct {
+	ID        int64 `json:"id"`
+	TotalRows int   `json:"totalRows"`
+	Rows      []struct {
+		Node int64 `json:"node"`
+	} `json:"rows"`
+}
+
+// BenchmarkServerConcurrentSessions is the concurrent serving-core load
+// benchmark: every parallel worker owns one session and replays a mixed
+// Open → Filter → Pivot → paged-Revert workload with overlapping
+// pattern signatures across sessions. Arms ablate the serving core:
+//
+//   - baseline_globalmutex: one mutex serializes every request, each
+//     session has a private execution cache, responses encode the full
+//     table — the pre-refactor serving core.
+//   - shared_cache: per-session locking plus the shared cross-session
+//     cache, still full-table responses.
+//   - shared_cache_paged: the full new serving path — shared cache and
+//     a 50-row response window.
+//
+// Run with -cpu 1,2,4,8 to see throughput scale with GOMAXPROCS (the
+// baseline cannot scale: its lock admits one request at a time).
+func BenchmarkServerConcurrentSessions(b *testing.B) {
+	_, tr, _ := fixtures(b)
+	conds := []string{"year > 2004", "year > 2008", "year > 2011"}
+
+	workload := func(b *testing.B, h http.Handler, paged bool) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			c := serverBenchClient{h: h}
+			id := c.do(b, "POST", "/api/session", nil).ID
+			actURL := fmt.Sprintf("/api/session/%d/action", id)
+			var limit *int
+			if paged {
+				n := 50
+				limit = &n
+			}
+			i := 0
+			for pb.Next() {
+				cond := conds[i%len(conds)]
+				if st := c.do(b, "POST", actURL, map[string]any{"action": "open", "table": "Papers", "limit": limit}); st.TotalRows == 0 {
+					b.Fatal("open returned no rows")
+				}
+				if st := c.do(b, "POST", actURL, map[string]any{"action": "filter", "condition": cond, "limit": limit}); st.TotalRows == 0 {
+					b.Fatalf("filter %q returned no rows", cond)
+				}
+				if st := c.do(b, "POST", actURL, map[string]any{"action": "pivot", "column": "Authors", "limit": limit}); st.TotalRows == 0 {
+					b.Fatal("pivot returned no rows")
+				}
+				if st := c.do(b, "POST", actURL, map[string]any{"action": "revert", "index": 0, "offset": 5, "limit": limit}); st.TotalRows == 0 {
+					b.Fatal("revert returned no rows")
+				}
+				i++
+			}
+		})
+	}
+
+	b.Run("baseline_globalmutex", func(b *testing.B) {
+		srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{PrivateCaches: true})
+		workload(b, &globalMutexHandler{h: srv}, false)
+	})
+	b.Run("shared_cache", func(b *testing.B) {
+		srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{})
+		workload(b, srv, false)
+	})
+	b.Run("shared_cache_paged", func(b *testing.B) {
+		srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{})
+		workload(b, srv, true)
+	})
+}
+
+// globalMutexHandler serializes every request behind one lock — the
+// serving discipline this PR removed, kept as the benchmark baseline.
+type globalMutexHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (g *globalMutexHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.h.ServeHTTP(w, r)
 }

@@ -1,6 +1,7 @@
 // Command etable-server boots the three-tier ETable system (§6.2): it
 // generates the academic corpus, translates it to a TGDB, and serves the
-// interactive web interface of Figure 9 plus the JSON API.
+// interactive web interface of Figure 9 plus the JSON API to any number
+// of concurrent sessions over one shared execution cache.
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/server"
@@ -19,6 +21,10 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	papers := flag.Int("papers", 5000, "papers in the generated corpus")
 	seed := flag.Int64("seed", 1, "generator seed")
+	cacheEntries := flag.Int("cache", 1024, "shared execution cache capacity (relations)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (negative disables)")
+	maxSessions := flag.Int("max-sessions", 1024, "maximum live sessions (LRU-evicted beyond)")
+	pageSize := flag.Int("page-size", 0, "default result rows per response (0 = all; clients may page with offset/limit)")
 	flag.Parse()
 
 	log.Printf("generating %d-paper corpus…", *papers)
@@ -34,9 +40,15 @@ func main() {
 		log.Fatal(err)
 	}
 	stats := tr.Instance.ComputeStats()
-	log.Printf("TGDB ready: %d nodes, %d edges", stats.Nodes, stats.Edges)
+	log.Printf("TGDB ready: %d nodes, %d edges (frozen: %v)", stats.Nodes, stats.Edges, tr.Instance.Frozen())
 
-	srv := server.New(tr.Schema, tr.Instance)
-	fmt.Printf("ETable serving on http://%s/\n", *addr)
+	srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{
+		CacheEntries: *cacheEntries,
+		SessionTTL:   *sessionTTL,
+		MaxSessions:  *maxSessions,
+		PageSize:     *pageSize,
+	})
+	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d)\n",
+		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

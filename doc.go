@@ -6,4 +6,33 @@
 // and the full evaluation harness that regenerates every table and
 // figure of the paper. See README.md for a tour and DESIGN.md for the
 // system inventory and experiment index.
+//
+// # Concurrent serving core
+//
+// The paper's §6.2 application server hosts many interactive users over
+// one immutable TGDB. The serving stack is concurrent end to end:
+//
+//   - internal/tgm: the instance graph is frozen after translation
+//     (InstanceGraph.Freeze); every read accessor is lock-free and safe
+//     for unsynchronized concurrent use because nothing mutates.
+//   - internal/graphrel: relations are immutable once built and shared
+//     without copying (the package documents the sharing contract).
+//   - internal/etable: one etable.Cache — sharded, mutex-per-shard,
+//     true LRU, with singleflight deduplication — is shared by every
+//     session, so N users executing the same pattern signature compute
+//     it once. Executor is a thin per-session view over the cache.
+//   - internal/session: each Session has its own mutex and a small
+//     presentation memo (sorted/hidden results), so concurrent requests
+//     on one session serialize per session, not per server.
+//   - internal/server: an RWMutex guards only the session map; sessions
+//     are bounded by TTL and max-session LRU eviction; responses are
+//     paginated (offset/limit) so a request encodes a row window, not
+//     the whole table.
+//
+// Lock ordering is strictly server.mu → server entry.mu (per-session
+// request serialization) → session.mu → cache shard mu
+// (each released before the next is taken where possible, and never
+// acquired in reverse), which makes deadlock impossible by
+// construction. PERFORMANCE.md records the measured effect versus the
+// previous global-mutex serving core.
 package repro

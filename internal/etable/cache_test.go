@@ -1,0 +1,257 @@
+package etable
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graphrel"
+)
+
+// dummyRel returns a distinct non-nil relation pointer for cache tests;
+// the cache never inspects the relation.
+func dummyRel() *graphrel.Relation { return &graphrel.Relation{} }
+
+// TestCacheLRUOrder drives one shard directly: eviction must drop the
+// least recently *used* entry, not the least recently inserted.
+func TestCacheLRUOrder(t *testing.T) {
+	s := &cacheShard{max: 3, items: make(map[string]*cacheItem), flight: make(map[string]*flightCall)}
+	ra, rb, rc, rd := dummyRel(), dummyRel(), dummyRel(), dummyRel()
+	s.mu.Lock()
+	s.insert("a", ra)
+	s.insert("b", rb)
+	s.insert("c", rc)
+	// Touch "a": it becomes most recent, so "b" is now LRU.
+	s.moveToFront(s.items["a"])
+	s.insert("d", rd)
+	s.mu.Unlock()
+
+	if _, ok := s.items["b"]; ok {
+		t.Error(`FIFO eviction: "b" should have been evicted (LRU), not kept`)
+	}
+	if _, ok := s.items["a"]; !ok {
+		t.Error(`"a" was touched and must survive eviction`)
+	}
+	want := []string{"d", "a", "c"}
+	got := s.keys()
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recency order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCacheGetOrComputeHitMiss(t *testing.T) {
+	c := NewCache(64)
+	r := dummyRel()
+	calls := 0
+	compute := func() (*graphrel.Relation, error) { calls++; return r, nil }
+
+	got, err := c.GetOrCompute("k", compute)
+	if err != nil || got != r {
+		t.Fatalf("first get = %v, %v", got, err)
+	}
+	got, err = c.GetOrCompute("k", compute)
+	if err != nil || got != r {
+		t.Fatalf("second get = %v, %v", got, err)
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times", calls)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache(64)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.GetOrCompute("k", func() (*graphrel.Relation, error) {
+		calls++
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	r := dummyRel()
+	got, err := c.GetOrCompute("k", func() (*graphrel.Relation, error) { calls++; return r, nil })
+	if err != nil || got != r {
+		t.Fatalf("retry = %v, %v", got, err)
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (error must not be cached)", calls)
+	}
+}
+
+// TestCacheSingleflight proves that N concurrent requests for one key
+// run the compute function exactly once and all receive its result.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(64)
+	r := dummyRel()
+	var computes atomic.Int64
+	const workers = 16
+
+	var start, done sync.WaitGroup
+	start.Add(workers)
+	done.Add(workers)
+	results := make([]*graphrel.Relation, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Done()
+			start.Wait() // all workers release together
+			rel, err := c.GetOrCompute("shared", func() (*graphrel.Relation, error) {
+				computes.Add(1)
+				time.Sleep(50 * time.Millisecond) // hold the flight open
+				return r, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = rel
+		}(i)
+	}
+	done.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times under concurrency, want 1", n)
+	}
+	for i, rel := range results {
+		if rel != r {
+			t.Errorf("worker %d got a different relation", i)
+		}
+	}
+	if c.Hits()+c.Misses() != workers {
+		t.Errorf("hits+misses = %d, want %d", c.Hits()+c.Misses(), workers)
+	}
+	if c.Misses() != 1 {
+		t.Errorf("misses = %d, want 1 (waiters count as hits)", c.Misses())
+	}
+}
+
+// TestCacheConcurrentHammer exercises mixed keys, eviction, and
+// singleflight together; run with -race.
+func TestCacheConcurrentHammer(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%48)
+				rel, err := c.GetOrCompute(key, func() (*graphrel.Relation, error) {
+					return dummyRel(), nil
+				})
+				if err != nil || rel == nil {
+					t.Errorf("get %q: %v, %v", key, rel, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Errorf("cache over capacity: %d", c.Len())
+	}
+	if c.Hits()+c.Misses() != 8*200 {
+		t.Errorf("counter drift: hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+// TestCacheConcurrentExecutors runs real pattern executions from many
+// goroutines over one shared cache; with -race this also verifies the
+// immutability contract of shared relations end to end.
+func TestCacheConcurrentExecutors(t *testing.T) {
+	res := fixture(t)
+	shared := NewCache(128)
+	var wg sync.WaitGroup
+	rows := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ex := NewSharedExecutor(res.Instance, shared)
+			for i := 0; i < 20; i++ {
+				p, err := Initiate(res.Schema, "Papers")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p, err = Select(p, "year > 2005"); err != nil {
+					t.Error(err)
+					return
+				}
+				r, err := ex.Execute(p)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rows[w] = r.NumRows()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		if rows[w] != rows[0] {
+			t.Errorf("session %d saw %d rows, session 0 saw %d", w, rows[w], rows[0])
+		}
+	}
+	if shared.Hits() == 0 {
+		t.Error("no shared-cache hits under concurrent identical load")
+	}
+}
+
+// TestCacheComputePanic: a panicking compute must propagate to its
+// caller, hand waiters an error instead of hanging them, and leave the
+// key computable afterwards.
+func TestCacheComputePanic(t *testing.T) {
+	c := NewCache(64)
+
+	waiterErr := make(chan error, 1)
+	leaderIn := make(chan struct{})
+	go func() {
+		// Waiter: joins the flight while the leader is computing.
+		<-leaderIn
+		_, err := c.GetOrCompute("k", func() (*graphrel.Relation, error) {
+			t.Error("waiter should not compute while the flight is open")
+			return dummyRel(), nil
+		})
+		waiterErr <- err
+	}()
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		c.GetOrCompute("k", func() (*graphrel.Relation, error) {
+			close(leaderIn)
+			time.Sleep(50 * time.Millisecond) // let the waiter join
+			panic("boom")
+		})
+	}()
+
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Error("waiter got nil error from a panicked flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on a panicked flight")
+	}
+
+	// The key must be computable again (no stale flight, nothing cached).
+	r := dummyRel()
+	got, err := c.GetOrCompute("k", func() (*graphrel.Relation, error) { return r, nil })
+	if err != nil || got != r {
+		t.Errorf("retry after panic = %v, %v", got, err)
+	}
+}

@@ -263,9 +263,10 @@ type SortSpec struct {
 	Desc   bool
 }
 
-// Sort reorders the result's rows in place per spec. The sort is stable.
-func (r *Result) Sort(spec SortSpec) error {
-	var key func(row *Row) value.V
+// sortKey resolves spec against the result's columns and returns the
+// per-row sort key extractor. It touches only column metadata, never
+// rows, so ValidateSort can share it without materializing anything.
+func (r *Result) sortKey(spec SortSpec) (func(row *Row) value.V, error) {
 	switch {
 	case spec.Attr != "":
 		ci := -1
@@ -276,17 +277,33 @@ func (r *Result) Sort(spec SortSpec) error {
 			}
 		}
 		if ci < 0 {
-			return fmt.Errorf("etable: no base attribute %q to sort by", spec.Attr)
+			return nil, fmt.Errorf("etable: no base attribute %q to sort by", spec.Attr)
 		}
-		key = func(row *Row) value.V { return row.Cells[ci].Value }
+		return func(row *Row) value.V { return row.Cells[ci].Value }, nil
 	case spec.Column != "":
 		ci := r.ColumnIndex(spec.Column)
 		if ci < 0 || !r.Columns[ci].IsEntityRef() {
-			return fmt.Errorf("etable: no entity-reference column %q to sort by", spec.Column)
+			return nil, fmt.Errorf("etable: no entity-reference column %q to sort by", spec.Column)
 		}
-		key = func(row *Row) value.V { return value.Int(int64(len(row.Cells[ci].Refs))) }
+		return func(row *Row) value.V { return value.Int(int64(len(row.Cells[ci].Refs))) }, nil
 	default:
-		return fmt.Errorf("etable: empty sort specification")
+		return nil, fmt.Errorf("etable: empty sort specification")
+	}
+}
+
+// ValidateSort reports whether spec can sort this result. It resolves
+// the spec against the columns only — no rows are copied or reordered —
+// which is what session.SortBy uses to vet a spec before recording it.
+func (r *Result) ValidateSort(spec SortSpec) error {
+	_, err := r.sortKey(spec)
+	return err
+}
+
+// Sort reorders the result's rows in place per spec. The sort is stable.
+func (r *Result) Sort(spec SortSpec) error {
+	key, err := r.sortKey(spec)
+	if err != nil {
+		return err
 	}
 	sort.SliceStable(r.Rows, func(i, j int) bool {
 		d := value.Compare(key(&r.Rows[i]), key(&r.Rows[j]))

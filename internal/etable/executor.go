@@ -21,31 +21,48 @@ import (
 //     primary type but not the match.
 //
 // The instance graph is immutable after translation, so cached relations
-// never go stale. The caches are bounded FIFO to keep memory flat during
-// long sessions. Executor is not safe for concurrent use; sessions are
-// single-user, as in the paper's system.
+// never go stale. Executor itself is a stateless per-session view: all
+// cached state lives in a Cache, which may be private to this executor
+// (NewExecutor) or shared across every session of a server
+// (NewSharedExecutor). Either way the executor is safe for concurrent
+// use — the cache carries its own sharded locking and singleflight
+// deduplication, so N sessions executing the same pattern signature
+// compute it once and share the resulting relation.
 type Executor struct {
-	g *tgm.InstanceGraph
-
-	baseCache  map[string]*graphrel.Relation
-	baseOrder  []string
-	matchCache map[string]*graphrel.Relation
-	matchOrder []string
-	maxEntries int
-
-	// Hits and Misses count cache effectiveness for the ablation bench.
-	Hits, Misses int
+	g     *tgm.InstanceGraph
+	cache *Cache
 }
 
-// NewExecutor returns an executor over an instance graph.
+// NewExecutor returns an executor over an instance graph with a private
+// cache, sized DefaultCacheEntries.
 func NewExecutor(g *tgm.InstanceGraph) *Executor {
-	return &Executor{
-		g:          g,
-		baseCache:  make(map[string]*graphrel.Relation),
-		matchCache: make(map[string]*graphrel.Relation),
-		maxEntries: 64,
-	}
+	return NewSharedExecutor(g, NewCache(DefaultCacheEntries))
 }
+
+// NewSharedExecutor returns an executor backed by an existing cache.
+// The cache may be shared by any number of executors, provided they all
+// execute over the same instance graph (cache keys do not encode graph
+// identity).
+func NewSharedExecutor(g *tgm.InstanceGraph, c *Cache) *Executor {
+	return &Executor{g: g, cache: c}
+}
+
+// Cache returns the executor's backing cache.
+func (e *Executor) Cache() *Cache { return e.cache }
+
+// Hits returns the backing cache's hit count. When the cache is shared,
+// this counts hits from every session using it.
+func (e *Executor) Hits() int64 { return e.cache.Hits() }
+
+// Misses returns the backing cache's miss count.
+func (e *Executor) Misses() int64 { return e.cache.Misses() }
+
+// Cache key namespaces: base relations and matched relations share one
+// cache but never collide.
+const (
+	basePrefix  = "b\x00"
+	matchPrefix = "m\x00"
+)
 
 // nodeSignature canonicalizes one pattern node's match-relevant state.
 func nodeSignature(n *PatternNode) string {
@@ -75,70 +92,38 @@ func Signature(p *Pattern) string {
 	return strings.Join(nodes, "\x1e") + "\x1f" + strings.Join(edges, "\x1e")
 }
 
-func (e *Executor) putBase(key string, r *graphrel.Relation) {
-	if len(e.baseOrder) >= e.maxEntries {
-		delete(e.baseCache, e.baseOrder[0])
-		e.baseOrder = e.baseOrder[1:]
-	}
-	e.baseCache[key] = r
-	e.baseOrder = append(e.baseOrder, key)
-}
-
-func (e *Executor) putMatch(key string, r *graphrel.Relation) {
-	if len(e.matchOrder) >= e.maxEntries {
-		delete(e.matchCache, e.matchOrder[0])
-		e.matchOrder = e.matchOrder[1:]
-	}
-	e.matchCache[key] = r
-	e.matchOrder = append(e.matchOrder, key)
-}
-
 // base returns σ_C(R^G) for one pattern node, cached.
 func (e *Executor) base(n *PatternNode) (*graphrel.Relation, error) {
-	key := nodeSignature(n)
-	if r, ok := e.baseCache[key]; ok {
-		e.Hits++
-		return r, nil
-	}
-	e.Misses++
-	r, err := graphrel.BaseNamed(e.g, n.Type, n.Key)
-	if err != nil {
-		return nil, err
-	}
-	if r, err = graphrel.Select(r, n.Key, n.Cond); err != nil {
-		return nil, err
-	}
-	e.putBase(key, r)
-	return r, nil
+	return e.cache.GetOrCompute(basePrefix+nodeSignature(n), func() (*graphrel.Relation, error) {
+		r, err := graphrel.BaseNamed(e.g, n.Type, n.Key)
+		if err != nil {
+			return nil, err
+		}
+		return graphrel.Select(r, n.Key, n.Cond)
+	})
 }
 
 // Match is the caching counterpart of the package-level Match: it uses
-// the same selectivity-ordered join plan, with base relations additionally
-// served from the per-(type, condition) cache.
+// the same selectivity-ordered join plan, with base relations
+// additionally served from the per-(type, condition) cache. Nested
+// GetOrCompute calls are safe: the cache holds no locks while computing.
 func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
-	sig := Signature(p)
-	if r, ok := e.matchCache[sig]; ok {
-		e.Hits++
-		return r, nil
-	}
-	e.Misses++
-	bases, sizes, err := selectedBases(p, e.base)
-	if err != nil {
-		return nil, err
-	}
-	start, steps, err := planJoins(e.g, p, sizes)
-	if err != nil {
-		return nil, err
-	}
-	cur, err := matchSteps(bases, start, steps, nil)
-	if err != nil {
-		return nil, err
-	}
-	e.putMatch(sig, cur)
-	return cur, nil
+	return e.cache.GetOrCompute(matchPrefix+Signature(p), func() (*graphrel.Relation, error) {
+		bases, sizes, err := selectedBases(p, e.base)
+		if err != nil {
+			return nil, err
+		}
+		start, steps, err := planJoins(e.g, p, sizes)
+		if err != nil {
+			return nil, err
+		}
+		return matchSteps(bases, start, steps, nil)
+	})
 }
 
-// Execute runs the pattern with intermediate-result reuse.
+// Execute runs the pattern with intermediate-result reuse. The returned
+// Result is freshly transformed and owned by the caller; only the
+// matched relation behind it is shared.
 func (e *Executor) Execute(p *Pattern) (*Result, error) {
 	if err := p.Validate(e.g.Schema()); err != nil {
 		return nil, err

@@ -40,16 +40,16 @@ func TestExecutorCacheHits(t *testing.T) {
 	if _, err := ex.Execute(p); err != nil {
 		t.Fatal(err)
 	}
-	missesAfterFirst := ex.Misses
-	if ex.Hits != 0 {
-		t.Errorf("hits on cold cache = %d", ex.Hits)
+	missesAfterFirst := ex.Misses()
+	if ex.Hits() != 0 {
+		t.Errorf("hits on cold cache = %d", ex.Hits())
 	}
 	// Same pattern again: full match cache hit.
 	if _, err := ex.Execute(p); err != nil {
 		t.Fatal(err)
 	}
-	if ex.Hits == 0 || ex.Misses != missesAfterFirst {
-		t.Errorf("re-execution should hit: hits=%d misses=%d", ex.Hits, ex.Misses)
+	if ex.Hits() == 0 || ex.Misses() != missesAfterFirst {
+		t.Errorf("re-execution should hit: hits=%d misses=%d", ex.Hits(), ex.Misses())
 	}
 
 	// Shift changes the primary but not the match: signature unchanged.
@@ -64,11 +64,11 @@ func TestExecutorCacheHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hitsBefore := ex.Hits
+	hitsBefore := ex.Hits()
 	if _, err := ex.Execute(shifted); err != nil {
 		t.Fatal(err)
 	}
-	if ex.Hits <= hitsBefore {
+	if ex.Hits() <= hitsBefore {
 		t.Error("Shift re-execution should hit the match cache")
 	}
 }
@@ -105,14 +105,51 @@ func TestExecutorBaseReuseAcrossPatterns(t *testing.T) {
 	b, _ = Select(b, "acronym = 'SIGMOD'")
 	b, _ = Add(res.Schema, b, "Papers→Conferences_rev")
 	bb, _ := Select(b, "year > 2005")
-	hitsBefore := ex.Hits
+	hitsBefore := ex.Hits()
 	if _, err := ex.Execute(bb); err != nil {
 		t.Fatal(err)
 	}
 	// The σ(Conferences) base relation is shared even though the full
 	// pattern differs.
-	if ex.Hits <= hitsBefore {
+	if ex.Hits() <= hitsBefore {
 		t.Error("shared filtered base relation not reused")
+	}
+}
+
+// TestExecutorsShareCache is the cross-session reuse the server relies
+// on: two executors over one Cache, the second execution of the same
+// pattern hits even though it runs in a different "session".
+func TestExecutorsShareCache(t *testing.T) {
+	res := fixture(t)
+	shared := NewCache(128)
+	ex1 := NewSharedExecutor(res.Instance, shared)
+	ex2 := NewSharedExecutor(res.Instance, shared)
+
+	p, _ := Initiate(res.Schema, "Papers")
+	p, _ = Select(p, "year > 2005")
+	r1, err := ex1.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := shared.Misses()
+	r2, err := ex2.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Misses() != missesAfterFirst {
+		t.Errorf("second session recomputed: misses %d → %d", missesAfterFirst, shared.Misses())
+	}
+	if shared.Hits() == 0 {
+		t.Error("second session did not hit the shared cache")
+	}
+	if r1.NumRows() != r2.NumRows() {
+		t.Errorf("rows differ across sessions: %d vs %d", r1.NumRows(), r2.NumRows())
+	}
+	// The matched relation behind both results is the same object.
+	m1, _ := ex1.Match(p)
+	m2, _ := ex2.Match(p)
+	if m1 != m2 {
+		t.Error("matched relation not shared between executors")
 	}
 }
 
@@ -126,8 +163,8 @@ func TestExecutorValidation(t *testing.T) {
 
 func TestExecutorCacheBounded(t *testing.T) {
 	res := fixture(t)
-	ex := NewExecutor(res.Instance)
-	ex.maxEntries = 4
+	cache := NewCache(16) // one entry per shard
+	ex := NewSharedExecutor(res.Instance, cache)
 	for year := 2000; year < 2020; year++ {
 		p, _ := Initiate(res.Schema, "Papers")
 		p, _ = Select(p, "year > "+itoa(year))
@@ -135,8 +172,10 @@ func TestExecutorCacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(ex.baseCache) > 4 || len(ex.matchCache) > 4 {
-		t.Errorf("caches unbounded: base=%d match=%d", len(ex.baseCache), len(ex.matchCache))
+	// 20 base + 20 match signatures went in; at most one entry survives
+	// per shard.
+	if got := cache.Len(); got > 16 {
+		t.Errorf("cache unbounded: %d entries", got)
 	}
 }
 

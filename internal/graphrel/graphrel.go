@@ -15,6 +15,28 @@
 // build row-index lists and gather whole columns at once, so the cost of
 // a join is two index slices plus one arena allocation instead of one
 // tuple slice per output row.
+//
+// # Immutability and sharing contract
+//
+// A Relation is immutable once an operator returns it, and every
+// operator treats its inputs as read-only. This is what makes cached
+// relations shareable across concurrent sessions (etable.Cache):
+//
+//   - Base/BaseNamed alias the instance graph's per-type node list;
+//     safe because the graph is frozen after translation
+//     (tgm.InstanceGraph.Freeze).
+//   - Retain re-slices its input's columns (zero copy) into a fresh
+//     header; neither the new nor the old relation can observe a write
+//     through the other, because no code path writes a column after
+//     newRelation's gather pass completes.
+//   - gather/joinOutput write only into freshly allocated arenas before
+//     the result escapes, so a relation's arena is never shared until
+//     it is complete.
+//
+// Consequently all read accessors (Len, At, Column, ColumnNamed, Tuple)
+// and all operators are safe to call concurrently on shared relations
+// with no synchronization. Callers must uphold the documented "must not
+// be modified" rule on slices returned by Column/ColumnNamed.
 package graphrel
 
 import (

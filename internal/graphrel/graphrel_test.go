@@ -2,6 +2,7 @@ package graphrel
 
 import (
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/expr"
@@ -330,4 +331,59 @@ func TestFigure8Pipeline(t *testing.T) {
 		t.Errorf("Korea authors = %v", names)
 	}
 	_ = ids
+}
+
+// TestConcurrentOperatorsOnSharedRelation runs Select/Join/Project/
+// Retain from many goroutines over the same shared relations; with
+// -race this verifies the package's immutability and sharing contract
+// (cached relations are handed to every session without copying).
+func TestConcurrentOperatorsOnSharedRelation(t *testing.T) {
+	g, _ := figure8Graph(t)
+	g.Freeze()
+	papers, err := Base(g, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	authors, err := Base(g, "Authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := expr.MustParse("year > 2005")
+	var wg sync.WaitGroup
+	lens := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				recent, err := Select(papers, "Papers", cond)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				joined, err := Join(recent, authors, "Papers-Authors", "Papers", "Authors")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				narrowed, err := joined.Retain("Authors")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				distinct, err := Project(narrowed, "Authors")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lens[w] = distinct.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < 8; w++ {
+		if lens[w] != lens[0] {
+			t.Errorf("goroutine %d saw %d distinct authors, goroutine 0 saw %d", w, lens[w], lens[0])
+		}
+	}
 }

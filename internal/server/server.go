@@ -5,61 +5,175 @@
 // whose four Figure 9 components the API exposes: the default table
 // list, the main view (the enriched table), the schema view (the query
 // pattern), and the history view.
+//
+// # Concurrency architecture
+//
+// The server is built for many simultaneous users over one immutable
+// TGDB (the ROADMAP's "heavy traffic" target):
+//
+//   - One etable.Cache is shared by every session, so N users executing
+//     the same pattern signature compute it once (sharded LRU +
+//     singleflight; see internal/etable).
+//   - The session map is guarded by an RWMutex taken only to look up or
+//     create entries; request work runs under a per-session entry lock
+//     (which also makes an action and its response snapshot atomic), so
+//     requests on different sessions never serialize.
+//   - Lock ordering: server.mu → (released) → entry.mu → session.mu →
+//     cache shard mu. No lock is ever taken in the opposite direction,
+//     and server.mu is never held across query execution.
+//   - Sessions are bounded: idle sessions past Options.SessionTTL are
+//     evicted, and when MaxSessions is reached the least recently used
+//     session is dropped, so the map cannot grow without bound.
+//   - Results are paginated: offset/limit (query parameters on GET,
+//     body fields on POST) select the row window that is encoded, so a
+//     request on a huge table pays for the window, not the table.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/etable"
 	"repro/internal/session"
 	"repro/internal/tgm"
 )
 
+// Options tunes the serving core. The zero value picks the defaults.
+type Options struct {
+	// CacheEntries is the shared execution cache capacity (default 1024).
+	CacheEntries int
+	// SessionTTL evicts sessions idle longer than this (default 30m;
+	// negative disables TTL eviction).
+	SessionTTL time.Duration
+	// MaxSessions bounds the session map; creating a session beyond it
+	// evicts the least recently used one (default 1024).
+	MaxSessions int
+	// PageSize is the default result-row window when a request names no
+	// limit (0 = return all rows unless the request pages explicitly).
+	PageSize int
+	// PrivateCaches gives each session its own execution cache instead
+	// of the shared one. It exists as the ablation baseline for
+	// BenchmarkServerConcurrentSessions (the pre-refactor serving core
+	// cached per session); it is not a production mode.
+	PrivateCaches bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 1024
+	}
+	if o.SessionTTL == 0 {
+		o.SessionTTL = 30 * time.Minute
+	}
+	if o.MaxSessions <= 0 {
+		// A non-positive cap would make the eviction loop spin on an
+		// empty map; there is no "unbounded" mode.
+		o.MaxSessions = 1024
+	}
+	return o
+}
+
+// sessionEntry pairs a session with its last-use time (unix nanos,
+// atomic so touches need no lock).
+type sessionEntry struct {
+	// mu serializes request handling on this session, making each
+	// action and its rendered response snapshot atomic — two tabs on
+	// one session cannot interleave between an action and the state it
+	// returns. Requests on different sessions run in parallel.
+	mu       sync.Mutex
+	sess     *session.Session
+	lastUsed atomic.Int64
+}
+
 // Server is the HTTP application server.
 type Server struct {
 	schema *tgm.SchemaGraph
 	graph  *tgm.InstanceGraph
+	opts   Options
+	cache  *etable.Cache
 
-	mu       sync.Mutex
-	sessions map[int64]*session.Session
+	// logf and now are injection points for tests.
+	logf func(format string, args ...any)
+	now  func() time.Time
+
+	// mu guards sessions and nextID only; it is never held while a
+	// session executes a query.
+	mu       sync.RWMutex
+	sessions map[int64]*sessionEntry
 	nextID   int64
+
+	// lastSweep (unix nanos) rate-limits TTL sweeps triggered by
+	// session lookups.
+	lastSweep atomic.Int64
 
 	mux *http.ServeMux
 }
 
-// New creates a server over a TGDB.
+// New creates a server over a TGDB with default options.
 func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Server {
+	return NewWithOptions(schema, graph, Options{})
+}
+
+// NewWithOptions creates a server over a TGDB.
+func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Options) *Server {
+	opts = opts.withDefaults()
 	s := &Server{
 		schema:   schema,
 		graph:    graph,
-		sessions: make(map[int64]*session.Session),
+		opts:     opts,
+		cache:    etable.NewCache(opts.CacheEntries),
+		logf:     log.Printf,
+		now:      time.Now,
+		sessions: make(map[int64]*sessionEntry),
 		nextID:   1,
 		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("POST /api/session", s.handleCreateSession)
 	s.mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
 	s.mux.HandleFunc("POST /api/session/{id}/action", s.handleAction)
 	return s
 }
 
+// Cache returns the shared execution cache (for stats and tests).
+func (s *Server) Cache() *etable.Cache { return s.cache }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v first and commits the status code only once
+// encoding has succeeded, so an encode failure can still send a clean
+// 500 instead of a half-written 200. Write errors (client gone) are
+// logged, not dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		s.logf("server: encoding %T response: %v", v, err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		if _, werr := w.Write([]byte(`{"error":"response encoding failed"}`)); werr != nil {
+			s.logf("server: writing error response: %v", werr)
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if _, err := w.Write(buf); err != nil {
+		s.logf("server: writing response: %v", err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // schemaJSON is the /api/schema payload.
@@ -102,39 +216,190 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 			Kind: et.Kind.String(),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// statsJSON is the /api/stats payload: serving-core health counters.
+type statsJSON struct {
+	Sessions     int   `json:"sessions"`
+	CacheEntries int   `json:"cacheEntries"`
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.sessions)
+	s.mu.RUnlock()
+	s.writeJSON(w, http.StatusOK, statsJSON{
+		Sessions:     n,
+		CacheEntries: s.cache.Len(),
+		CacheHits:    s.cache.Hits(),
+		CacheMisses:  s.cache.Misses(),
+	})
+}
+
+// maybeSweep runs a TTL sweep if one has not run recently (quarter-TTL
+// cadence, capped at one minute). It piggybacks on request handling so
+// idle sessions are evicted even when no new sessions are created.
+func (s *Server) maybeSweep() {
+	ttl := s.opts.SessionTTL
+	if ttl <= 0 {
+		return
+	}
+	interval := ttl / 4
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	now := s.now().UnixNano()
+	last := s.lastSweep.Load()
+	if now-last < int64(interval) || !s.lastSweep.CompareAndSwap(last, now) {
+		return
+	}
+	s.mu.Lock()
+	s.evictExpiredLocked(now)
+	s.mu.Unlock()
+}
+
+// evictExpiredLocked drops sessions idle past the TTL. Caller holds
+// s.mu (write).
+func (s *Server) evictExpiredLocked(now int64) {
+	if ttl := s.opts.SessionTTL; ttl > 0 {
+		for id, e := range s.sessions {
+			if now-e.lastUsed.Load() > int64(ttl) {
+				delete(s.sessions, id)
+			}
+		}
+	}
+}
+
+// evictLocked drops expired sessions and, if the map would still exceed
+// MaxSessions, the least recently used ones. Caller holds s.mu (write).
+func (s *Server) evictLocked() {
+	s.evictExpiredLocked(s.now().UnixNano())
+	for len(s.sessions) >= s.opts.MaxSessions && len(s.sessions) > 0 {
+		var lruID int64
+		var lruAt int64
+		first := true
+		for id, e := range s.sessions {
+			if at := e.lastUsed.Load(); first || at < lruAt {
+				lruID, lruAt, first = id, at, false
+			}
+		}
+		delete(s.sessions, lruID)
+	}
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
+	var sess *session.Session
+	if s.opts.PrivateCaches {
+		sess = session.New(s.schema, s.graph)
+	} else {
+		sess = session.NewShared(s.schema, s.graph, s.cache)
+	}
+	e := &sessionEntry{sess: sess}
+	e.lastUsed.Store(s.now().UnixNano())
 	s.mu.Lock()
+	s.evictLocked()
 	id := s.nextID
 	s.nextID++
-	s.sessions[id] = session.New(s.schema, s.graph)
+	s.sessions[id] = e
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+	s.writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
 }
 
-func (s *Server) session(r *http.Request) (*session.Session, error) {
+func (s *Server) entry(r *http.Request) (*sessionEntry, error) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		return nil, fmt.Errorf("server: bad session id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sess, ok := s.sessions[id]
+	s.maybeSweep()
+	s.mu.RLock()
+	e, ok := s.sessions[id]
+	if ok {
+		// Touch under the RLock: eviction sweeps hold the write lock,
+		// so a just-looked-up session cannot be swept before its
+		// lastUsed reflects this request.
+		e.lastUsed.Store(s.now().UnixNano())
+	}
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("server: no session %d", id)
 	}
-	return sess, nil
+	return e, nil
 }
 
-// stateJSON is the main/schema/history view payload.
+// page is a validated result-row window.
+type page struct {
+	offset   int
+	limit    int
+	hasLimit bool
+}
+
+// pageFromQuery parses offset/limit query parameters ("" = defaults).
+func pageFromQuery(r *http.Request) (page, error) {
+	var p page
+	q := r.URL.Query()
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, fmt.Errorf("server: bad offset %q", v)
+		}
+		p.offset = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, fmt.Errorf("server: bad limit %q", v)
+		}
+		p.limit, p.hasLimit = n, true
+	}
+	return p, p.validate()
+}
+
+func (p page) validate() error {
+	if p.offset < 0 {
+		return fmt.Errorf("server: negative offset %d", p.offset)
+	}
+	if p.hasLimit && p.limit < 0 {
+		return fmt.Errorf("server: negative limit %d", p.limit)
+	}
+	return nil
+}
+
+// window resolves the effective [start, end) row range for a table of
+// total rows under the server's default page size. An offset past the
+// end yields an empty window; limit 0 is honored as "no rows, metadata
+// only".
+func (s *Server) window(p page, total int) (start, end int) {
+	start = p.offset
+	if start > total {
+		start = total
+	}
+	limit, limited := p.limit, p.hasLimit
+	if !limited && s.opts.PageSize > 0 {
+		limit, limited = s.opts.PageSize, true
+	}
+	if !limited {
+		return start, total
+	}
+	end = start + limit
+	if end > total {
+		end = total
+	}
+	return start, end
+}
+
+// stateJSON is the main/schema/history view payload. Rows holds the
+// requested window; TotalRows and Offset let clients page.
 type stateJSON struct {
-	Pattern string        `json:"pattern"`
-	Columns []columnJSON  `json:"columns"`
-	Rows    []rowJSON     `json:"rows"`
-	History []historyItem `json:"history"`
-	Cursor  int           `json:"cursor"`
+	Pattern   string        `json:"pattern"`
+	Columns   []columnJSON  `json:"columns"`
+	Rows      []rowJSON     `json:"rows"`
+	TotalRows int           `json:"totalRows"`
+	Offset    int           `json:"offset"`
+	History   []historyItem `json:"history"`
+	Cursor    int           `json:"cursor"`
 }
 
 type columnJSON struct {
@@ -163,23 +428,32 @@ type historyItem struct {
 	Action string `json:"action"`
 }
 
-func stateOf(sess *session.Session) (*stateJSON, error) {
-	st := &stateJSON{Cursor: sess.Cursor()}
-	for _, h := range sess.History() {
-		st.History = append(st.History, historyItem{Action: h.Action})
-	}
-	if sess.Pattern() == nil {
-		return st, nil
-	}
-	st.Pattern = sess.Pattern().String()
-	res, err := sess.Result()
+// stateOf renders one consistent session snapshot, encoding only the
+// requested row window.
+func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
+	snap, err := sess.State()
 	if err != nil {
 		return nil, err
 	}
+	st := &stateJSON{Cursor: snap.Cursor}
+	for _, h := range snap.History {
+		st.History = append(st.History, historyItem{Action: h.Action})
+	}
+	if snap.Pattern == nil {
+		return st, nil
+	}
+	st.Pattern = snap.Pattern.String()
+	res := snap.Result
 	for _, c := range res.Columns {
 		st.Columns = append(st.Columns, columnJSON{Name: c.Name, Kind: c.Kind.String()})
 	}
-	for _, row := range res.Rows {
+	st.TotalRows = len(res.Rows)
+	start, end := s.window(p, len(res.Rows))
+	st.Offset = start
+	// Rows is always a JSON array once a table is open, even when the
+	// requested window is empty (limit 0, offset past the end).
+	st.Rows = make([]rowJSON, 0, end-start)
+	for _, row := range res.Rows[start:end] {
 		rj := rowJSON{Node: int64(row.Node), Label: row.Label}
 		for ci := range res.Columns {
 			cell := &row.Cells[ci]
@@ -199,17 +473,24 @@ func stateOf(sess *session.Session) (*stateJSON, error) {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	e, err := s.entry(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	st, err := stateOf(sess)
+	p, err := pageFromQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	e.mu.Lock()
+	st, err := s.stateOf(e.sess, p)
+	e.mu.Unlock()
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 // actionJSON is the POST body for user-level actions.
@@ -230,19 +511,37 @@ type actionJSON struct {
 	Attr string `json:"attr,omitempty"`
 	// Index selects the history entry for "revert".
 	Index int `json:"index,omitempty"`
+	// Offset and Limit select the result-row window to return (Limit
+	// nil = the server's default page size).
+	Offset int  `json:"offset,omitempty"`
+	Limit  *int `json:"limit,omitempty"`
 }
 
 func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
-	sess, err := s.session(r)
+	e, err := s.entry(r)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	sess := e.sess
 	var a actionJSON
 	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad action body: %w", err))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad action body: %w", err))
 		return
 	}
+	p := page{offset: a.Offset}
+	if a.Limit != nil {
+		p.limit, p.hasLimit = *a.Limit, true
+	}
+	if err := p.validate(); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// The action and the snapshot it returns are one atomic unit under
+	// the entry lock: a concurrent request on the same session cannot
+	// interleave between them.
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	switch strings.ToLower(a.Action) {
 	case "open":
 		err = sess.Open(a.Table)
@@ -265,19 +564,19 @@ func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
 	case "revert":
 		err = sess.Revert(a.Index)
 	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown action %q", a.Action))
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown action %q", a.Action))
 		return
 	}
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	st, err := stateOf(sess)
+	st, err := s.stateOf(sess, p)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -8,7 +8,9 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/testdb"
 )
@@ -114,7 +116,9 @@ type state struct {
 			} `json:"refs"`
 		} `json:"cells"`
 	} `json:"rows"`
-	History []struct {
+	TotalRows int `json:"totalRows"`
+	Offset    int `json:"offset"`
+	History   []struct {
 		Action string `json:"action"`
 	} `json:"history"`
 	Cursor int `json:"cursor"`
@@ -288,5 +292,333 @@ func TestIndexPage(t *testing.T) {
 	r2.Body.Close()
 	if r2.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", r2.StatusCode)
+	}
+}
+
+// newTestServerOpts is newTestServer with explicit options, returning
+// the Server too so tests can reach injection points (clock, cache).
+func newTestServerOpts(t testing.TB, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(tr.Schema, tr.Instance, opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestPagination(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+
+	get := func(query string) (state, int) {
+		t.Helper()
+		var st state
+		code := getJSON(t, fmt.Sprintf("%s/api/session/%d%s", ts.URL, id, query), &st)
+		return st, code
+	}
+
+	// Unpaged: all 6 rows.
+	st, code := get("")
+	if code != http.StatusOK || len(st.Rows) != 6 || st.TotalRows != 6 {
+		t.Fatalf("unpaged: code=%d rows=%d total=%d", code, len(st.Rows), st.TotalRows)
+	}
+	full := st
+
+	// Window [2, 4).
+	st, code = get("?offset=2&limit=2")
+	if code != http.StatusOK || len(st.Rows) != 2 || st.TotalRows != 6 || st.Offset != 2 {
+		t.Fatalf("window: code=%d rows=%d total=%d offset=%d", code, len(st.Rows), st.TotalRows, st.Offset)
+	}
+	if st.Rows[0].Node != full.Rows[2].Node || st.Rows[1].Node != full.Rows[3].Node {
+		t.Error("window rows differ from the full table's slice")
+	}
+
+	// Limit past the end clips.
+	st, _ = get("?offset=4&limit=100")
+	if len(st.Rows) != 2 || st.Offset != 4 {
+		t.Errorf("clipped window: rows=%d offset=%d", len(st.Rows), st.Offset)
+	}
+
+	// Offset past the end: empty window, metadata intact.
+	st, code = get("?offset=100&limit=5")
+	if code != http.StatusOK || len(st.Rows) != 0 || st.TotalRows != 6 {
+		t.Errorf("offset past end: code=%d rows=%d total=%d", code, len(st.Rows), st.TotalRows)
+	}
+
+	// Limit 0: metadata only.
+	st, code = get("?limit=0")
+	if code != http.StatusOK || len(st.Rows) != 0 || st.TotalRows != 6 || len(st.Columns) == 0 {
+		t.Errorf("limit 0: code=%d rows=%d total=%d cols=%d", code, len(st.Rows), st.TotalRows, len(st.Columns))
+	}
+
+	// Negative values are rejected.
+	if _, code = get("?offset=-1"); code != http.StatusBadRequest {
+		t.Errorf("negative offset: code=%d", code)
+	}
+	if _, code = get("?limit=-2"); code != http.StatusBadRequest {
+		t.Errorf("negative limit: code=%d", code)
+	}
+	if _, code = get("?limit=x"); code != http.StatusBadRequest {
+		t.Errorf("junk limit: code=%d", code)
+	}
+
+	// Pagination through an action POST body.
+	st, code = act(t, ts, id, map[string]any{"action": "filter", "condition": "year > 2000", "offset": 1, "limit": 3})
+	if code != http.StatusOK || len(st.Rows) != 3 || st.TotalRows != 6 || st.Offset != 1 {
+		t.Errorf("action paging: code=%d rows=%d total=%d offset=%d", code, len(st.Rows), st.TotalRows, st.Offset)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{PageSize: 2})
+	id := createSession(t, ts)
+	st, _ := act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	if len(st.Rows) != 2 || st.TotalRows != 6 {
+		t.Errorf("default page: rows=%d total=%d", len(st.Rows), st.TotalRows)
+	}
+	// An explicit limit overrides the default.
+	var big state
+	getJSON(t, fmt.Sprintf("%s/api/session/%d?limit=100", ts.URL, id), &big)
+	if len(big.Rows) != 6 {
+		t.Errorf("explicit limit: rows=%d", len(big.Rows))
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	srv, ts := newTestServerOpts(t, Options{SessionTTL: time.Minute})
+	clock := time.Unix(1000, 0)
+	srv.now = func() time.Time { return clock }
+
+	stale := createSession(t, ts)
+	clock = clock.Add(2 * time.Minute)
+	fresh := createSession(t, ts) // creation runs eviction: stale is gone
+
+	if _, code := act(t, ts, stale, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+		t.Errorf("stale session still served: code=%d", code)
+	}
+	if _, code := act(t, ts, fresh, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusOK {
+		t.Errorf("fresh session evicted: code=%d", code)
+	}
+
+	// Touching a session keeps it alive across eviction sweeps.
+	clock = clock.Add(50 * time.Second)
+	if _, code := act(t, ts, fresh, map[string]any{"action": "filter", "condition": "year > 2000"}); code != http.StatusOK {
+		t.Fatalf("touch failed")
+	}
+	clock = clock.Add(50 * time.Second) // 100s since creation, 50s since touch
+	createSession(t, ts)                // sweep
+	if _, code := act(t, ts, fresh, map[string]any{"action": "revert", "index": 0}); code != http.StatusOK {
+		t.Errorf("recently touched session evicted: code=%d", code)
+	}
+}
+
+func TestMaxSessionsEviction(t *testing.T) {
+	srv, ts := newTestServerOpts(t, Options{MaxSessions: 3, SessionTTL: -1})
+	clock := time.Unix(1000, 0)
+	srv.now = func() time.Time { clock = clock.Add(time.Second); return clock }
+
+	a := createSession(t, ts)
+	b := createSession(t, ts)
+	c := createSession(t, ts)
+	// Touch a so b becomes LRU, then create a fourth.
+	act(t, ts, a, map[string]any{"action": "open", "table": "Papers"})
+	d := createSession(t, ts)
+
+	if _, code := act(t, ts, b, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+		t.Errorf("LRU session b still served: code=%d", code)
+	}
+	for _, id := range []int64{a, c, d} {
+		if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusOK {
+			t.Errorf("session %d evicted, want kept: code=%d", id, code)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	act(t, ts, id, map[string]any{"action": "open", "table": "Papers"})
+	act(t, ts, id, map[string]any{"action": "sort", "attr": "year"})
+
+	var st struct {
+		Sessions    int   `json:"sessions"`
+		CacheHits   int64 `json:"cacheHits"`
+		CacheMisses int64 `json:"cacheMisses"`
+	}
+	if code := getJSON(t, ts.URL+"/api/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status = %d", code)
+	}
+	if st.Sessions != 1 {
+		t.Errorf("sessions = %d", st.Sessions)
+	}
+	if st.CacheMisses == 0 {
+		t.Error("no cache misses recorded after first execution")
+	}
+}
+
+// TestConcurrentSessionsSharedCache drives ≥8 concurrent sessions with
+// overlapping patterns through real HTTP (run with -race): responses
+// must be correct per session, and the overlap must be served from the
+// shared cross-session cache.
+func TestConcurrentSessionsSharedCache(t *testing.T) {
+	srv, ts := newTestServerOpts(t, Options{})
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var created struct {
+				ID int64 `json:"id"`
+			}
+			if err := postJSONE(ts.URL+"/api/session", nil, &created); err != nil {
+				errs <- err
+				return
+			}
+			id := created.ID
+			// Overlapping workload: everyone opens Papers and applies one
+			// of three filters, so signatures collide across sessions.
+			conds := []string{"year > 2008", "year > 2010", "year = 2011"}
+			wants := []int{5, 4, 3}
+			for i := 0; i < 10; i++ {
+				var st state
+				if err := postJSONE(fmt.Sprintf("%s/api/session/%d/action", ts.URL, id),
+					map[string]any{"action": "open", "table": "Papers"}, &st); err != nil {
+					errs <- err
+					return
+				}
+				if st.TotalRows != 6 {
+					errs <- fmt.Errorf("worker %d: open rows = %d", w, st.TotalRows)
+					return
+				}
+				c := (w + i) % len(conds)
+				if err := postJSONE(fmt.Sprintf("%s/api/session/%d/action", ts.URL, id),
+					map[string]any{"action": "filter", "condition": conds[c]}, &st); err != nil {
+					errs <- err
+					return
+				}
+				if st.TotalRows != wants[c] {
+					errs <- fmt.Errorf("worker %d: filter %q rows = %d, want %d", w, conds[c], st.TotalRows, wants[c])
+					return
+				}
+				// Paginate the filtered table.
+				if err := postJSONE(fmt.Sprintf("%s/api/session/%d/action", ts.URL, id),
+					map[string]any{"action": "revert", "index": 0, "offset": 1, "limit": 2}, &st); err != nil {
+					errs <- err
+					return
+				}
+				if len(st.Rows) != 2 || st.TotalRows != 6 {
+					errs <- fmt.Errorf("worker %d: paged rows=%d total=%d", w, len(st.Rows), st.TotalRows)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12 sessions × 10 iterations over 4 distinct signatures: nearly all
+	// executions must hit the shared cache.
+	hits, misses := srv.Cache().Hits(), srv.Cache().Misses()
+	if hits == 0 {
+		t.Error("no shared-cache hits under overlapping concurrent load")
+	}
+	if hits < misses {
+		t.Errorf("hits=%d < misses=%d; cross-session reuse is not working", hits, misses)
+	}
+}
+
+// postJSONE is postJSON without a testing.T, for use inside goroutines.
+func postJSONE(url string, body any, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// TestWriteJSONEncodeError proves encode failures are logged and mapped
+// to a clean 500 instead of being silently dropped.
+func TestWriteJSONEncodeError(t *testing.T) {
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(tr.Schema, tr.Instance)
+	var logged []string
+	srv.logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+
+	rec := httptest.NewRecorder()
+	srv.writeJSON(rec, http.StatusOK, map[string]any{"bad": make(chan int)}) // unencodable
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if len(logged) == 0 {
+		t.Error("encode error was not logged")
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["error"] == "" {
+		t.Errorf("error body = %q, %v", rec.Body.String(), err)
+	}
+}
+
+// TestTTLSweepWithoutCreation: idle sessions must be evicted by lookup
+// traffic alone — no new session creation required.
+func TestTTLSweepWithoutCreation(t *testing.T) {
+	srv, ts := newTestServerOpts(t, Options{SessionTTL: time.Minute})
+	clock := time.Unix(5000, 0)
+	srv.now = func() time.Time { return clock }
+
+	a := createSession(t, ts)
+	b := createSession(t, ts)
+	clock = clock.Add(2 * time.Minute)
+
+	// A lookup (even of a live-looking id) triggers the sweep; both
+	// expired sessions disappear without any create.
+	if _, code := act(t, ts, a, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+		t.Errorf("expired session a: code=%d", code)
+	}
+	var st struct {
+		Sessions int `json:"sessions"`
+	}
+	getJSON(t, ts.URL+"/api/stats", &st)
+	if st.Sessions != 0 {
+		t.Errorf("sessions after sweep = %d, want 0 (b=%d leaked)", st.Sessions, b)
+	}
+}
+
+// TestNegativeMaxSessions: a non-positive cap must fall back to the
+// default instead of spinning the eviction loop forever.
+func TestNegativeMaxSessions(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{MaxSessions: -1})
+	done := make(chan int64, 1)
+	go func() { done <- createSession(t, ts) }()
+	select {
+	case id := <-done:
+		if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusOK {
+			t.Errorf("open: code=%d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("session creation hung with MaxSessions < 0")
 	}
 }

@@ -13,10 +13,23 @@
 //	Single(vk)          = Select(key=vk, Initiate(type(vk)))
 //	Seeall(vk, ρl)      = Add(ρl, Select(key=vk))        (neighbor col)
 //	Seeall(vk, τl)      = Shift(τl, Select(key=vk))      (participating col)
+//
+// A Session is safe for concurrent use: one mutex serializes actions and
+// snapshots per session, so the application server can admit overlapping
+// requests for the same session without a global lock. Expensive
+// execution state is NOT per-session — matching runs through an
+// etable.Executor whose cache may be shared across every session of a
+// server (NewShared); the session itself keeps only a small presentation
+// memo of fully presented results (sorted, columns hidden) so
+// presentation-only re-reads (history browsing, pagination) skip even
+// the transform step.
 package session
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/etable"
 	"repro/internal/expr"
@@ -37,25 +50,51 @@ type Entry struct {
 	Hidden map[string]bool
 }
 
+// memoEntries bounds the per-session presentation memo. It only needs
+// to cover a short revert/redo window; the heavy lifting is in the
+// shared execution cache.
+const memoEntries = 8
+
 // Session is one user's interactive exploration state.
 type Session struct {
 	schema *tgm.SchemaGraph
 	graph  *tgm.InstanceGraph
-	// exec reuses intermediate match results across the session's
-	// actions (the paper's §9 future-work item 2): Sort, Hide, Shift,
-	// and Revert re-executions hit its caches.
+	// exec reuses intermediate match results (the paper's §9 future-work
+	// item 2): Sort, Hide, Shift, and Revert re-executions hit its
+	// cache. The cache behind it is shared across sessions when the
+	// session is built with NewShared.
 	exec *etable.Executor
 
+	// mu serializes all state-changing actions and snapshot reads on
+	// this session. Lock ordering: session.mu may be held while the
+	// executor takes cache shard locks, never the reverse.
+	mu      sync.Mutex
 	history []Entry
 	cursor  int // index into history of the current state; -1 = empty
 
-	// cached result for the current state.
-	cached *etable.Result
+	// memo caches fully presented results keyed by presentation
+	// signature (pattern, sort, hidden columns), bounded FIFO.
+	memo      map[string]*etable.Result
+	memoOrder []string
 }
 
-// New starts an empty session over a TGDB.
+// New starts an empty session over a TGDB with a private execution
+// cache.
 func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Session {
-	return &Session{schema: schema, graph: graph, exec: etable.NewExecutor(graph), cursor: -1}
+	return NewShared(schema, graph, etable.NewCache(etable.DefaultCacheEntries))
+}
+
+// NewShared starts an empty session whose executor is backed by a
+// shared execution cache. All sessions sharing a cache must be over the
+// same instance graph.
+func NewShared(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, cache *etable.Cache) *Session {
+	return &Session{
+		schema: schema,
+		graph:  graph,
+		exec:   etable.NewSharedExecutor(graph, cache),
+		cursor: -1,
+		memo:   make(map[string]*etable.Result),
+	}
 }
 
 // Schema returns the schema graph (the "default table list" of Figure 9
@@ -65,18 +104,58 @@ func (s *Session) Schema() *tgm.SchemaGraph { return s.schema }
 // Graph returns the instance graph.
 func (s *Session) Graph() *tgm.InstanceGraph { return s.graph }
 
-// History returns all history entries, oldest first.
-func (s *Session) History() []Entry { return s.history }
+// History returns a copy of all history entries, oldest first. (A copy,
+// because a concurrent action may append in place.)
+func (s *Session) History() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Entry(nil), s.history...)
+}
 
 // Cursor returns the index of the current history entry (-1 when empty).
-func (s *Session) Cursor() int { return s.cursor }
+func (s *Session) Cursor() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursor
+}
 
 // Pattern returns the current query pattern, or nil before any Open.
 func (s *Session) Pattern() *etable.Pattern {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.cursor < 0 {
 		return nil
 	}
 	return s.history[s.cursor].Pattern
+}
+
+// State is a consistent snapshot of a session: the pattern, the fully
+// presented result (nil before any Open), and the history. The server
+// encodes one State per request instead of reading pattern, result, and
+// history through separate locks that could interleave with a
+// concurrent action.
+type State struct {
+	Pattern *etable.Pattern
+	Result  *etable.Result
+	History []Entry
+	Cursor  int
+}
+
+// State snapshots the session under one lock acquisition.
+func (s *Session) State() (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{Cursor: s.cursor, History: append([]Entry(nil), s.history...)}
+	if s.cursor < 0 {
+		return st, nil
+	}
+	st.Pattern = s.history[s.cursor].Pattern
+	res, err := s.resultLocked()
+	if err != nil {
+		return State{}, err
+	}
+	st.Result = res
+	return st, nil
 }
 
 func (s *Session) push(action string, p *etable.Pattern, sort *etable.SortSpec, hidden map[string]bool) {
@@ -86,7 +165,6 @@ func (s *Session) push(action string, p *etable.Pattern, sort *etable.SortSpec, 
 		Action: action, Pattern: p, Sort: sort, Hidden: hidden,
 	})
 	s.cursor = len(s.history) - 1
-	s.cached = nil
 }
 
 func (s *Session) current() (Entry, error) {
@@ -102,6 +180,8 @@ func (s *Session) Open(typeName string) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.push(fmt.Sprintf("Open '%s' table", typeName), p, nil, nil)
 	return nil
 }
@@ -109,6 +189,8 @@ func (s *Session) Open(typeName string) error {
 // Filter applies a selection condition to the current primary node type
 // (user action 2; Fig 7 U3).
 func (s *Session) Filter(condSrc string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
@@ -128,11 +210,13 @@ func (s *Session) Filter(condSrc string) error {
 // into subqueries", §6.1). The neighbor type joins into the pattern with
 // the condition attached; the primary node is unchanged.
 func (s *Session) FilterByNeighbor(columnName, condSrc string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
 	}
-	res, err := s.Result()
+	res, err := s.resultLocked()
 	if err != nil {
 		return err
 	}
@@ -159,11 +243,13 @@ func (s *Session) FilterByNeighbor(columnName, condSrc string) error {
 // Pivot changes the primary node type through a column (user action 3;
 // Fig 7 U4): Add for neighbor columns, Shift for participating columns.
 func (s *Session) Pivot(columnName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
 	}
-	res, err := s.Result()
+	res, err := s.resultLocked()
 	if err != nil {
 		return err
 	}
@@ -212,6 +298,8 @@ func (s *Session) Single(id tgm.NodeID) error {
 	if p, err = etable.SelectExpr(p, cond, condSrc); err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.push(fmt.Sprintf("See '%s' (%s)", n.Label(), n.Type.Name), p, nil, nil)
 	return nil
 }
@@ -220,6 +308,8 @@ func (s *Session) Single(id tgm.NodeID) error {
 // action 5): select the clicked row's node, then Add (neighbor column)
 // or Shift (participating column).
 func (s *Session) Seeall(id tgm.NodeID, columnName string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
@@ -232,7 +322,7 @@ func (s *Session) Seeall(id tgm.NodeID, columnName string) error {
 		return fmt.Errorf("session: node %q is not of the primary type %q",
 			n.Label(), cur.Pattern.PrimaryNode().Type)
 	}
-	res, err := s.Result()
+	res, err := s.resultLocked()
 	if err != nil {
 		return err
 	}
@@ -262,20 +352,21 @@ func (s *Session) Seeall(id tgm.NodeID, columnName string) error {
 }
 
 // SortBy orders the current table by a base attribute or by the
-// reference count of an entity-reference column (§6.1 additional action).
+// reference count of an entity-reference column (§6.1 additional
+// action). The spec is validated against the current result's columns
+// only — no rows are copied or sorted until the result is next read.
 func (s *Session) SortBy(spec etable.SortSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
 	}
-	// Validate against the current result before recording.
-	res, err := s.Result()
+	res, err := s.resultLocked()
 	if err != nil {
 		return err
 	}
-	probe := *res
-	probe.Rows = append([]etable.Row(nil), res.Rows...)
-	if err := probe.Sort(spec); err != nil {
+	if err := res.ValidateSort(spec); err != nil {
 		return err
 	}
 	what := spec.Attr
@@ -292,11 +383,13 @@ func (s *Session) SortBy(spec etable.SortSpec) error {
 
 // HideColumn removes a column from the presentation (§6.1).
 func (s *Session) HideColumn(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
 	}
-	res, err := s.Result()
+	res, err := s.resultLocked()
 	if err != nil {
 		return err
 	}
@@ -313,6 +406,8 @@ func (s *Session) HideColumn(name string) error {
 
 // ShowColumn re-adds a hidden column.
 func (s *Session) ShowColumn(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	cur, err := s.current()
 	if err != nil {
 		return err
@@ -333,23 +428,55 @@ func (s *Session) ShowColumn(name string) error {
 // Revert moves the current state to history entry i (the history view's
 // "revert to a previous state").
 func (s *Session) Revert(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if i < 0 || i >= len(s.history) {
 		return fmt.Errorf("session: no history entry %d", i)
 	}
 	s.cursor = i
-	s.cached = nil
 	return nil
 }
 
+// presentationKey identifies a fully presented result: the pattern
+// (String covers nodes, conditions, primary, and edges), the sort spec,
+// and the hidden column set.
+func presentationKey(e Entry) string {
+	var b strings.Builder
+	b.WriteString(e.Pattern.String())
+	b.WriteByte(0)
+	if e.Sort != nil {
+		fmt.Fprintf(&b, "%s\x01%s\x01%v", e.Sort.Attr, e.Sort.Column, e.Sort.Desc)
+	}
+	b.WriteByte(0)
+	if len(e.Hidden) > 0 {
+		names := make([]string, 0, len(e.Hidden))
+		for k := range e.Hidden {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString(strings.Join(names, "\x01"))
+	}
+	return b.String()
+}
+
 // Result executes the current pattern and applies the presentation state
-// (sort, hidden columns). Results are cached until the state changes.
+// (sort, hidden columns). Identical presentation states are served from
+// the session's memo without re-sorting or re-transforming.
 func (s *Session) Result() (*etable.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resultLocked()
+}
+
+// resultLocked is Result with s.mu held.
+func (s *Session) resultLocked() (*etable.Result, error) {
 	cur, err := s.current()
 	if err != nil {
 		return nil, err
 	}
-	if s.cached != nil {
-		return s.cached, nil
+	key := presentationKey(cur)
+	if res, ok := s.memo[key]; ok {
+		return res, nil
 	}
 	res, err := s.exec.Execute(cur.Pattern)
 	if err != nil {
@@ -363,7 +490,12 @@ func (s *Session) Result() (*etable.Result, error) {
 	if len(cur.Hidden) > 0 {
 		res = hideColumns(res, cur.Hidden)
 	}
-	s.cached = res
+	if len(s.memoOrder) >= memoEntries {
+		delete(s.memo, s.memoOrder[0])
+		s.memoOrder = s.memoOrder[1:]
+	}
+	s.memo[key] = res
+	s.memoOrder = append(s.memoOrder, key)
 	return res, nil
 }
 
@@ -406,7 +538,9 @@ func (s *Session) EntityTypes() []*tgm.NodeType {
 // LookupValue finds a base attribute value in the current result by row
 // label, a convenience for task scripting and tests.
 func (s *Session) LookupValue(rowLabel, attr string) (value.V, error) {
-	res, err := s.Result()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.resultLocked()
 	if err != nil {
 		return value.Null, err
 	}

@@ -2,6 +2,7 @@ package session
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/etable"
@@ -438,5 +439,122 @@ func TestExecutorReuseAcrossRevert(t *testing.T) {
 	}
 	if first.NumRows() != again.NumRows() {
 		t.Errorf("revert changed results: %d vs %d", first.NumRows(), again.NumRows())
+	}
+}
+
+// TestConcurrentSessionActions hammers one session from many goroutines
+// with mixed presentation and query actions; with -race this verifies
+// the per-session mutex. Correctness of the end state is loose (actions
+// interleave), but every individual call must be internally consistent.
+func TestConcurrentSessionActions(t *testing.T) {
+	s := newSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch (w + i) % 5 {
+				case 0:
+					_ = s.Open("Papers")
+				case 1:
+					_ = s.Filter("year > 2005")
+				case 2:
+					if res, err := s.Result(); err == nil && res.NumRows() == 0 {
+						t.Error("empty result for Papers")
+						return
+					}
+				case 3:
+					_ = s.SortBy(etable.SortSpec{Attr: "year", Desc: true})
+				case 4:
+					st, err := s.State()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if st.Cursor >= 0 && st.Result == nil {
+						t.Error("state with open table but nil result")
+						return
+					}
+					if st.Cursor >= len(st.History) {
+						t.Errorf("cursor %d outside history of %d", st.Cursor, len(st.History))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSharedCacheAcrossSessions checks NewShared wiring: two sessions
+// over one cache, the second pays no misses for a pattern the first
+// already executed.
+func TestSharedCacheAcrossSessions(t *testing.T) {
+	res, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := etable.NewCache(128)
+	s1 := NewShared(res.Schema, res.Instance, cache)
+	s2 := NewShared(res.Schema, res.Instance, cache)
+	if err := s1.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Filter("year > 2010"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Result(); err != nil {
+		t.Fatal(err)
+	}
+	misses := cache.Misses()
+	if err := s2.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Filter("year > 2010"); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses() != misses {
+		t.Errorf("second session recomputed: misses %d → %d", misses, cache.Misses())
+	}
+	if r2.NumRows() != 4 {
+		t.Errorf("rows = %d, want 4", r2.NumRows())
+	}
+}
+
+// TestPresentationMemo checks that presentation-identical states share
+// one Result object across Revert, and that different presentation
+// states do not.
+func TestPresentationMemo(t *testing.T) {
+	s := newSession(t)
+	s.Open("Papers")
+	first, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SortBy(etable.SortSpec{Attr: "year", Desc: true})
+	sorted, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted == first {
+		t.Error("sorted result aliases unsorted memo entry")
+	}
+	if err := s.Revert(0); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Error("revert to identical presentation state missed the memo")
 	}
 }

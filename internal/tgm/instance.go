@@ -3,6 +3,7 @@ package tgm
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/value"
 )
@@ -36,6 +37,21 @@ func (n *Node) Label() string {
 // InstanceGraph is G_I = (V, E) from Definition 2, with per-edge-type
 // adjacency indexes for the neighbor lookups the presentation layer
 // performs.
+//
+// # Immutability contract
+//
+// An instance graph is built once (AddNode/AddEdge during translation)
+// and then read forever; the serving stack depends on this. Freeze
+// marks the end of the build phase: after Freeze, mutators fail and
+// every read accessor — Node, NodesOfType, Neighbors, Degree, HasEdge,
+// AvgOutDegree, EdgeTypeCount, ComputeStats, FindNode — is safe for
+// unsynchronized concurrent use, because nothing writes. All indexes
+// (adjacency, per-type node lists, edge totals) are maintained eagerly
+// at insertion time; there is deliberately no lazily-built state, so no
+// read path needs a lock or a sync.Once. translate.Translate freezes
+// the graph before returning it, which is what lets the server share
+// one execution cache of graphrel.Relations (whose base columns alias
+// these node lists) across all sessions.
 type InstanceGraph struct {
 	schema *SchemaGraph
 	nodes  []*Node
@@ -48,6 +64,10 @@ type InstanceGraph struct {
 	// edgeTotals counts edges per edge type, maintained incrementally so
 	// the query planner's degree statistic is O(1) per lookup.
 	edgeTotals map[string]int
+	// frozen marks the graph immutable (see the immutability contract
+	// above). Atomic so concurrent readers may assert it without racing
+	// a late Freeze call.
+	frozen atomic.Bool
 }
 
 // NewInstanceGraph returns an empty instance graph over schema.
@@ -64,9 +84,21 @@ func NewInstanceGraph(schema *SchemaGraph) *InstanceGraph {
 // Schema returns the schema graph this instance conforms to.
 func (g *InstanceGraph) Schema() *SchemaGraph { return g.schema }
 
+// Freeze marks the graph immutable: subsequent AddNode/AddEdge calls
+// fail. Freezing is idempotent. Once frozen, the graph is safe for
+// unsynchronized concurrent reads (see the type's immutability
+// contract).
+func (g *InstanceGraph) Freeze() { g.frozen.Store(true) }
+
+// Frozen reports whether Freeze has been called.
+func (g *InstanceGraph) Frozen() bool { return g.frozen.Load() }
+
 // AddNode inserts a node of the named type with the given attribute
 // values (aligned with the type's Attrs) and returns its ID.
 func (g *InstanceGraph) AddNode(typeName string, attrs []value.V) (NodeID, error) {
+	if g.frozen.Load() {
+		return 0, fmt.Errorf("tgm: graph is frozen; cannot add node of type %q", typeName)
+	}
 	nt := g.schema.NodeType(typeName)
 	if nt == nil {
 		return 0, fmt.Errorf("tgm: unknown node type %q", typeName)
@@ -107,6 +139,9 @@ func (g *InstanceGraph) NodesOfType(typeName string) []NodeID {
 // has a registered reverse, the corresponding reverse edge. Duplicate
 // edges are ignored. Node types of the endpoints are checked.
 func (g *InstanceGraph) AddEdge(edgeType string, src, dst NodeID) error {
+	if g.frozen.Load() {
+		return fmt.Errorf("tgm: graph is frozen; cannot add edge of type %q", edgeType)
+	}
 	et := g.schema.EdgeType(edgeType)
 	if et == nil {
 		return fmt.Errorf("tgm: unknown edge type %q", edgeType)

@@ -1,6 +1,7 @@
 package tgm
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/value"
@@ -305,4 +306,73 @@ func TestDegreeStatistics(t *testing.T) {
 			t.Errorf("EdgeTypeCount(%s) = %d, stats say %d", et, g.EdgeTypeCount(et), n)
 		}
 	}
+}
+
+func TestFreeze(t *testing.T) {
+	g, ids := buildInstance(t)
+	if g.Frozen() {
+		t.Error("graph frozen before Freeze")
+	}
+	g.Freeze()
+	g.Freeze() // idempotent
+	if !g.Frozen() {
+		t.Error("graph not frozen after Freeze")
+	}
+	if _, err := g.AddNode("Papers", []value.V{value.Int(9), value.Str("x"), value.Int(2020)}); err == nil {
+		t.Error("AddNode accepted on a frozen graph")
+	}
+	if err := g.AddEdge("Papers→Authors", ids["p2"], ids["a1"]); err == nil {
+		t.Error("AddEdge accepted on a frozen graph")
+	}
+	// Reads still work and see the pre-freeze state.
+	if g.NumNodes() != 7 || g.NumEdges() != 13 {
+		t.Errorf("frozen graph reads changed: %d nodes, %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// TestConcurrentReads exercises every read accessor from many
+// goroutines on a frozen graph; with -race this verifies the
+// immutability contract the shared execution cache depends on.
+func TestConcurrentReads(t *testing.T) {
+	g, ids := buildInstance(t)
+	g.Freeze()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if g.AvgOutDegree("Papers→Authors_rev") != 1.5 {
+					t.Error("AvgOutDegree changed under concurrency")
+					return
+				}
+				if len(g.Neighbors(ids["p1"], "Papers→Authors")) != 2 {
+					t.Error("Neighbors changed under concurrency")
+					return
+				}
+				if !g.HasEdge("Papers→Conferences", ids["p1"], ids["sigmod"]) {
+					t.Error("HasEdge changed under concurrency")
+					return
+				}
+				if g.Degree(ids["p1"], "Papers→keyword") != 1 {
+					t.Error("Degree changed under concurrency")
+					return
+				}
+				if _, ok := g.FindNode("Authors", "name", value.Str("Nandi")); !ok {
+					t.Error("FindNode missed under concurrency")
+					return
+				}
+				if g.Node(ids["p1"]).Label() != "Making database systems usable" {
+					t.Error("Node/Label changed under concurrency")
+					return
+				}
+				s := g.ComputeStats()
+				if s.Nodes != 7 || s.Edges != 13 {
+					t.Error("ComputeStats changed under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -111,6 +111,10 @@ func Translate(db *relational.DB, opts Options) (*Result, error) {
 	if err := tr.buildInstance(); err != nil {
 		return nil, err
 	}
+	// The instance graph is immutable from here on (the paper's system
+	// serves an unchanging TGDB); freezing makes the contract checkable
+	// and unlocks lock-free concurrent reads in the serving stack.
+	tr.res.Instance.Freeze()
 	return tr.res, nil
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: build everything, vet,
+# and run all tests with the race detector (the serving core is
+# concurrent; -race is not optional). CI runs exactly this script.
+#
+# Usage: scripts/check.sh [go-test-run-regexp]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ./..."
+go test -race -run "$pattern" ./...
+
+echo "OK"
