@@ -50,5 +50,6 @@ func main() {
 	})
 	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d)\n",
 		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize)
+	fmt.Printf("API: /api/v1 (declarative ops; see docs/API.md) — legacy /api/* routes are deprecated aliases\n")
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -35,4 +35,33 @@
 // acquired in reverse), which makes deadlock impossible by
 // construction. PERFORMANCE.md records the measured effect versus the
 // previous global-mutex serving core.
+//
+// # Operation protocol
+//
+// The paper's user-level actions (§6.1) have a first-class, serializable
+// representation: internal/ops defines a JSON tagged-union algebra
+// (Open/Filter/FilterByNeighbor/Pivot/Single/Seeall/Sort/Hide/Show/
+// Revert, plus ops.Pipeline for ordered batches) with Validate(schema)
+// and Compile, so malformed operations are rejected — with the stable
+// code invalid_op — before they touch any session. The op algebra is the
+// single source of truth for session mutation:
+//
+//   - internal/session: Session.Apply executes one op, ApplyPipeline
+//     executes a batch atomically (all-or-nothing with rollback), and
+//     the imperative methods are thin wrappers. Every history entry
+//     records its originating op, so Session.Export serializes a
+//     session to a replayable operation log and Session.Replay
+//     deterministically rebuilds identical state over the same graph —
+//     which is also how sessions survive server-side eviction.
+//   - internal/server: the versioned /api/v1 surface speaks ops
+//     natively — POST .../ops applies a single op or an atomic batch
+//     with one response snapshot, GET .../history exports the op log,
+//     POST .../replay restores it, and errors use structured
+//     {code, message, op_index} envelopes with proper 400/404/410
+//     statuses. Results page by offset/limit or by opaque cursors that
+//     detect staleness across state changes. The legacy unversioned
+//     routes remain as deprecated aliases over the same core.
+//   - pkg/client: the typed Go SDK (the first public package) with
+//     per-op builders, retry/backoff, pagination iterators, and
+//     history export/replay. docs/API.md documents every route.
 package repro

@@ -1,12 +1,13 @@
 // Webui boots the full three-tier ETable system on a small corpus and
-// exercises its JSON API programmatically — the same requests the
-// embedded browser UI issues — before leaving the server running for
-// interactive use. Run it and open http://localhost:8099/.
+// exercises its versioned JSON API through the typed Go SDK
+// (repro/pkg/client) — a Figure-1-style exploration as one atomic batch
+// pipeline, pagination via the row iterator, and history export/replay —
+// before leaving the server running for interactive use. Run it and open
+// http://localhost:8099/.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/server"
 	"repro/internal/translate"
+	"repro/pkg/client"
 )
 
 func main() {
@@ -38,54 +40,51 @@ func main() {
 		}
 	}()
 	time.Sleep(200 * time.Millisecond)
-	base := "http://" + addr
+	ctx := context.Background()
+	c := client.New("http://" + addr)
 
-	// Drive the API the way the browser front-end does.
-	var created struct {
-		ID int64 `json:"id"`
-	}
-	post(base+"/api/session", nil, &created)
-	fmt.Printf("created session %d\n", created.ID)
-
-	act := func(a map[string]any) map[string]any {
-		var st map[string]any
-		post(fmt.Sprintf("%s/api/session/%d/action", base, created.ID), a, &st)
-		return st
-	}
-	st := act(map[string]any{"action": "open", "table": "Papers"})
-	fmt.Printf("opened Papers: %d rows\n", len(st["rows"].([]any)))
-	st = act(map[string]any{"action": "filter", "condition": "year > 2012"})
-	fmt.Printf("filtered year > 2012: %d rows\n", len(st["rows"].([]any)))
-	st = act(map[string]any{"action": "pivot", "column": "Authors"})
-	fmt.Printf("pivoted to Authors: %d rows, pattern: %s\n",
-		len(st["rows"].([]any)), st["pattern"])
-	st = act(map[string]any{"action": "sort", "column": "Papers", "desc": true})
-	rows := st["rows"].([]any)
-	top := rows[0].(map[string]any)
-	fmt.Printf("most prolific recent author: %s\n", top["label"])
-
-	fmt.Printf("\nETable UI running — open http://%s/ (Ctrl-C to stop)\n", addr)
-	select {}
-}
-
-func post(url string, body, out any) {
-	var buf bytes.Buffer
-	if body != nil {
-		if err := json.NewEncoder(&buf).Encode(body); err != nil {
-			log.Fatal(err)
-		}
-	}
-	resp, err := http.Post(url, "application/json", &buf)
+	// Create + open in one round trip, then run the Figure-1-style
+	// exploration as one atomic batch: every op applies or none does.
+	sess, st, err := c.NewSession(ctx, client.Open("Papers"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		log.Fatalf("POST %s: status %d", url, resp.StatusCode)
+	fmt.Printf("created session %d: opened Papers, %d rows\n", sess.ID(), st.TotalRows)
+
+	st, err = sess.Do(ctx,
+		client.Filter("year > 2012"),
+		client.Pivot("Authors"),
+		client.SortByCount("Papers", true),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if out != nil {
-		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			log.Fatal(err)
-		}
+	fmt.Printf("batch filter→pivot→sort: %d authors, pattern: %s\n", st.TotalRows, st.Pattern)
+	fmt.Printf("most prolific recent author: %s\n", st.Rows[0].Label)
+
+	// Page through the first rows with the cursor iterator.
+	n := 0
+	for it := sess.Rows(ctx, 25); it.Next() && n < 5; n++ {
+		fmt.Printf("  #%d %s\n", n+1, it.Row().Label)
 	}
+
+	// Export the session as a replayable op log and rebuild it in a
+	// brand-new session — the persistence story behind 410 Gone.
+	h, err := sess.History(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess2, _, err := c.NewSession(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st2, err := sess2.Replay(ctx, h.Log())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d ops into session %d: %d rows (identical table)\n",
+		len(h.Ops), sess2.ID(), st2.TotalRows)
+
+	fmt.Printf("\nETable UI running — open http://%s/ (Ctrl-C to stop)\n", addr)
+	select {}
 }

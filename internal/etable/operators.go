@@ -93,6 +93,12 @@ func SelectNode(p *Pattern, nodeKey, condSrc string) (*Pattern, error) {
 	if err != nil {
 		return nil, fmt.Errorf("etable: SelectNode: %w", err)
 	}
+	return SelectNodeExpr(p, nodeKey, cond, condSrc)
+}
+
+// SelectNodeExpr is SelectNode with a pre-parsed condition (what the
+// compiled operation protocol of internal/ops uses).
+func SelectNodeExpr(p *Pattern, nodeKey string, cond expr.Expr, condSrc string) (*Pattern, error) {
 	out := p.Clone()
 	n := out.Node(nodeKey)
 	if n == nil {

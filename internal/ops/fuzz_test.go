@@ -1,0 +1,101 @@
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode checks the protocol's wire invariants on arbitrary input:
+// Decode never panics, Validate never panics on whatever Decode
+// accepted, and decode→encode→decode is idempotent (the re-encoded form
+// decodes to the same op and re-encodes to the same bytes). The seed
+// corpus under testdata/fuzz/FuzzDecode is committed so `go test` always
+// exercises these shapes; `go test -fuzz=FuzzDecode ./internal/ops`
+// explores further.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`{"op":"open","table":"Papers"}`,
+		`{"op":"filter","cond":"year > 2005 AND venue = 'SIGMOD'"}`,
+		`{"op":"filter_neighbor","column":"Authors","cond":"name = 'H. V. Jagadish'"}`,
+		`{"op":"pivot","column":"Authors"}`,
+		`{"op":"single","node":42}`,
+		`{"op":"seeall","node":3,"column":"Authors"}`,
+		`{"op":"sort","attr":"year","desc":true}`,
+		`{"op":"sort","column":"Papers","desc":true}`,
+		`{"op":"hide","column":"page_start"}`,
+		`{"op":"show","column":"page_start"}`,
+		`{"op":"revert","index":2}`,
+		`{"op":"revert"}`,
+		`{"op":"open","table":"Papers","typo":true}`,
+		`{"op":""}`,
+		`{}`,
+		`[]`,
+		`null`,
+		`{"op":"filter","cond":"(("}`,
+		`{"op":"single","node":-9}`,
+		`{"op":"open","table":"\\u0000smile"}`,
+		`{"op":"open","table":"Papers"}{"op":"open"}`,
+		`  {"op":"open","table":"Papers"}  `,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, err := Decode(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		_ = op.Validate(nil) // must not panic regardless of content
+		enc, err := json.Marshal(op)
+		if err != nil {
+			t.Fatalf("re-encoding decoded op %+v: %v", op, err)
+		}
+		op2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decoding our own encoding %s: %v", enc, err)
+		}
+		if !reflect.DeepEqual(op2, op) {
+			t.Fatalf("decode not idempotent: %+v vs %+v", op, op2)
+		}
+		enc2, err := json.Marshal(op2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encode not stable: %s vs %s", enc, enc2)
+		}
+	})
+}
+
+// FuzzDecodePipeline extends the invariant to the batch body shapes.
+func FuzzDecodePipeline(f *testing.F) {
+	for _, s := range []string{
+		`{"op":"open","table":"Papers"}`,
+		`[{"op":"open","table":"Papers"},{"op":"filter","cond":"year > 2005"}]`,
+		`[]`,
+		`[{}]`,
+		`[{"op":"revert","index":0}]`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePipeline(data)
+		if err != nil {
+			return
+		}
+		if len(p) == 0 {
+			t.Fatal("DecodePipeline returned an empty pipeline without error")
+		}
+		_ = p.Validate(nil)
+		enc, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := DecodePipeline(enc)
+		if err != nil || len(p2) != len(p) {
+			t.Fatalf("re-decode: %v (%d vs %d ops)", err, len(p2), len(p))
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package ops defines the declarative operation protocol: a
+// JSON-serializable algebra of the paper's user-level actions (§6.1 —
+// Open, Filter, Pivot, Single, Seeall, plus the presentation actions
+// Sort/Hide/Show and the history action Revert). An Op is a tagged
+// union — the "op" field selects the kind, the remaining fields are the
+// kind's operands — and a Pipeline is an ordered batch of Ops.
+//
+// Ops exist so that every session mutation has a first-class, wire-level
+// representation: they can be validated against a schema before they
+// touch a session (Validate/Compile), applied in atomic batches
+// (session.ApplyPipeline), stored in history entries, and replayed to
+// deterministically reconstruct a session (session.Export/Replay). The
+// versioned HTTP API (/api/v1) and the Go SDK (pkg/client) both speak
+// this protocol; the imperative session methods are thin wrappers over
+// it.
+package ops
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/expr"
+	"repro/internal/tgm"
+)
+
+// Kind names one operation of the algebra. The values are the wire
+// strings of the "op" field.
+type Kind string
+
+// The operation kinds. KindFilterByNeighbor and KindSort accept the
+// operands documented on the builder functions.
+const (
+	KindOpen             Kind = "open"
+	KindFilter           Kind = "filter"
+	KindFilterByNeighbor Kind = "filter_neighbor"
+	KindPivot            Kind = "pivot"
+	KindSingle           Kind = "single"
+	KindSeeall           Kind = "seeall"
+	KindSort             Kind = "sort"
+	KindHide             Kind = "hide"
+	KindShow             Kind = "show"
+	KindRevert           Kind = "revert"
+)
+
+// Op is one declarative operation: the kind plus its operands. Unused
+// operand fields must be zero — Validate rejects an Op whose operands do
+// not match its kind, so a misspelled or misplaced field fails up front
+// instead of being silently ignored.
+type Op struct {
+	Op Kind `json:"op"`
+	// Table names the node type to open (open).
+	Table string `json:"table,omitempty"`
+	// Cond is a condition in the shared filter grammar
+	// (filter, filter_neighbor).
+	Cond string `json:"cond,omitempty"`
+	// Column names a result column (filter_neighbor, pivot, seeall,
+	// sort by reference count, hide, show).
+	Column string `json:"column,omitempty"`
+	// Node is the clicked entity's node id (single, seeall). It is a
+	// pointer because node ids are dense ordinals starting at 0: an
+	// omitted node must be rejected, not silently target node 0.
+	Node *int64 `json:"node,omitempty"`
+	// Attr names a base attribute (sort by attribute value).
+	Attr string `json:"attr,omitempty"`
+	// Desc selects descending order (sort).
+	Desc bool `json:"desc,omitempty"`
+	// Index selects the history entry to revert to (revert).
+	Index int `json:"index,omitempty"`
+}
+
+// Pipeline is an ordered batch of operations, applied atomically by
+// session.ApplyPipeline: either every op applies or none does.
+type Pipeline []Op
+
+// Builders, one per kind. They are the ergonomic way to construct ops in
+// Go; the wire format is the JSON encoding of the result.
+
+// Open starts a new ETable from a node type.
+func Open(table string) Op { return Op{Op: KindOpen, Table: table} }
+
+// Filter applies a condition to the current primary node type.
+func Filter(cond string) Op { return Op{Op: KindFilter, Cond: cond} }
+
+// FilterByNeighbor filters rows by a condition on a neighbor column.
+func FilterByNeighbor(column, cond string) Op {
+	return Op{Op: KindFilterByNeighbor, Column: column, Cond: cond}
+}
+
+// Pivot changes the primary node type through an entity-reference column.
+func Pivot(column string) Op { return Op{Op: KindPivot, Column: column} }
+
+// Single opens a one-row ETable for a clicked entity reference.
+func Single(node int64) Op { return Op{Op: KindSingle, Node: &node} }
+
+// Seeall lists the complete entity-reference set of one cell.
+func Seeall(node int64, column string) Op {
+	return Op{Op: KindSeeall, Node: &node, Column: column}
+}
+
+// SortByAttr orders rows by a base attribute value.
+func SortByAttr(attr string, desc bool) Op { return Op{Op: KindSort, Attr: attr, Desc: desc} }
+
+// SortByCount orders rows by the reference count of an entity-reference
+// column (the paper's "Sort table by # of …").
+func SortByCount(column string, desc bool) Op {
+	return Op{Op: KindSort, Column: column, Desc: desc}
+}
+
+// Hide removes a column from the presentation.
+func Hide(column string) Op { return Op{Op: KindHide, Column: column} }
+
+// Show re-adds a hidden column.
+func Show(column string) Op { return Op{Op: KindShow, Column: column} }
+
+// Revert moves the session back (or forward) to history entry index.
+func Revert(index int) Op { return Op{Op: KindRevert, Index: index} }
+
+// Stable machine-readable error codes of the protocol. The HTTP layer
+// maps them to statuses (invalid_op → 400, op_failed → 422) and carries
+// them verbatim in its error envelope.
+const (
+	// CodeInvalidOp marks an operation that is malformed independent of
+	// session state: unknown kind, missing or extraneous operands, an
+	// unparsable condition, or an unknown node type.
+	CodeInvalidOp = "invalid_op"
+	// CodeOpFailed marks an operation that is well-formed but cannot
+	// apply to the current session state (no open table, no such column,
+	// history index out of range, …).
+	CodeOpFailed = "op_failed"
+)
+
+// Error is a protocol-level failure: a stable code, a human-readable
+// message, and — when the failure happened inside a batch — the index of
+// the offending op (-1 otherwise).
+type Error struct {
+	Code    string
+	Message string
+	OpIndex int
+	Err     error
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	if e.OpIndex >= 0 {
+		return fmt.Sprintf("ops: [%s] op %d: %s", e.Code, e.OpIndex, e.Message)
+	}
+	return fmt.Sprintf("ops: [%s] %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// invalid builds a CodeInvalidOp error.
+func invalid(format string, args ...any) *Error {
+	return &Error{Code: CodeInvalidOp, Message: fmt.Sprintf(format, args...), OpIndex: -1}
+}
+
+// Failed wraps a session-state failure as a CodeOpFailed Error at the
+// given batch index (-1 for a single op).
+func Failed(err error, opIndex int) *Error {
+	if oe, ok := err.(*Error); ok {
+		// Already a protocol error: keep its code, pin the index.
+		cp := *oe
+		if cp.OpIndex < 0 {
+			cp.OpIndex = opIndex
+		}
+		return &cp
+	}
+	return &Error{Code: CodeOpFailed, Message: err.Error(), OpIndex: opIndex, Err: err}
+}
+
+// AtIndex returns a copy of err with the batch index set (for wrapping
+// validation errors with their pipeline position).
+func (e *Error) AtIndex(i int) *Error {
+	cp := *e
+	cp.OpIndex = i
+	return &cp
+}
+
+// operandSet describes which operand fields a kind uses.
+type operandSet struct {
+	table, cond, column, node, attr, desc, index bool
+}
+
+var operands = map[Kind]operandSet{
+	KindOpen:             {table: true},
+	KindFilter:           {cond: true},
+	KindFilterByNeighbor: {cond: true, column: true},
+	KindPivot:            {column: true},
+	KindSingle:           {node: true},
+	KindSeeall:           {node: true, column: true},
+	KindSort:             {column: true, attr: true, desc: true},
+	KindHide:             {column: true},
+	KindShow:             {column: true},
+	KindRevert:           {index: true},
+}
+
+// Validate checks the op independent of any session: the kind is known,
+// required operands are present, operands of other kinds are absent,
+// conditions parse, and — when schema is non-nil — the named node type
+// exists. A nil schema performs the structural checks only.
+func (o Op) Validate(schema *tgm.SchemaGraph) error {
+	_, err := o.Compile(schema)
+	return err
+}
+
+// Compiled is a validated op with its condition pre-parsed, ready to
+// apply to a session without re-parsing or re-validating.
+type Compiled struct {
+	Op   Op
+	Cond expr.Expr // parsed Cond for filter kinds, nil otherwise
+}
+
+// Compile validates the op and pre-parses its condition. Malformed ops
+// are rejected here, before they ever touch a session.
+func (o Op) Compile(schema *tgm.SchemaGraph) (Compiled, error) {
+	set, ok := operands[o.Op]
+	if !ok {
+		if o.Op == "" {
+			return Compiled{}, invalid("missing op kind")
+		}
+		return Compiled{}, invalid("unknown op kind %q", o.Op)
+	}
+	if !set.table && o.Table != "" {
+		return Compiled{}, invalid("%s: unexpected field table", o.Op)
+	}
+	if !set.cond && o.Cond != "" {
+		return Compiled{}, invalid("%s: unexpected field cond", o.Op)
+	}
+	if !set.column && o.Column != "" {
+		return Compiled{}, invalid("%s: unexpected field column", o.Op)
+	}
+	if !set.node && o.Node != nil {
+		return Compiled{}, invalid("%s: unexpected field node", o.Op)
+	}
+	if !set.attr && o.Attr != "" {
+		return Compiled{}, invalid("%s: unexpected field attr", o.Op)
+	}
+	if !set.desc && o.Desc {
+		return Compiled{}, invalid("%s: unexpected field desc", o.Op)
+	}
+	if !set.index && o.Index != 0 {
+		return Compiled{}, invalid("%s: unexpected field index", o.Op)
+	}
+
+	c := Compiled{Op: o}
+	switch o.Op {
+	case KindOpen:
+		if o.Table == "" {
+			return Compiled{}, invalid("open: missing table")
+		}
+		if schema != nil && schema.NodeType(o.Table) == nil {
+			return Compiled{}, invalid("open: unknown node type %q", o.Table)
+		}
+	case KindFilter:
+		if o.Cond == "" {
+			return Compiled{}, invalid("filter: missing cond")
+		}
+	case KindFilterByNeighbor:
+		if o.Column == "" {
+			return Compiled{}, invalid("filter_neighbor: missing column")
+		}
+		if o.Cond == "" {
+			return Compiled{}, invalid("filter_neighbor: missing cond")
+		}
+	case KindPivot, KindHide, KindShow:
+		if o.Column == "" {
+			return Compiled{}, invalid("%s: missing column", o.Op)
+		}
+	case KindSingle, KindSeeall:
+		if o.Node == nil {
+			return Compiled{}, invalid("%s: missing node", o.Op)
+		}
+		if *o.Node < 0 || *o.Node > math.MaxInt32 {
+			return Compiled{}, invalid("%s: node id %d out of range", o.Op, *o.Node)
+		}
+		if o.Op == KindSeeall && o.Column == "" {
+			return Compiled{}, invalid("seeall: missing column")
+		}
+	case KindSort:
+		if (o.Attr == "") == (o.Column == "") {
+			return Compiled{}, invalid("sort: exactly one of attr or column must be set")
+		}
+	case KindRevert:
+		if o.Index < 0 {
+			return Compiled{}, invalid("revert: negative index %d", o.Index)
+		}
+	}
+	if o.Cond != "" {
+		cond, err := expr.Parse(o.Cond)
+		if err != nil {
+			return Compiled{}, invalid("%s: bad cond: %v", o.Op, err)
+		}
+		c.Cond = cond
+	}
+	return c, nil
+}
+
+// Validate checks every op of the pipeline; a failure carries the index
+// of the offending op.
+func (p Pipeline) Validate(schema *tgm.SchemaGraph) error {
+	_, err := p.Compile(schema)
+	return err
+}
+
+// Compile validates and compiles every op of the pipeline up front, so
+// a batch is rejected as a whole before any op applies.
+func (p Pipeline) Compile(schema *tgm.SchemaGraph) ([]Compiled, error) {
+	out := make([]Compiled, len(p))
+	for i, o := range p {
+		c, err := o.Compile(schema)
+		if err != nil {
+			if oe, ok := err.(*Error); ok {
+				return nil, oe.AtIndex(i)
+			}
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Decode strictly decodes one op from JSON: unknown fields and trailing
+// garbage are rejected, so client typos surface as invalid_op instead of
+// being silently dropped.
+func Decode(data []byte) (Op, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var o Op
+	if err := dec.Decode(&o); err != nil {
+		return Op{}, invalid("bad op JSON: %v", err)
+	}
+	if dec.More() {
+		return Op{}, invalid("trailing data after op")
+	}
+	return o, nil
+}
+
+// DecodePipeline strictly decodes either a single op object or a JSON
+// array of ops — the two body shapes POST /api/v1/sessions/{id}/ops
+// accepts.
+func DecodePipeline(data []byte) (Pipeline, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, invalid("empty op body")
+	}
+	if trimmed[0] != '[' {
+		o, err := Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		return Pipeline{o}, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Pipeline
+	if err := dec.Decode(&p); err != nil {
+		return nil, invalid("bad op array JSON: %v", err)
+	}
+	if dec.More() {
+		return nil, invalid("trailing data after op array")
+	}
+	if len(p) == 0 {
+		return nil, invalid("empty op array")
+	}
+	return p, nil
+}

@@ -1,0 +1,210 @@
+package ops
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/testdb"
+	"repro/internal/tgm"
+)
+
+func i64(n int64) *int64 { return &n }
+
+func schema(t testing.TB) *tgm.SchemaGraph {
+	t.Helper()
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.Schema
+}
+
+func TestBuildersValidate(t *testing.T) {
+	sch := schema(t)
+	valid := []Op{
+		Open("Papers"),
+		Filter("year > 2005"),
+		FilterByNeighbor("Authors", "name = 'X'"),
+		Pivot("Authors"),
+		Single(0),
+		Single(42),
+		Seeall(3, "Authors"),
+		SortByAttr("year", true),
+		SortByCount("Authors", false),
+		Hide("year"),
+		Show("year"),
+		Revert(0),
+		Revert(7),
+	}
+	for _, op := range valid {
+		if err := op.Validate(sch); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", op, err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	sch := schema(t)
+	cases := []struct {
+		name string
+		op   Op
+	}{
+		{"empty", Op{}},
+		{"unknown kind", Op{Op: "zap"}},
+		{"open missing table", Op{Op: KindOpen}},
+		{"open unknown table", Open("Nope")},
+		{"open extra cond", Op{Op: KindOpen, Table: "Papers", Cond: "x = 1"}},
+		{"open extra node", Op{Op: KindOpen, Table: "Papers", Node: i64(3)}},
+		{"open extra desc", Op{Op: KindOpen, Table: "Papers", Desc: true}},
+		{"open extra index", Op{Op: KindOpen, Table: "Papers", Index: 2}},
+		{"filter missing cond", Op{Op: KindFilter}},
+		{"filter bad cond", Filter("((")},
+		{"filter extra table", Op{Op: KindFilter, Cond: "x = 1", Table: "Papers"}},
+		{"filter_neighbor missing column", Op{Op: KindFilterByNeighbor, Cond: "x = 1"}},
+		{"filter_neighbor missing cond", Op{Op: KindFilterByNeighbor, Column: "Authors"}},
+		{"pivot missing column", Op{Op: KindPivot}},
+		{"single negative node", Single(-1)},
+		{"single huge node", Single(1 << 40)},
+		{"single missing node", Op{Op: KindSingle}},
+		{"seeall missing node", Op{Op: KindSeeall, Column: "Authors"}},
+		{"seeall missing column", Op{Op: KindSeeall, Node: i64(3)}},
+		{"sort neither", Op{Op: KindSort}},
+		{"sort both", Op{Op: KindSort, Attr: "year", Column: "Authors"}},
+		{"hide missing column", Op{Op: KindHide}},
+		{"revert negative", Revert(-2)},
+		{"revert extra attr", Op{Op: KindRevert, Attr: "year"}},
+	}
+	for _, tc := range cases {
+		err := tc.op.Validate(sch)
+		if err == nil {
+			t.Errorf("%s: Validate(%+v) accepted", tc.name, tc.op)
+			continue
+		}
+		var oe *Error
+		if !errors.As(err, &oe) || oe.Code != CodeInvalidOp {
+			t.Errorf("%s: error %v is not an invalid_op *Error", tc.name, err)
+		}
+	}
+}
+
+func TestValidateNilSchemaStructuralOnly(t *testing.T) {
+	// Without a schema, unknown tables pass (structural checks only)…
+	if err := Open("Nope").Validate(nil); err != nil {
+		t.Errorf("nil-schema open = %v", err)
+	}
+	// …but structural breakage is still caught.
+	if err := (Op{Op: KindOpen}).Validate(nil); err == nil {
+		t.Error("nil-schema missing table accepted")
+	}
+	if err := Filter("((").Validate(nil); err == nil {
+		t.Error("nil-schema bad cond accepted")
+	}
+}
+
+func TestCompileParsesCond(t *testing.T) {
+	c, err := Filter("year > 2005").Compile(schema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cond == nil {
+		t.Error("compiled filter has nil Cond")
+	}
+	c, err = Open("Papers").Compile(schema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cond != nil {
+		t.Error("compiled open has non-nil Cond")
+	}
+}
+
+func TestPipelineCompileIndex(t *testing.T) {
+	p := Pipeline{Open("Papers"), Filter("(("), Pivot("Authors")}
+	_, err := p.Compile(schema(t))
+	var oe *Error
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v", err)
+	}
+	if oe.OpIndex != 1 || oe.Code != CodeInvalidOp {
+		t.Errorf("OpIndex = %d, Code = %s", oe.OpIndex, oe.Code)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, op := range []Op{
+		Open("Papers"),
+		FilterByNeighbor("Authors", "name = 'H. V. Jagadish'"),
+		Seeall(17, "Authors"),
+		SortByCount("Papers", true),
+		Revert(0),
+		Revert(3),
+	} {
+		enc, err := json.Marshal(op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", enc, err)
+		}
+		if !reflect.DeepEqual(back, op) {
+			t.Errorf("round trip: %+v → %s → %+v", op, enc, back)
+		}
+	}
+}
+
+func TestDecodeStrict(t *testing.T) {
+	if _, err := Decode([]byte(`{"op":"open","table":"Papers","typo":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Decode([]byte(`{"op":"open"} garbage`)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	if _, err := Decode([]byte(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	op, err := Decode([]byte(`{"op":"filter","cond":"year > 2005"}`))
+	if err != nil || op.Op != KindFilter || op.Cond != "year > 2005" {
+		t.Errorf("decode = %+v, %v", op, err)
+	}
+}
+
+func TestDecodePipelineShapes(t *testing.T) {
+	// Single object → 1-op pipeline.
+	p, err := DecodePipeline([]byte(`{"op":"open","table":"Papers"}`))
+	if err != nil || len(p) != 1 || p[0].Op != KindOpen {
+		t.Fatalf("single = %+v, %v", p, err)
+	}
+	// Array → batch.
+	p, err = DecodePipeline([]byte(`[{"op":"open","table":"Papers"},{"op":"filter","cond":"year > 2005"}]`))
+	if err != nil || len(p) != 2 || p[1].Op != KindFilter {
+		t.Fatalf("batch = %+v, %v", p, err)
+	}
+	// Rejections.
+	for _, bad := range []string{``, `  `, `[]`, `[{"op":"open","zap":1}]`, `[1,2]`, `[{"op":"open"}] x`} {
+		if _, err := DecodePipeline([]byte(bad)); err == nil {
+			t.Errorf("DecodePipeline(%q) accepted", bad)
+		}
+	}
+}
+
+func TestErrorStringsAndUnwrap(t *testing.T) {
+	e := &Error{Code: CodeOpFailed, Message: "boom", OpIndex: 2}
+	if !strings.Contains(e.Error(), "op 2") || !strings.Contains(e.Error(), "op_failed") {
+		t.Errorf("Error() = %q", e.Error())
+	}
+	underlying := errors.New("root cause")
+	w := Failed(underlying, 4)
+	if w.Code != CodeOpFailed || w.OpIndex != 4 || !errors.Is(w, underlying) {
+		t.Errorf("Failed wrap = %+v", w)
+	}
+	// Wrapping an *Error keeps the code and pins the index.
+	inv := invalid("nope")
+	w2 := Failed(inv, 1)
+	if w2.Code != CodeInvalidOp || w2.OpIndex != 1 {
+		t.Errorf("Failed(*Error) = %+v", w2)
+	}
+}

@@ -30,10 +30,16 @@
 package server
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"log"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/etable"
+	"repro/internal/ops"
 	"repro/internal/session"
 	"repro/internal/tgm"
 )
@@ -136,12 +143,32 @@ func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Opti
 		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
-	s.mux.HandleFunc("GET /api/schema", s.handleSchema)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("POST /api/session", s.handleCreateSession)
-	s.mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
-	s.mux.HandleFunc("POST /api/session/{id}/action", s.handleAction)
+	// Versioned API (the canonical surface; see docs/API.md).
+	s.mux.HandleFunc("GET /api/v1/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/ops", s.handleV1Ops)
+	s.mux.HandleFunc("GET /api/v1/sessions/{id}/history", s.handleV1History)
+	s.mux.HandleFunc("POST /api/v1/sessions/{id}/replay", s.handleV1Replay)
+	// Legacy unversioned routes, kept as deprecated aliases. They share
+	// the op-protocol core; new clients should use /api/v1.
+	s.mux.HandleFunc("GET /api/schema", s.deprecated(s.handleSchema))
+	s.mux.HandleFunc("GET /api/stats", s.deprecated(s.handleStats))
+	s.mux.HandleFunc("POST /api/session", s.deprecated(s.handleCreateSession))
+	s.mux.HandleFunc("GET /api/session/{id}", s.deprecated(s.handleGetSession))
+	s.mux.HandleFunc("POST /api/session/{id}/action", s.deprecated(s.handleAction))
 	return s
+}
+
+// deprecated marks a legacy route's responses with a Deprecation header
+// pointing clients at /api/v1.
+func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</api/v1>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // Cache returns the shared execution cache (for stats and tests).
@@ -160,7 +187,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 		s.logf("server: encoding %T response: %v", v, err)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		if _, werr := w.Write([]byte(`{"error":"response encoding failed"}`)); werr != nil {
+		if _, werr := w.Write([]byte(`{"code":"internal","message":"response encoding failed"}`)); werr != nil {
 			s.logf("server: writing error response: %v", werr)
 		}
 		return
@@ -172,8 +199,67 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeErr(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+// Error codes of the HTTP layer (ops.CodeInvalidOp and ops.CodeOpFailed
+// pass through from the protocol layer).
+const (
+	codeBadSessionID    = "bad_session_id"    // 400: non-numeric id in the path
+	codeSessionNotFound = "session_not_found" // 404: id was never allocated
+	codeSessionExpired  = "session_expired"   // 410: id existed but was evicted
+	codeBadPage         = "bad_page"          // 400: malformed offset/limit
+	codeInvalidCursor   = "invalid_cursor"    // 400: undecodable pagination cursor
+	codeStaleCursor     = "stale_cursor"      // 409: cursor from a different table state
+	codeBadBody         = "bad_body"          // 400: malformed request body
+	codeInternal        = "internal"          // 500
+)
+
+// apiError is a failure with its HTTP status, stable machine-readable
+// code, and (for batch op failures) the index of the offending op.
+type apiError struct {
+	status  int
+	code    string
+	message string
+	opIndex int // -1 = not a batch failure
+}
+
+func (e *apiError) Error() string { return e.message }
+
+// apiErr builds an apiError with no op index.
+func apiErr(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, code: code, message: fmt.Sprintf(format, args...), opIndex: -1}
+}
+
+// errorJSON is the structured error envelope every non-2xx response
+// carries: a stable machine-readable code, a human-readable message,
+// and — when a batch op failed — the index of the offending op.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	OpIndex *int   `json:"op_index,omitempty"`
+}
+
+// writeErr maps an error to its status and structured envelope:
+// *apiError passes through; *ops.Error maps invalid_op → 400 and
+// op_failed → 422, carrying the op index; anything else is a 500.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if !errors.As(err, &ae) {
+		var oe *ops.Error
+		if errors.As(err, &oe) {
+			status := http.StatusUnprocessableEntity
+			if oe.Code == ops.CodeInvalidOp {
+				status = http.StatusBadRequest
+			}
+			ae = &apiError{status: status, code: oe.Code, message: oe.Message, opIndex: oe.OpIndex}
+		} else {
+			ae = apiErr(http.StatusInternalServerError, codeInternal, "%v", err)
+		}
+	}
+	env := errorJSON{Code: ae.code, Message: ae.message}
+	if ae.opIndex >= 0 {
+		idx := ae.opIndex
+		env.OpIndex = &idx
+	}
+	s.writeJSON(w, ae.status, env)
 }
 
 // schemaJSON is the /api/schema payload.
@@ -290,12 +376,53 @@ func (s *Server) evictLocked() {
 	}
 }
 
-func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
+// strictDecode decodes one JSON value into v, rejecting unknown fields
+// and trailing data — the body-parsing policy of every POST endpoint.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return apiErr(http.StatusBadRequest, codeBadBody, "bad body: %v", err)
+	}
+	if dec.More() {
+		return apiErr(http.StatusBadRequest, codeBadBody, "trailing data after body")
+	}
+	return nil
+}
+
+// createSessionBody is the optional POST body of session creation: a
+// batch of initial ops applied before the session is registered, so
+// create+open is one round trip. Unknown fields are rejected.
+type createSessionBody struct {
+	Ops ops.Pipeline `json:"ops"`
+}
+
+// createSession builds a session, applies any initial ops from the
+// request body, and registers it. If the initial ops fail, no session is
+// created. Returns the new id and entry.
+func (s *Server) createSession(r *http.Request) (int64, *sessionEntry, error) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return 0, nil, apiErr(http.StatusBadRequest, codeBadBody, "reading body: %v", err)
+	}
+	var initial ops.Pipeline
+	if len(bytes.TrimSpace(body)) > 0 {
+		var cb createSessionBody
+		if err := strictDecode(body, &cb); err != nil {
+			return 0, nil, err
+		}
+		initial = cb.Ops
+	}
 	var sess *session.Session
 	if s.opts.PrivateCaches {
 		sess = session.New(s.schema, s.graph)
 	} else {
 		sess = session.NewShared(s.schema, s.graph, s.cache)
+	}
+	if len(initial) > 0 {
+		if err := sess.ApplyPipeline(initial); err != nil {
+			return 0, nil, err
+		}
 	}
 	e := &sessionEntry{sess: sess}
 	e.lastUsed.Store(s.now().UnixNano())
@@ -305,13 +432,39 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, _ *http.Request) {
 	s.nextID++
 	s.sessions[id] = e
 	s.mu.Unlock()
-	s.writeJSON(w, http.StatusCreated, map[string]int64{"id": id})
+	return id, e, nil
 }
 
-func (s *Server) entry(r *http.Request) (*sessionEntry, error) {
+// handleCreateSession serves both POST /api/v1/sessions and the legacy
+// POST /api/session: create a session, optionally applying a body of
+// initial ops ({"ops": [...]}) so create+open is one round trip. The
+// response is the session state with its id (a superset of the legacy
+// {"id": n} shape).
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	id, e, err := s.createSession(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	e.mu.Lock()
+	st, serr := s.stateOf(e.sess, page{})
+	e.mu.Unlock()
+	if serr != nil {
+		s.writeErr(w, serr)
+		return
+	}
+	st.ID = id
+	s.writeJSON(w, http.StatusCreated, st)
+}
+
+// entry resolves the {id} path segment: 400 for a non-numeric id, 404
+// for an id that was never allocated, 410 for one that existed but has
+// been evicted (TTL or LRU) — so clients can tell "retry with a new
+// session" from "you have the wrong URL".
+func (s *Server) entry(r *http.Request) (*sessionEntry, int64, error) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("server: bad session id")
+		return nil, 0, apiErr(http.StatusBadRequest, codeBadSessionID, "bad session id %q", r.PathValue("id"))
 	}
 	s.maybeSweep()
 	s.mu.RLock()
@@ -322,35 +475,113 @@ func (s *Server) entry(r *http.Request) (*sessionEntry, error) {
 		// lastUsed reflects this request.
 		e.lastUsed.Store(s.now().UnixNano())
 	}
+	nextID := s.nextID
 	s.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("server: no session %d", id)
+		if id > 0 && id < nextID {
+			return nil, 0, apiErr(http.StatusGone, codeSessionExpired,
+				"session %d expired or was evicted; export/replay or create a new one", id)
+		}
+		return nil, 0, apiErr(http.StatusNotFound, codeSessionNotFound, "no session %d", id)
 	}
-	return e, nil
+	return e, id, nil
 }
 
-// page is a validated result-row window.
+// page is a validated result-row window. Either explicit offset/limit,
+// or an opaque cursor (v1) that carries the window plus a fingerprint of
+// the table state it was issued against.
 type page struct {
 	offset   int
 	limit    int
 	hasLimit bool
+	// cursor, when non-nil, overrides offset/limit and is verified
+	// against the current presentation state in stateOf.
+	cursor *cursorToken
 }
 
-// pageFromQuery parses offset/limit query parameters ("" = defaults).
+// cursorToken is the decoded form of the opaque pagination cursor.
+type cursorToken struct {
+	Offset int    `json:"o"`
+	Limit  int    `json:"l"`
+	Sig    uint32 `json:"s"`
+}
+
+// encodeCursor serializes a cursor token opaquely (URL-safe base64 of
+// its JSON form). Clients must treat it as a black box.
+func encodeCursor(c cursorToken) string {
+	buf, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(buf)
+}
+
+// decodeCursor parses an opaque cursor string.
+func decodeCursor(s string) (cursorToken, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil {
+		return cursorToken{}, err
+	}
+	var c cursorToken
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return cursorToken{}, err
+	}
+	if c.Offset < 0 || c.Limit <= 0 {
+		return cursorToken{}, fmt.Errorf("bad cursor window [%d,%d]", c.Offset, c.Limit)
+	}
+	return c, nil
+}
+
+// presentationSig fingerprints the presentation state a cursor pages
+// over (pattern, sort, hidden columns): if an op changes the table, old
+// cursors are detected as stale instead of silently returning rows from
+// a different table.
+func presentationSig(e session.Entry) uint32 {
+	h := fnv.New32a()
+	io.WriteString(h, e.Pattern.String())
+	h.Write([]byte{0})
+	if e.Sort != nil {
+		fmt.Fprintf(h, "%s\x01%s\x01%v", e.Sort.Attr, e.Sort.Column, e.Sort.Desc)
+	}
+	h.Write([]byte{0})
+	if len(e.Hidden) > 0 {
+		names := make([]string, 0, len(e.Hidden))
+		for k := range e.Hidden {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			io.WriteString(h, n)
+			h.Write([]byte{1})
+		}
+	}
+	return h.Sum32()
+}
+
+// pageFromQuery parses offset/limit/cursor query parameters ("" =
+// defaults). A cursor is mutually exclusive with offset/limit.
 func pageFromQuery(r *http.Request) (page, error) {
 	var p page
 	q := r.URL.Query()
+	if v := q.Get("cursor"); v != "" {
+		if q.Get("offset") != "" || q.Get("limit") != "" {
+			return p, apiErr(http.StatusBadRequest, codeBadPage, "cursor is exclusive with offset/limit")
+		}
+		c, err := decodeCursor(v)
+		if err != nil {
+			return p, apiErr(http.StatusBadRequest, codeInvalidCursor, "bad cursor: %v", err)
+		}
+		p.cursor = &c
+		return p, nil
+	}
 	if v := q.Get("offset"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return p, fmt.Errorf("server: bad offset %q", v)
+			return p, apiErr(http.StatusBadRequest, codeBadPage, "bad offset %q", v)
 		}
 		p.offset = n
 	}
 	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil {
-			return p, fmt.Errorf("server: bad limit %q", v)
+			return p, apiErr(http.StatusBadRequest, codeBadPage, "bad limit %q", v)
 		}
 		p.limit, p.hasLimit = n, true
 	}
@@ -359,10 +590,10 @@ func pageFromQuery(r *http.Request) (page, error) {
 
 func (p page) validate() error {
 	if p.offset < 0 {
-		return fmt.Errorf("server: negative offset %d", p.offset)
+		return apiErr(http.StatusBadRequest, codeBadPage, "negative offset %d", p.offset)
 	}
 	if p.hasLimit && p.limit < 0 {
-		return fmt.Errorf("server: negative limit %d", p.limit)
+		return apiErr(http.StatusBadRequest, codeBadPage, "negative limit %d", p.limit)
 	}
 	return nil
 }
@@ -391,15 +622,18 @@ func (s *Server) window(p page, total int) (start, end int) {
 }
 
 // stateJSON is the main/schema/history view payload. Rows holds the
-// requested window; TotalRows and Offset let clients page.
+// requested window; TotalRows/Offset support offset paging and
+// NextCursor opaque-cursor paging (present when more rows follow).
 type stateJSON struct {
-	Pattern   string        `json:"pattern"`
-	Columns   []columnJSON  `json:"columns"`
-	Rows      []rowJSON     `json:"rows"`
-	TotalRows int           `json:"totalRows"`
-	Offset    int           `json:"offset"`
-	History   []historyItem `json:"history"`
-	Cursor    int           `json:"cursor"`
+	ID         int64         `json:"id,omitempty"`
+	Pattern    string        `json:"pattern"`
+	Columns    []columnJSON  `json:"columns"`
+	Rows       []rowJSON     `json:"rows"`
+	TotalRows  int           `json:"totalRows"`
+	Offset     int           `json:"offset"`
+	NextCursor string        `json:"nextCursor,omitempty"`
+	History    []historyItem `json:"history"`
+	Cursor     int           `json:"cursor"`
 }
 
 type columnJSON struct {
@@ -429,7 +663,9 @@ type historyItem struct {
 }
 
 // stateOf renders one consistent session snapshot, encoding only the
-// requested row window.
+// requested row window. Cursor requests are verified against the
+// current presentation state (409 stale_cursor on mismatch), and a
+// NextCursor is issued whenever rows remain past the window.
 func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
 	snap, err := sess.State()
 	if err != nil {
@@ -440,9 +676,20 @@ func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
 		st.History = append(st.History, historyItem{Action: h.Action})
 	}
 	if snap.Pattern == nil {
+		if p.cursor != nil {
+			return nil, apiErr(http.StatusConflict, codeStaleCursor, "cursor refers to a closed table")
+		}
 		return st, nil
 	}
 	st.Pattern = snap.Pattern.String()
+	sig := presentationSig(snap.History[snap.Cursor])
+	if p.cursor != nil {
+		if p.cursor.Sig != sig {
+			return nil, apiErr(http.StatusConflict, codeStaleCursor,
+				"cursor was issued against a different table state")
+		}
+		p.offset, p.limit, p.hasLimit = p.cursor.Offset, p.cursor.Limit, true
+	}
 	res := snap.Result
 	for _, c := range res.Columns {
 		st.Columns = append(st.Columns, columnJSON{Name: c.Name, Kind: c.Kind.String()})
@@ -450,6 +697,18 @@ func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
 	st.TotalRows = len(res.Rows)
 	start, end := s.window(p, len(res.Rows))
 	st.Offset = start
+	if end < len(res.Rows) {
+		// More rows follow: issue the opaque continuation cursor. Its
+		// window size is the effective one (explicit limit or the
+		// server's default page size).
+		limit := p.limit
+		if !p.hasLimit {
+			limit = s.opts.PageSize
+		}
+		if limit > 0 {
+			st.NextCursor = encodeCursor(cursorToken{Offset: end, Limit: limit, Sig: sig})
+		}
+	}
 	// Rows is always a JSON array once a table is open, even when the
 	// requested window is empty (limit 0, offset past the end).
 	st.Rows = make([]rowJSON, 0, end-start)
@@ -473,23 +732,24 @@ func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	e, err := s.entry(r)
+	e, id, err := s.entry(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, err)
 		return
 	}
 	p, err := pageFromQuery(r)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err)
 		return
 	}
 	e.mu.Lock()
 	st, err := s.stateOf(e.sess, p)
 	e.mu.Unlock()
 	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
+		s.writeErr(w, err)
 		return
 	}
+	st.ID = id
 	s.writeJSON(w, http.StatusOK, st)
 }
 
@@ -517,16 +777,47 @@ type actionJSON struct {
 	Limit  *int `json:"limit,omitempty"`
 }
 
+// opFromAction translates the legacy action body to its declarative op.
+func opFromAction(a actionJSON) (ops.Op, error) {
+	switch strings.ToLower(a.Action) {
+	case "open":
+		return ops.Open(a.Table), nil
+	case "filter":
+		return ops.Filter(a.Condition), nil
+	case "filterneighbor":
+		return ops.FilterByNeighbor(a.Column, a.Condition), nil
+	case "pivot":
+		return ops.Pivot(a.Column), nil
+	case "single":
+		return ops.Single(a.Node), nil
+	case "seeall":
+		return ops.Seeall(a.Node, a.Column), nil
+	case "sort":
+		return ops.Op{Op: ops.KindSort, Attr: a.Attr, Column: a.Column, Desc: a.Desc}, nil
+	case "hide":
+		return ops.Hide(a.Column), nil
+	case "show":
+		return ops.Show(a.Column), nil
+	case "revert":
+		return ops.Revert(a.Index), nil
+	default:
+		return ops.Op{}, apiErr(http.StatusBadRequest, ops.CodeInvalidOp, "unknown action %q", a.Action)
+	}
+}
+
+// handleAction is the legacy action endpoint: the action body is
+// translated to an ops.Op and applied through the same protocol core as
+// /api/v1 — the switch statement is gone, the op algebra is the single
+// source of truth.
 func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
-	e, err := s.entry(r)
+	e, id, err := s.entry(r)
 	if err != nil {
-		s.writeErr(w, http.StatusNotFound, err)
+		s.writeErr(w, err)
 		return
 	}
-	sess := e.sess
 	var a actionJSON
 	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("server: bad action body: %w", err))
+		s.writeErr(w, apiErr(http.StatusBadRequest, codeBadBody, "bad action body: %v", err))
 		return
 	}
 	p := page{offset: a.Offset}
@@ -534,7 +825,12 @@ func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
 		p.limit, p.hasLimit = *a.Limit, true
 	}
 	if err := p.validate(); err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErr(w, err)
+		return
+	}
+	op, err := opFromAction(a)
+	if err != nil {
+		s.writeErr(w, err)
 		return
 	}
 	// The action and the snapshot it returns are one atomic unit under
@@ -542,40 +838,16 @@ func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
 	// interleave between them.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	switch strings.ToLower(a.Action) {
-	case "open":
-		err = sess.Open(a.Table)
-	case "filter":
-		err = sess.Filter(a.Condition)
-	case "filterneighbor":
-		err = sess.FilterByNeighbor(a.Column, a.Condition)
-	case "pivot":
-		err = sess.Pivot(a.Column)
-	case "single":
-		err = sess.Single(tgm.NodeID(a.Node))
-	case "seeall":
-		err = sess.Seeall(tgm.NodeID(a.Node), a.Column)
-	case "sort":
-		err = sess.SortBy(etable.SortSpec{Attr: a.Attr, Column: a.Column, Desc: a.Desc})
-	case "hide":
-		err = sess.HideColumn(a.Column)
-	case "show":
-		err = sess.ShowColumn(a.Column)
-	case "revert":
-		err = sess.Revert(a.Index)
-	default:
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("server: unknown action %q", a.Action))
+	if err := e.sess.Apply(op); err != nil {
+		s.writeErr(w, err)
 		return
 	}
+	st, err := s.stateOf(e.sess, p)
 	if err != nil {
-		s.writeErr(w, http.StatusUnprocessableEntity, err)
+		s.writeErr(w, err)
 		return
 	}
-	st, err := s.stateOf(sess, p)
-	if err != nil {
-		s.writeErr(w, http.StatusInternalServerError, err)
-		return
-	}
+	st.ID = id
 	s.writeJSON(w, http.StatusOK, st)
 }
 

@@ -233,11 +233,17 @@ func TestErrorStatuses(t *testing.T) {
 	if _, code := act(t, ts, id, map[string]any{"action": "zap"}); code != http.StatusBadRequest {
 		t.Errorf("unknown action status = %d", code)
 	}
-	if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Nope"}); code != http.StatusUnprocessableEntity {
+	// Validation failures (schema-checkable before touching the session)
+	// are 400 invalid_op; only state-dependent failures are 422.
+	if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Nope"}); code != http.StatusBadRequest {
 		t.Errorf("bad table status = %d", code)
 	}
-	if _, code := act(t, ts, id, map[string]any{"action": "filter", "condition": "(("}); code != http.StatusUnprocessableEntity {
+	if _, code := act(t, ts, id, map[string]any{"action": "filter", "condition": "(("}); code != http.StatusBadRequest {
 		t.Errorf("bad condition status = %d", code)
+	}
+	// State-dependent failure: filter with no open table is 422.
+	if _, code := act(t, ts, id, map[string]any{"action": "filter", "condition": "year > 2000"}); code != http.StatusUnprocessableEntity {
+		t.Errorf("filter before open status = %d", code)
 	}
 	// Malformed body.
 	resp, err := http.Post(fmt.Sprintf("%s/api/session/%d/action", ts.URL, id), "application/json",
@@ -249,14 +255,24 @@ func TestErrorStatuses(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("malformed body status = %d", resp.StatusCode)
 	}
-	// Bad session id in path.
+	// Non-numeric session id in the path is a client error, not a 404.
 	resp2, err := http.Get(ts.URL + "/api/session/abc")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var env struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
 	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusNotFound {
+	if resp2.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad id status = %d", resp2.StatusCode)
+	}
+	if env.Code != "bad_session_id" || env.Message == "" {
+		t.Errorf("error envelope = %+v", env)
 	}
 }
 
@@ -284,7 +300,7 @@ func TestIndexPage(t *testing.T) {
 		t.Fatal(err)
 	}
 	body := string(raw)
-	if !strings.Contains(body, "ETable") || !strings.Contains(body, "api/session") {
+	if !strings.Contains(body, "ETable") || !strings.Contains(body, "api/v1/sessions") {
 		t.Error("index page missing expected content")
 	}
 	// Unknown paths 404.
@@ -397,7 +413,9 @@ func TestSessionTTLEviction(t *testing.T) {
 	clock = clock.Add(2 * time.Minute)
 	fresh := createSession(t, ts) // creation runs eviction: stale is gone
 
-	if _, code := act(t, ts, stale, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+	// An evicted (but once-allocated) session is 410 Gone, telling the
+	// client to replay its log into a new session rather than fix its URL.
+	if _, code := act(t, ts, stale, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusGone {
 		t.Errorf("stale session still served: code=%d", code)
 	}
 	if _, code := act(t, ts, fresh, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusOK {
@@ -428,7 +446,7 @@ func TestMaxSessionsEviction(t *testing.T) {
 	act(t, ts, a, map[string]any{"action": "open", "table": "Papers"})
 	d := createSession(t, ts)
 
-	if _, code := act(t, ts, b, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+	if _, code := act(t, ts, b, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusGone {
 		t.Errorf("LRU session b still served: code=%d", code)
 	}
 	for _, id := range []int64{a, c, d} {
@@ -577,7 +595,7 @@ func TestWriteJSONEncodeError(t *testing.T) {
 		t.Error("encode error was not logged")
 	}
 	var out map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["error"] == "" {
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["code"] != "internal" || out["message"] == "" {
 		t.Errorf("error body = %q, %v", rec.Body.String(), err)
 	}
 }
@@ -595,7 +613,7 @@ func TestTTLSweepWithoutCreation(t *testing.T) {
 
 	// A lookup (even of a live-looking id) triggers the sweep; both
 	// expired sessions disappear without any create.
-	if _, code := act(t, ts, a, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusNotFound {
+	if _, code := act(t, ts, a, map[string]any{"action": "open", "table": "Papers"}); code != http.StatusGone {
 		t.Errorf("expired session a: code=%d", code)
 	}
 	var st struct {

@@ -55,28 +55,31 @@ const indexHTML = `<!DOCTYPE html>
   <h2>History</h2><div id="history"></div>
 </div>
 <script>
+// The UI speaks the declarative op protocol of /api/v1: every user
+// gesture posts one op (or a batch array) to the session's /ops
+// endpoint; errors carry structured {code, message} envelopes.
 let sid = null;
 async function api(path, opts) {
   const r = await fetch(path, opts);
   const j = await r.json();
-  if (!r.ok) throw new Error(j.error || r.statusText);
+  if (!r.ok) throw new Error(j.message || j.error || r.statusText);
   return j;
 }
 async function init() {
-  const s = await api('/api/session', {method: 'POST'});
+  const s = await api('/api/v1/sessions', {method: 'POST'});
   sid = s.id;
-  const schema = await api('/api/schema');
+  const schema = await api('/api/v1/schema');
   const list = document.getElementById('tablelist');
   for (const nt of schema.nodeTypes) {
     const b = document.createElement('button');
     b.textContent = nt.name + ' (' + nt.count + ')';
-    b.onclick = () => act({action: 'open', table: nt.name});
+    b.onclick = () => act({op: 'open', table: nt.name});
     list.appendChild(b);
   }
 }
 async function act(a) {
   try {
-    const st = await api('/api/session/' + sid + '/action',
+    const st = await api('/api/v1/sessions/' + sid + '/ops',
       {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify(a)});
     renderState(st);
     document.getElementById('status').textContent = '';
@@ -87,7 +90,7 @@ async function act(a) {
 }
 function applyFilter() {
   const c = document.getElementById('cond').value;
-  if (c) act({action: 'filter', condition: c});
+  if (c) act({op: 'filter', cond: c});
 }
 function renderState(st) {
   document.getElementById('pattern').textContent = st.pattern || '';
@@ -97,7 +100,7 @@ function renderState(st) {
     const d = document.createElement('div');
     d.textContent = (i + 1) + '. ' + e.action;
     if (i === st.cursor) d.className = 'current';
-    d.onclick = () => act({action: 'revert', index: i});
+    d.onclick = () => act({op: 'revert', index: i});
     h.appendChild(d);
   });
   const grid = document.getElementById('grid');
@@ -113,11 +116,11 @@ function renderState(st) {
       pv.className = 'pivot';
       pv.textContent = ' ⇄';
       pv.title = 'pivot';
-      pv.onclick = (ev) => { ev.stopPropagation(); act({action: 'pivot', column: c.name}); };
+      pv.onclick = (ev) => { ev.stopPropagation(); act({op: 'pivot', column: c.name}); };
       th.appendChild(pv);
-      th.onclick = () => act({action: 'sort', column: c.name, desc: true});
+      th.onclick = () => act({op: 'sort', column: c.name, desc: true});
     } else {
-      th.onclick = () => act({action: 'sort', attr: c.name, desc: true});
+      th.onclick = () => act({op: 'sort', attr: c.name, desc: true});
     }
     hr.appendChild(th);
   }
@@ -134,14 +137,14 @@ function renderState(st) {
           const a = document.createElement('span');
           a.className = 'ref';
           a.textContent = ref.label.length > 12 ? ref.label.slice(0, 12) + '…' : ref.label;
-          a.onclick = () => act({action: 'single', node: ref.id});
+          a.onclick = () => act({op: 'single', node: ref.id});
           td.appendChild(a);
         });
         if (cell.count > 0) {
           const n = document.createElement('span');
           n.className = 'count';
           n.textContent = cell.count;
-          n.onclick = () => act({action: 'seeall', node: row.node, column: st.columns[ci].name});
+          n.onclick = () => act({op: 'seeall', node: row.node, column: st.columns[ci].name});
           td.appendChild(n);
         }
       }

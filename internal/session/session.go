@@ -23,6 +23,14 @@
 // memo of fully presented results (sorted, columns hidden) so
 // presentation-only re-reads (history browsing, pagination) skip even
 // the transform step.
+//
+// Every mutation flows through the declarative operation protocol of
+// internal/ops: Apply executes one validated ops.Op, ApplyPipeline
+// executes a batch atomically, and the imperative methods (Open, Filter,
+// …) are thin wrappers that build the corresponding op. Each history
+// entry records the op that produced it, so Export serializes a session
+// to a replayable operation log and Replay deterministically rebuilds
+// identical state on a fresh session over the same graph.
 package session
 
 import (
@@ -33,13 +41,18 @@ import (
 
 	"repro/internal/etable"
 	"repro/internal/expr"
+	"repro/internal/ops"
 	"repro/internal/tgm"
 	"repro/internal/value"
 )
 
-// Entry is one history item: the action's description and the query
-// pattern in effect after it.
+// Entry is one history item: the operation that produced it, its
+// human-readable description, and the query pattern in effect after it.
 type Entry struct {
+	// Op is the declarative operation that created this entry. Revert
+	// ops never create entries (they only move the cursor), so a
+	// history is exactly its ops replayed in order.
+	Op ops.Op
 	// Action describes the user action, e.g. "Open 'Papers' table".
 	Action string
 	// Pattern is the query pattern after the action (nil only for the
@@ -158,11 +171,11 @@ func (s *Session) State() (State, error) {
 	return st, nil
 }
 
-func (s *Session) push(action string, p *etable.Pattern, sort *etable.SortSpec, hidden map[string]bool) {
+func (s *Session) push(op ops.Op, action string, p *etable.Pattern, sort *etable.SortSpec, hidden map[string]bool) {
 	// A new action truncates any reverted-away suffix, like an editor's
 	// redo stack.
 	s.history = append(s.history[:s.cursor+1], Entry{
-		Action: action, Pattern: p, Sort: sort, Hidden: hidden,
+		Op: op, Action: action, Pattern: p, Sort: sort, Hidden: hidden,
 	})
 	s.cursor = len(s.history) - 1
 }
@@ -174,103 +187,261 @@ func (s *Session) current() (Entry, error) {
 	return s.history[s.cursor], nil
 }
 
-// Open starts a new ETable from a node type (user action 1; Fig 7 U1).
-func (s *Session) Open(typeName string) error {
-	p, err := etable.Initiate(s.schema, typeName)
+// Apply validates, compiles, and executes one declarative operation.
+// Validation failures return an *ops.Error with code invalid_op before
+// any session state is touched; state-dependent failures (no open table,
+// unknown column, …) return code op_failed and leave the session
+// unchanged.
+func (s *Session) Apply(op ops.Op) error {
+	c, err := op.Compile(s.schema)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.push(fmt.Sprintf("Open '%s' table", typeName), p, nil, nil)
+	if err := s.applyLocked(c); err != nil {
+		return ops.Failed(err, -1)
+	}
 	return nil
 }
 
-// Filter applies a selection condition to the current primary node type
-// (user action 2; Fig 7 U3).
-func (s *Session) Filter(condSrc string) error {
+// ApplyPipeline executes a batch of operations atomically: the whole
+// pipeline is compiled up front, and if any op fails to apply, the
+// session is restored to its pre-batch state and the returned *ops.Error
+// carries the index of the offending op.
+func (s *Session) ApplyPipeline(p ops.Pipeline) error {
+	compiled, err := p.Compile(s.schema)
+	if err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
+	// push appends into history[:cursor+1], which can overwrite entries
+	// of the shared backing array past the cursor — the rollback
+	// snapshot must be a full copy.
+	savedHistory := append([]Entry(nil), s.history...)
+	savedCursor := s.cursor
+	for i, c := range compiled {
+		if err := s.applyLocked(c); err != nil {
+			s.history, s.cursor = savedHistory, savedCursor
+			return ops.Failed(err, i)
+		}
 	}
-	p, err := etable.Select(cur.Pattern, condSrc)
-	if err != nil {
-		return err
-	}
-	s.push(fmt.Sprintf("Filter '%s' table by (%s)", p.Primary, condSrc),
-		p, cur.Sort, cur.Hidden)
 	return nil
 }
 
-// FilterByNeighbor filters rows by a condition on one of the primary
-// type's neighbor node columns ("filter rows by the labels of the
-// neighbor nodes columns (e.g., authors' names), which is translated
-// into subqueries", §6.1). The neighbor type joins into the pattern with
-// the condition attached; the primary node is unchanged.
-func (s *Session) FilterByNeighbor(columnName, condSrc string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	res, err := s.resultLocked()
-	if err != nil {
-		return err
-	}
-	ci := res.ColumnIndex(columnName)
-	if ci < 0 {
-		return fmt.Errorf("session: no column %q", columnName)
-	}
-	col := res.Columns[ci]
-	if col.Kind != etable.ColNeighbor {
-		return fmt.Errorf("session: column %q is not a neighbor column", columnName)
-	}
-	p, newKey, err := etable.AddBetween(s.schema, cur.Pattern, cur.Pattern.Primary, col.EdgeType)
-	if err != nil {
-		return err
-	}
-	if p, err = etable.SelectNode(p, newKey, condSrc); err != nil {
-		return err
-	}
-	s.push(fmt.Sprintf("Filter '%s' table by (%s: %s)", p.Primary, columnName, condSrc),
-		p, cur.Sort, cur.Hidden)
-	return nil
-}
+// applyLocked executes one compiled op with s.mu held. It is the single
+// implementation of every session mutation; the imperative methods and
+// the replay path all funnel through it.
+func (s *Session) applyLocked(c ops.Compiled) error {
+	op := c.Op
+	switch op.Op {
+	case ops.KindOpen:
+		p, err := etable.Initiate(s.schema, op.Table)
+		if err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("Open '%s' table", op.Table), p, nil, nil)
 
-// Pivot changes the primary node type through a column (user action 3;
-// Fig 7 U4): Add for neighbor columns, Shift for participating columns.
-func (s *Session) Pivot(columnName string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	res, err := s.resultLocked()
-	if err != nil {
-		return err
-	}
-	ci := res.ColumnIndex(columnName)
-	if ci < 0 {
-		return fmt.Errorf("session: no column %q", columnName)
-	}
-	col := res.Columns[ci]
-	var p *etable.Pattern
-	switch col.Kind {
-	case etable.ColNeighbor:
-		p, err = etable.Add(s.schema, cur.Pattern, col.EdgeType)
-	case etable.ColParticipating:
-		p, err = etable.Shift(cur.Pattern, col.NodeKey)
+	case ops.KindFilter:
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		p, err := etable.SelectExpr(cur.Pattern, c.Cond, op.Cond)
+		if err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("Filter '%s' table by (%s)", p.Primary, op.Cond),
+			p, cur.Sort, cur.Hidden)
+
+	case ops.KindFilterByNeighbor:
+		// "filter rows by the labels of the neighbor nodes columns
+		// (e.g., authors' names), which is translated into subqueries"
+		// (§6.1): the neighbor type joins into the pattern with the
+		// condition attached; the primary node is unchanged.
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		res, err := s.resultLocked()
+		if err != nil {
+			return err
+		}
+		ci := res.ColumnIndex(op.Column)
+		if ci < 0 {
+			return fmt.Errorf("session: no column %q", op.Column)
+		}
+		col := res.Columns[ci]
+		if col.Kind != etable.ColNeighbor {
+			return fmt.Errorf("session: column %q is not a neighbor column", op.Column)
+		}
+		p, newKey, err := etable.AddBetween(s.schema, cur.Pattern, cur.Pattern.Primary, col.EdgeType)
+		if err != nil {
+			return err
+		}
+		if p, err = etable.SelectNodeExpr(p, newKey, c.Cond, op.Cond); err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("Filter '%s' table by (%s: %s)", p.Primary, op.Column, op.Cond),
+			p, cur.Sort, cur.Hidden)
+
+	case ops.KindPivot:
+		// Add for neighbor columns, Shift for participating columns.
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		res, err := s.resultLocked()
+		if err != nil {
+			return err
+		}
+		ci := res.ColumnIndex(op.Column)
+		if ci < 0 {
+			return fmt.Errorf("session: no column %q", op.Column)
+		}
+		col := res.Columns[ci]
+		var p *etable.Pattern
+		switch col.Kind {
+		case etable.ColNeighbor:
+			p, err = etable.Add(s.schema, cur.Pattern, col.EdgeType)
+		case etable.ColParticipating:
+			p, err = etable.Shift(cur.Pattern, col.NodeKey)
+		default:
+			return fmt.Errorf("session: cannot pivot on base attribute %q", op.Column)
+		}
+		if err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("Pivot to '%s'", op.Column), p, nil, nil)
+
+	case ops.KindSingle:
+		// Initiate the clicked node's type, then Select it by key.
+		n := s.graph.Node(tgm.NodeID(*op.Node))
+		if n == nil {
+			return fmt.Errorf("session: no node %d", *op.Node)
+		}
+		p, err := etable.Initiate(s.schema, n.Type.Name)
+		if err != nil {
+			return err
+		}
+		cond, condSrc := keyCondition(n)
+		if p, err = etable.SelectExpr(p, cond, condSrc); err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("See '%s' (%s)", n.Label(), n.Type.Name), p, nil, nil)
+
+	case ops.KindSeeall:
+		// Select the clicked row's node, then Add (neighbor column) or
+		// Shift (participating column).
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		n := s.graph.Node(tgm.NodeID(*op.Node))
+		if n == nil {
+			return fmt.Errorf("session: no node %d", *op.Node)
+		}
+		if n.Type.Name != cur.Pattern.PrimaryNode().Type {
+			return fmt.Errorf("session: node %q is not of the primary type %q",
+				n.Label(), cur.Pattern.PrimaryNode().Type)
+		}
+		res, err := s.resultLocked()
+		if err != nil {
+			return err
+		}
+		ci := res.ColumnIndex(op.Column)
+		if ci < 0 {
+			return fmt.Errorf("session: no column %q", op.Column)
+		}
+		col := res.Columns[ci]
+		cond, condSrc := keyCondition(n)
+		p, err := etable.SelectExpr(cur.Pattern, cond, condSrc)
+		if err != nil {
+			return err
+		}
+		switch col.Kind {
+		case etable.ColNeighbor:
+			p, err = etable.Add(s.schema, p, col.EdgeType)
+		case etable.ColParticipating:
+			p, err = etable.Shift(p, col.NodeKey)
+		default:
+			return fmt.Errorf("session: cannot see-all on base attribute %q", op.Column)
+		}
+		if err != nil {
+			return err
+		}
+		s.push(op, fmt.Sprintf("See all '%s' of '%s'", op.Column, n.Label()), p, nil, nil)
+
+	case ops.KindSort:
+		// The spec is validated against the current result's columns
+		// only — no rows are copied or sorted until the result is next
+		// read.
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		res, err := s.resultLocked()
+		if err != nil {
+			return err
+		}
+		spec := etable.SortSpec{Attr: op.Attr, Column: op.Column, Desc: op.Desc}
+		if err := res.ValidateSort(spec); err != nil {
+			return err
+		}
+		what := spec.Attr
+		if what == "" {
+			what = "# of " + spec.Column
+		}
+		dir := "asc"
+		if spec.Desc {
+			dir = "desc"
+		}
+		s.push(op, fmt.Sprintf("Sort table by %s (%s)", what, dir), cur.Pattern, &spec, cur.Hidden)
+
+	case ops.KindHide:
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		res, err := s.resultLocked()
+		if err != nil {
+			return err
+		}
+		if res.ColumnIndex(op.Column) < 0 {
+			return fmt.Errorf("session: no column %q", op.Column)
+		}
+		hidden := map[string]bool{op.Column: true}
+		for k := range cur.Hidden {
+			hidden[k] = true
+		}
+		s.push(op, fmt.Sprintf("Hide column '%s'", op.Column), cur.Pattern, cur.Sort, hidden)
+
+	case ops.KindShow:
+		cur, err := s.current()
+		if err != nil {
+			return err
+		}
+		if !cur.Hidden[op.Column] {
+			return fmt.Errorf("session: column %q is not hidden", op.Column)
+		}
+		hidden := map[string]bool{}
+		for k := range cur.Hidden {
+			if k != op.Column {
+				hidden[k] = true
+			}
+		}
+		s.push(op, fmt.Sprintf("Show column '%s'", op.Column), cur.Pattern, cur.Sort, hidden)
+
+	case ops.KindRevert:
+		if op.Index < 0 || op.Index >= len(s.history) {
+			return fmt.Errorf("session: no history entry %d", op.Index)
+		}
+		s.cursor = op.Index
+
 	default:
-		return fmt.Errorf("session: cannot pivot on base attribute %q", columnName)
+		return fmt.Errorf("session: unknown op kind %q", op.Op)
 	}
-	if err != nil {
-		return err
-	}
-	s.push(fmt.Sprintf("Pivot to '%s'", columnName), p, nil, nil)
 	return nil
 }
 
@@ -283,157 +454,118 @@ func keyCondition(n *tgm.Node) (expr.Expr, string) {
 	return cond, fmt.Sprintf("%s = %s", nt.Key, keyVal.SQL())
 }
 
-// Single opens a one-row ETable for a clicked entity reference (user
-// action 4): Initiate its type, then Select it by key.
-func (s *Session) Single(id tgm.NodeID) error {
-	n := s.graph.Node(id)
-	if n == nil {
-		return fmt.Errorf("session: no node %d", id)
-	}
-	p, err := etable.Initiate(s.schema, n.Type.Name)
-	if err != nil {
-		return err
-	}
-	cond, condSrc := keyCondition(n)
-	if p, err = etable.SelectExpr(p, cond, condSrc); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.push(fmt.Sprintf("See '%s' (%s)", n.Label(), n.Type.Name), p, nil, nil)
-	return nil
+// The imperative methods below are thin wrappers over Apply — the op
+// algebra is the single source of truth for every session mutation.
+
+// Open starts a new ETable from a node type (user action 1; Fig 7 U1).
+func (s *Session) Open(typeName string) error { return s.Apply(ops.Open(typeName)) }
+
+// Filter applies a selection condition to the current primary node type
+// (user action 2; Fig 7 U3).
+func (s *Session) Filter(condSrc string) error { return s.Apply(ops.Filter(condSrc)) }
+
+// FilterByNeighbor filters rows by a condition on one of the primary
+// type's neighbor node columns (§6.1).
+func (s *Session) FilterByNeighbor(columnName, condSrc string) error {
+	return s.Apply(ops.FilterByNeighbor(columnName, condSrc))
 }
 
+// Pivot changes the primary node type through a column (user action 3;
+// Fig 7 U4).
+func (s *Session) Pivot(columnName string) error { return s.Apply(ops.Pivot(columnName)) }
+
+// Single opens a one-row ETable for a clicked entity reference (user
+// action 4).
+func (s *Session) Single(id tgm.NodeID) error { return s.Apply(ops.Single(int64(id))) }
+
 // Seeall lists the complete set of entity references of one cell (user
-// action 5): select the clicked row's node, then Add (neighbor column)
-// or Shift (participating column).
+// action 5).
 func (s *Session) Seeall(id tgm.NodeID, columnName string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	n := s.graph.Node(id)
-	if n == nil {
-		return fmt.Errorf("session: no node %d", id)
-	}
-	if n.Type.Name != cur.Pattern.PrimaryNode().Type {
-		return fmt.Errorf("session: node %q is not of the primary type %q",
-			n.Label(), cur.Pattern.PrimaryNode().Type)
-	}
-	res, err := s.resultLocked()
-	if err != nil {
-		return err
-	}
-	ci := res.ColumnIndex(columnName)
-	if ci < 0 {
-		return fmt.Errorf("session: no column %q", columnName)
-	}
-	col := res.Columns[ci]
-	cond, condSrc := keyCondition(n)
-	p, err := etable.SelectExpr(cur.Pattern, cond, condSrc)
-	if err != nil {
-		return err
-	}
-	switch col.Kind {
-	case etable.ColNeighbor:
-		p, err = etable.Add(s.schema, p, col.EdgeType)
-	case etable.ColParticipating:
-		p, err = etable.Shift(p, col.NodeKey)
-	default:
-		return fmt.Errorf("session: cannot see-all on base attribute %q", columnName)
-	}
-	if err != nil {
-		return err
-	}
-	s.push(fmt.Sprintf("See all '%s' of '%s'", columnName, n.Label()), p, nil, nil)
-	return nil
+	return s.Apply(ops.Seeall(int64(id), columnName))
 }
 
 // SortBy orders the current table by a base attribute or by the
 // reference count of an entity-reference column (§6.1 additional
-// action). The spec is validated against the current result's columns
-// only — no rows are copied or sorted until the result is next read.
+// action).
 func (s *Session) SortBy(spec etable.SortSpec) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	res, err := s.resultLocked()
-	if err != nil {
-		return err
-	}
-	if err := res.ValidateSort(spec); err != nil {
-		return err
-	}
-	what := spec.Attr
-	if what == "" {
-		what = "# of " + spec.Column
-	}
-	dir := "asc"
-	if spec.Desc {
-		dir = "desc"
-	}
-	s.push(fmt.Sprintf("Sort table by %s (%s)", what, dir), cur.Pattern, &spec, cur.Hidden)
-	return nil
+	return s.Apply(ops.Op{Op: ops.KindSort, Attr: spec.Attr, Column: spec.Column, Desc: spec.Desc})
 }
 
 // HideColumn removes a column from the presentation (§6.1).
-func (s *Session) HideColumn(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	res, err := s.resultLocked()
-	if err != nil {
-		return err
-	}
-	if res.ColumnIndex(name) < 0 {
-		return fmt.Errorf("session: no column %q", name)
-	}
-	hidden := map[string]bool{name: true}
-	for k := range cur.Hidden {
-		hidden[k] = true
-	}
-	s.push(fmt.Sprintf("Hide column '%s'", name), cur.Pattern, cur.Sort, hidden)
-	return nil
-}
+func (s *Session) HideColumn(name string) error { return s.Apply(ops.Hide(name)) }
 
 // ShowColumn re-adds a hidden column.
-func (s *Session) ShowColumn(name string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cur, err := s.current()
-	if err != nil {
-		return err
-	}
-	if !cur.Hidden[name] {
-		return fmt.Errorf("session: column %q is not hidden", name)
-	}
-	hidden := map[string]bool{}
-	for k := range cur.Hidden {
-		if k != name {
-			hidden[k] = true
-		}
-	}
-	s.push(fmt.Sprintf("Show column '%s'", name), cur.Pattern, cur.Sort, hidden)
-	return nil
-}
+func (s *Session) ShowColumn(name string) error { return s.Apply(ops.Show(name)) }
 
 // Revert moves the current state to history entry i (the history view's
 // "revert to a previous state").
-func (s *Session) Revert(i int) error {
+func (s *Session) Revert(i int) error { return s.Apply(ops.Revert(i)) }
+
+// Log is a session serialized as its replayable operation log: the op of
+// every history entry in order, plus the cursor position. Replaying a
+// log on a fresh session over the same graph reproduces identical state,
+// which is what makes sessions persistable across server eviction.
+type Log struct {
+	Ops    []ops.Op `json:"ops"`
+	Cursor int      `json:"cursor"`
+}
+
+// Export snapshots the session as a replayable operation log.
+func (s *Session) Export() Log {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if i < 0 || i >= len(s.history) {
-		return fmt.Errorf("session: no history entry %d", i)
+	log := Log{Cursor: s.cursor, Ops: make([]ops.Op, len(s.history))}
+	for i := range s.history {
+		log.Ops[i] = s.history[i].Op
 	}
-	s.cursor = i
+	return log
+}
+
+// Entries returns a copy of the history and the cursor under one lock
+// acquisition (unlike History+Cursor, which could interleave with a
+// concurrent action).
+func (s *Session) Entries() ([]Entry, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Entry(nil), s.history...), s.cursor
+}
+
+// Replay resets the session and re-executes an exported operation log.
+// The whole log is compiled up front; if any op fails to apply, the
+// session's previous state is restored and the returned *ops.Error
+// carries the offending op's index. On success the history, cursor, and
+// presented state are identical to the session the log was exported
+// from.
+func (s *Session) Replay(log Log) error {
+	compiled, err := ops.Pipeline(log.Ops).Compile(s.schema)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	savedHistory, savedCursor := s.history, s.cursor
+	restore := func() { s.history, s.cursor = savedHistory, savedCursor }
+	// Starting from nil history, pushes allocate a fresh backing array,
+	// so the saved slice cannot be clobbered.
+	s.history, s.cursor = nil, -1
+	for i, c := range compiled {
+		if err := s.applyLocked(c); err != nil {
+			restore()
+			return ops.Failed(err, i)
+		}
+	}
+	if len(s.history) == 0 {
+		if log.Cursor != -1 {
+			restore()
+			return ops.Failed(fmt.Errorf("session: replay cursor %d with empty history", log.Cursor), -1)
+		}
+		return nil
+	}
+	if log.Cursor < 0 || log.Cursor >= len(s.history) {
+		restore()
+		return ops.Failed(fmt.Errorf("session: replay cursor %d outside history of %d", log.Cursor, len(s.history)), -1)
+	}
+	s.cursor = log.Cursor
 	return nil
 }
 

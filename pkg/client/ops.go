@@ -1,0 +1,61 @@
+package client
+
+// Op is one declarative operation of the /api/v1 protocol: the "op"
+// field selects the kind, the remaining fields are that kind's operands.
+// Construct ops with the builder functions below; the JSON encoding of
+// an Op is exactly the wire format POST .../ops accepts (docs/API.md).
+type Op struct {
+	Op     string `json:"op"`
+	Table  string `json:"table,omitempty"`
+	Cond   string `json:"cond,omitempty"`
+	Column string `json:"column,omitempty"`
+	// Node is a pointer because node ids start at 0: "node omitted" and
+	// "node 0" must stay distinguishable on the wire. The Single/Seeall
+	// builders set it from a plain int64.
+	Node  *int64 `json:"node,omitempty"`
+	Attr  string `json:"attr,omitempty"`
+	Desc  bool   `json:"desc,omitempty"`
+	Index int    `json:"index,omitempty"`
+}
+
+// Open starts a new ETable from a node type.
+func Open(table string) Op { return Op{Op: "open", Table: table} }
+
+// Filter applies a condition to the current primary node type, e.g.
+// Filter("year > 2005 AND venue = 'SIGMOD'").
+func Filter(cond string) Op { return Op{Op: "filter", Cond: cond} }
+
+// FilterByNeighbor filters rows by a condition on a neighbor column,
+// e.g. FilterByNeighbor("Authors", "name = 'H. V. Jagadish'").
+func FilterByNeighbor(column, cond string) Op {
+	return Op{Op: "filter_neighbor", Column: column, Cond: cond}
+}
+
+// Pivot changes the primary node type through an entity-reference column.
+func Pivot(column string) Op { return Op{Op: "pivot", Column: column} }
+
+// Single opens a one-row ETable for a clicked entity reference.
+func Single(node int64) Op { return Op{Op: "single", Node: &node} }
+
+// Seeall lists the complete entity-reference set of one cell.
+func Seeall(node int64, column string) Op {
+	return Op{Op: "seeall", Node: &node, Column: column}
+}
+
+// SortByAttr orders rows by a base attribute value.
+func SortByAttr(attr string, desc bool) Op { return Op{Op: "sort", Attr: attr, Desc: desc} }
+
+// SortByCount orders rows by the reference count of an entity-reference
+// column ("Sort table by # of …").
+func SortByCount(column string, desc bool) Op {
+	return Op{Op: "sort", Column: column, Desc: desc}
+}
+
+// Hide removes a column from the presentation.
+func Hide(column string) Op { return Op{Op: "hide", Column: column} }
+
+// Show re-adds a hidden column.
+func Show(column string) Op { return Op{Op: "show", Column: column} }
+
+// Revert moves the session back (or forward) to history entry index.
+func Revert(index int) Op { return Op{Op: "revert", Index: index} }

@@ -3,13 +3,23 @@
 # repo's performance trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench.sh [go-test-bench-regexp]
+#        scripts/bench.sh smoke [go-test-bench-regexp]
 #
 # Writes BENCH_<date>.json (the `go test -json` event stream, which
 # includes every benchmark result line with -benchmem statistics) and
 # prints the human-readable results to stdout.
+#
+# Smoke mode (what CI runs) executes each benchmark for exactly one
+# iteration and writes no artifact: it proves every benchmark still
+# compiles and runs, without measuring anything.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "smoke" ]; then
+	pattern="${2:-.}"
+	exec go test -run '^$' -bench "$pattern" -benchtime 1x .
+fi
 
 pattern="${1:-.}"
 stamp="$(date +%Y-%m-%d)"
