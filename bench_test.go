@@ -7,6 +7,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/etable"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/graphrel"
 	"repro/internal/relational"
@@ -514,6 +516,77 @@ func BenchmarkServerConcurrentSessions(b *testing.B) {
 		srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{})
 		workload(b, srv, true)
 	})
+}
+
+var (
+	scaleOnce sync.Once
+	scaleTr   *translate.Result
+	scaleErr  error
+)
+
+// scaleFixtures is a 12k-paper corpus — big enough that the Figure 7/8
+// relations span many morsels and clear the statistics-driven serial
+// fallback gate (EstimatePattern ≥ two morsels), so the parallel
+// kernels actually fan out.
+func scaleFixtures(b *testing.B) *translate.Result {
+	b.Helper()
+	scaleOnce.Do(func() {
+		var db *relational.DB
+		if db, scaleErr = dataset.Generate(dataset.Config{Papers: 12000, Seed: 1}); scaleErr != nil {
+			return
+		}
+		scaleTr, scaleErr = translate.Translate(db, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		})
+	})
+	if scaleErr != nil {
+		b.Fatal(scaleErr)
+	}
+	return scaleTr
+}
+
+// BenchmarkParallelScaling measures morsel-driven intra-query
+// parallelism on the Figure 7/8 workload at 1/2/4/8 workers: the
+// "match" arms run instance matching m(Q) (the §5.4 hot path the
+// kernels parallelize), the "execute" arms add the serial format
+// transformation. workers=1 is the serial baseline (nil pool, zero
+// options — the exact pre-parallelism code path). Run on a multicore
+// host to observe scaling; on a single-core host the arms should be
+// within fan-out overhead of each other (PERFORMANCE.md §5 records
+// both).
+func BenchmarkParallelScaling(b *testing.B) {
+	tr := scaleFixtures(b)
+	p := figure7Pattern(b, tr)
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := etable.ExecOptions{}
+		if workers > 1 {
+			opt = etable.ExecOptions{
+				Ctx:         context.Background(),
+				Pool:        exec.NewPool(workers),
+				Parallelism: workers,
+			}
+		}
+		b.Run(fmt.Sprintf("match/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m, err := etable.MatchOpts(tr.Instance, p, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if m.Len() == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("execute/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := etable.ExecuteOpts(tr.Instance, p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // globalMutexHandler serializes every request behind one lock — the

@@ -64,4 +64,43 @@
 //   - pkg/client: the typed Go SDK (the first public package) with
 //     per-op builders, retry/backoff, pagination iterators, and
 //     history export/replay. docs/API.md documents every route.
+//
+// # Parallel execution
+//
+// PR 2 made sessions concurrent; this layer makes a single query
+// concurrent, following the morsel-driven parallelism design of modern
+// analytical engines:
+//
+//   - internal/exec: a bounded worker Pool shared process-wide. Pool
+//     admission is try-acquire, never blocking: a query that finds the
+//     pool busy degrades to serial on its own goroutine, so the pool
+//     capacity (Options.MaxWorkers, default GOMAXPROCS) is a hard
+//     server-wide bound on helper goroutines — 100 concurrent sessions
+//     cannot spawn 100×Ncores workers. Each query additionally carries
+//     a per-request parallelism budget.
+//   - internal/graphrel: relations chunk into fixed 2048-row morsels
+//     (Relation.Partitions / Concat); SelectPar, JoinPar, and
+//     ProjectPar fan morsels out to the pool and splice per-morsel
+//     outputs into one arena through disjoint windows — no locks on the
+//     hot path, and output row-for-row identical to the serial kernels
+//     (property-tested under -race).
+//   - internal/stats: per-edge-type out-degree histograms and
+//     per-node-type attribute NDV estimates, collected once at
+//     translate time and frozen with the graph (stats.For). They
+//     replace the single AvgOutDegree scalar in the planner's cost
+//     model and drive condition-selectivity estimates.
+//   - internal/etable: planJoins is a cost-based planner propagating
+//     estimated cardinalities (JoinStep.EstIn/EstOut) through the join
+//     tree; Execute takes an ExecOptions{Ctx, Pool, Parallelism}
+//     struct, and EstimatePattern gates tiny queries onto the serial
+//     path so interactive clicks never pay fan-out overhead.
+//   - internal/session + internal/server: the per-request budget and
+//     the request context thread through ApplyCtx/ApplyPipelineCtx/
+//     StateCtx down to the kernels. Clients override the budget with
+//     ?parallelism=N; a disconnected client cancels its context and the
+//     query stops between morsels (HTTP 499 in logs). /api/v1/stats
+//     reports the pool and the per-edge planner statistics.
+//
+// PERFORMANCE.md §5 records the scaling measurements
+// (BenchmarkParallelScaling).
 package repro

@@ -1,22 +1,71 @@
 package etable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/graphrel"
 	"repro/internal/tgm"
 	"repro/internal/value"
 )
 
+// ExecOptions configures one execution: the cancellation context and
+// the intra-query parallelism budget. The zero value is serial,
+// uncancellable execution — exactly the pre-parallelism behavior.
+type ExecOptions struct {
+	// Ctx cancels execution between morsels and join steps; nil never
+	// cancels. An abandoned HTTP request propagates its context here so
+	// a heavy join stops mid-flight instead of computing for nobody.
+	Ctx context.Context
+	// Pool supplies helper workers. nil executes serially. The pool is
+	// shared process-wide (the server owns one), so its capacity is the
+	// hard cap on total helper goroutines across all concurrent queries.
+	Pool *exec.Pool
+	// Parallelism is this query's worker budget (the per-request knob):
+	// at most this many workers — the calling goroutine plus helpers
+	// drawn from Pool — cooperate on each kernel. Values <= 1 are
+	// serial.
+	Parallelism int
+}
+
+// parallelMinEstRows is the serial-fallback gate: when the pattern's
+// peak estimated scan (EstimatePattern) is below two morsels, the
+// fan-out bookkeeping costs more than it buys and the query runs
+// serially no matter the budget.
+const parallelMinEstRows = 2 * graphrel.MorselRows
+
+// effective resolves the options against the pattern's estimated size:
+// parallelism collapses to 1 for queries too small to profit.
+func (o ExecOptions) effective(g *tgm.InstanceGraph, p *Pattern) ExecOptions {
+	if o.Pool == nil || o.Parallelism <= 1 {
+		o.Parallelism = 1
+		return o
+	}
+	if EstimatePattern(g, p) < parallelMinEstRows {
+		o.Parallelism = 1
+	}
+	return o
+}
+
 // Execute runs a query pattern over an instance graph: instance matching
-// (Definition 4) followed by format transformation (§5.4.2).
+// (Definition 4) followed by format transformation (§5.4.2). It is
+// ExecuteOpts with zero options (serial, uncancellable).
 func Execute(g *tgm.InstanceGraph, p *Pattern) (*Result, error) {
+	return ExecuteOpts(g, p, ExecOptions{})
+}
+
+// ExecuteOpts is Execute with a cancellation context and a parallelism
+// budget. Parallel and serial execution return identical results (the
+// morsel kernels are splice-order deterministic); options only affect
+// latency and cancellation.
+func ExecuteOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*Result, error) {
 	if err := p.Validate(g.Schema()); err != nil {
 		return nil, err
 	}
-	matched, err := Match(g, p)
+	matched, err := MatchOpts(g, p, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -24,14 +73,15 @@ func Execute(g *tgm.InstanceGraph, p *Pattern) (*Result, error) {
 }
 
 // baseRelation builds one pattern node's selected base relation,
-// σ_C(R^G), with the node's condition pushed down.
-func baseRelation(g *tgm.InstanceGraph) func(n *PatternNode) (*graphrel.Relation, error) {
+// σ_C(R^G), with the node's condition pushed down. The selection scan
+// is the first morsel-parallel kernel of a query.
+func baseRelation(g *tgm.InstanceGraph, opt ExecOptions) func(n *PatternNode) (*graphrel.Relation, error) {
 	return func(n *PatternNode) (*graphrel.Relation, error) {
 		r, err := graphrel.BaseNamed(g, n.Type, n.Key)
 		if err != nil {
 			return nil, err
 		}
-		return graphrel.Select(r, n.Key, n.Cond)
+		return graphrel.SelectPar(opt.Ctx, opt.Pool, opt.Parallelism, r, n.Key, n.Cond)
 	}
 }
 
@@ -46,16 +96,36 @@ func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
 	return MatchColumns(g, p)
 }
 
+// MatchOpts is Match under execution options: the selection scans and
+// joins run through the morsel-parallel kernels when the options grant
+// a budget and the query is big enough to profit (see ExecOptions and
+// EstimatePattern).
+func MatchOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
+	return matchColumnsOpts(g, p, opt.effective(g, p))
+}
+
 // MatchColumns is Match with projection pushdown: when keep is
 // non-empty, attribute columns outside keep are dropped as soon as no
 // remaining join anchors on them, and only the keep columns are
 // returned. With no keep arguments every pattern node's column is
 // retained.
 func MatchColumns(g *tgm.InstanceGraph, p *Pattern, keep ...string) (*graphrel.Relation, error) {
+	return matchColumnsOpts(g, p, ExecOptions{}, keep...)
+}
+
+func matchColumnsOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions, keep ...string) (*graphrel.Relation, error) {
+	if opt.Ctx != nil {
+		// Check once up front so even trivial patterns (no conditions,
+		// no joins — nothing that would recheck between morsels) observe
+		// an already-abandoned request.
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if p.PrimaryNode() == nil {
 		return nil, fmt.Errorf("etable: pattern has no primary node")
 	}
-	bases, sizes, err := selectedBases(p, baseRelation(g))
+	bases, sizes, err := selectedBases(p, baseRelation(g, opt))
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +143,7 @@ func MatchColumns(g *tgm.InstanceGraph, p *Pattern, keep ...string) (*graphrel.R
 			needed[k] = true
 		}
 	}
-	matched, err := matchSteps(bases, start, steps, needed)
+	matched, err := matchSteps(bases, start, steps, needed, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +162,7 @@ func MatchNaive(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
 	if p.PrimaryNode() == nil {
 		return nil, fmt.Errorf("etable: pattern has no primary node")
 	}
-	bases, _, err := selectedBases(p, baseRelation(g))
+	bases, _, err := selectedBases(p, baseRelation(g, ExecOptions{}))
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +170,7 @@ func MatchNaive(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return matchSteps(bases, start, steps, nil)
+	return matchSteps(bases, start, steps, nil, ExecOptions{})
 }
 
 // errDisconnected reports a pattern whose edges do not connect all nodes
@@ -165,12 +235,11 @@ func transform(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*R
 		if n.Key == prim.Key {
 			continue
 		}
+		// GroupNeighbors returns each group ID-ascending by contract, so
+		// the cell order is already canonical regardless of join order.
 		groups, err := graphrel.GroupNeighbors(matched, prim.Key, n.Key)
 		if err != nil {
 			return nil, err
-		}
-		for _, ids := range groups {
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		}
 		res.Columns = append(res.Columns, Column{
 			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,

@@ -1,6 +1,8 @@
 package etable
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 
@@ -92,24 +94,75 @@ func Signature(p *Pattern) string {
 	return strings.Join(nodes, "\x1e") + "\x1f" + strings.Join(edges, "\x1e")
 }
 
-// base returns σ_C(R^G) for one pattern node, cached.
-func (e *Executor) base(n *PatternNode) (*graphrel.Relation, error) {
-	return e.cache.GetOrCompute(basePrefix+nodeSignature(n), func() (*graphrel.Relation, error) {
-		r, err := graphrel.BaseNamed(e.g, n.Type, n.Key)
-		if err != nil {
-			return nil, err
-		}
-		return graphrel.Select(r, n.Key, n.Cond)
-	})
+// base returns σ_C(R^G) for one pattern node, cached. The compute path
+// runs under the caller's execution options; cache hits are option-
+// independent because parallel and serial kernels produce identical
+// relations.
+func (e *Executor) base(opt ExecOptions) func(n *PatternNode) (*graphrel.Relation, error) {
+	return func(n *PatternNode) (*graphrel.Relation, error) {
+		return getOrComputeLive(opt.Ctx, e.cache, basePrefix+nodeSignature(n), func() (*graphrel.Relation, error) {
+			r, err := graphrel.BaseNamed(e.g, n.Type, n.Key)
+			if err != nil {
+				return nil, err
+			}
+			return graphrel.SelectPar(opt.Ctx, opt.Pool, opt.Parallelism, r, n.Key, n.Cond)
+		})
+	}
 }
 
-// Match is the caching counterpart of the package-level Match: it uses
-// the same selectivity-ordered join plan, with base relations
-// additionally served from the per-(type, condition) cache. Nested
-// GetOrCompute calls are safe: the cache holds no locks while computing.
+// getOrComputeLive wraps Cache.GetOrCompute for a caller whose own
+// context is live: a singleflight waiter can receive the *leader's*
+// cancellation error (the leader's client disconnected mid-compute, the
+// waiter's did not). Surfacing that would fail an innocent request, so
+// on a foreign cancellation the lookup retries — the error is never
+// cached, and with the canceled leader gone this caller computes the
+// value itself on the next attempt.
+func getOrComputeLive(ctx context.Context, c *Cache, key string, compute func() (*graphrel.Relation, error)) (*graphrel.Relation, error) {
+	for {
+		rel, err := c.GetOrCompute(key, compute)
+		if err == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return rel, err
+		}
+		if ctx == nil || ctx.Err() == nil {
+			continue // foreign cancellation; retry with a live context
+		}
+		return nil, err // our own cancellation
+	}
+}
+
+// Match is the caching counterpart of the package-level Match (serial,
+// uncancellable). See MatchWithOpts.
 func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
-	return e.cache.GetOrCompute(matchPrefix+Signature(p), func() (*graphrel.Relation, error) {
-		bases, sizes, err := selectedBases(p, e.base)
+	return e.MatchWithOpts(p, ExecOptions{})
+}
+
+// MatchWithOpts is the caching counterpart of the package-level
+// MatchOpts: it uses the same cost-based join plan, with base relations
+// additionally served from the per-(type, condition) cache. Nested
+// GetOrCompute calls are safe: the cache holds no locks while
+// computing.
+//
+// Options and the cache compose: a signature is computed once no matter
+// which kernel (parallel or serial) any concurrent requester would have
+// used, because the kernels are output-identical. Cancellation composes
+// too: a singleflight leader canceled mid-compute hands its waiters the
+// cancellation error, but waiters whose own context is live retry and
+// recompute instead of surfacing another request's cancellation
+// (getOrComputeLive).
+func (e *Executor) MatchWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
+	if opt.Ctx != nil {
+		// Fail abandoned requests before they can become singleflight
+		// leaders whose cancellation would fail innocent waiters.
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return getOrComputeLive(opt.Ctx, e.cache, matchPrefix+Signature(p), func() (*graphrel.Relation, error) {
+		// Resolving the options (EstimatePattern runs a statistics-only
+		// plan) happens inside the compute path only — cache hits, the
+		// common case, pay nothing for the parallelism decision.
+		opt := opt.effective(e.g, p)
+		bases, sizes, err := selectedBases(p, e.base(opt))
 		if err != nil {
 			return nil, err
 		}
@@ -117,18 +170,24 @@ func (e *Executor) Match(p *Pattern) (*graphrel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return matchSteps(bases, start, steps, nil)
+		return matchSteps(bases, start, steps, nil, opt)
 	})
 }
 
-// Execute runs the pattern with intermediate-result reuse. The returned
-// Result is freshly transformed and owned by the caller; only the
-// matched relation behind it is shared.
+// Execute runs the pattern with intermediate-result reuse (serial,
+// uncancellable). See ExecuteWithOpts.
 func (e *Executor) Execute(p *Pattern) (*Result, error) {
+	return e.ExecuteWithOpts(p, ExecOptions{})
+}
+
+// ExecuteWithOpts runs the pattern with intermediate-result reuse under
+// execution options. The returned Result is freshly transformed and
+// owned by the caller; only the matched relation behind it is shared.
+func (e *Executor) ExecuteWithOpts(p *Pattern, opt ExecOptions) (*Result, error) {
 	if err := p.Validate(e.g.Schema()); err != nil {
 		return nil, err
 	}
-	matched, err := e.Match(p)
+	matched, err := e.MatchWithOpts(p, opt)
 	if err != nil {
 		return nil, err
 	}

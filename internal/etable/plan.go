@@ -2,6 +2,7 @@ package etable
 
 import (
 	"repro/internal/graphrel"
+	"repro/internal/stats"
 	"repro/internal/tgm"
 )
 
@@ -12,6 +13,12 @@ type JoinStep struct {
 	AnchorKey string
 	NewKey    string
 	EdgeName  string
+	// EstIn and EstOut are the planner's cardinality estimates for the
+	// relation entering and leaving this step. They propagate through
+	// the join tree (each step's EstIn is the previous EstOut, floored
+	// at 1) and feed the parallel/serial kernel decision.
+	EstIn  float64
+	EstOut float64
 }
 
 // selectedBases builds σ_C(R^G) for every pattern node through base and
@@ -33,36 +40,55 @@ func selectedBases(p *Pattern, base func(*PatternNode) (*graphrel.Relation, erro
 }
 
 // selFrac estimates the selectivity of a pattern node's condition: the
-// fraction of its type's instances surviving selection.
-func selFrac(g *tgm.InstanceGraph, p *Pattern, key string, sizes map[string]int) float64 {
-	total := len(g.NodesOfType(p.Node(key).Type))
+// fraction of its type's instances surviving selection. Empty node
+// types yield 0, never NaN.
+func selFrac(st *stats.Graph, p *Pattern, key string, sizes map[string]float64) float64 {
+	total := st.Nodes[p.Node(key).Type].Count
 	if total == 0 {
 		return 0
 	}
-	return float64(sizes[key]) / float64(total)
+	return sizes[key] / float64(total)
 }
 
-// planJoins orders the pattern's joins greedily by estimated output
-// cardinality instead of edge-declaration order. The estimate for
-// extending a partial match of est tuples across an edge is
-//
-//	est × AvgOutDegree(edge) × selFrac(new node)
-//
-// — the average adjacency fan-out scaled by the fraction of target
-// instances surviving the new node's selection. Matching starts at the
-// smallest post-selection base relation and always picks the frontier
-// edge with the lowest estimate (ties broken by declaration order), so
-// selective branches prune the intermediate result before high-fan-out
-// joins multiply it. The tuple set produced is independent of the order;
-// only intermediate sizes change.
+// planJoins orders the pattern's joins by estimated output cardinality
+// using the exact post-selection base sizes; see planJoinsSized.
 func planJoins(g *tgm.InstanceGraph, p *Pattern, sizes map[string]int) (startKey string, steps []JoinStep, err error) {
+	est := make(map[string]float64, len(sizes))
+	for k, v := range sizes {
+		est[k] = float64(v)
+	}
+	return planJoinsSized(g, p, est)
+}
+
+// planJoinsSized is the cost-based join planner. It orders the
+// pattern's joins greedily by estimated output cardinality instead of
+// edge-declaration order. The estimate for extending a partial match of
+// est tuples across an edge is
+//
+//	est × Fanout(edge) × selFrac(new node)
+//
+// — the edge type's per-source fan-out (from the statistics collected
+// at translate time, internal/stats) scaled by the fraction of target
+// instances surviving the new node's selection. Matching starts at the
+// smallest base relation and always picks the frontier edge with the
+// lowest estimate (ties broken by declaration order), so selective
+// branches prune the intermediate result before high-fan-out joins
+// multiply it. The tuple set produced is independent of the order; only
+// intermediate sizes change.
+//
+// sizes may be exact post-selection cardinalities (the execution path:
+// bases are computed before planning) or statistics-only estimates
+// (EstimatePattern's pre-execution path); either way every step carries
+// its propagated EstIn/EstOut cardinalities for downstream decisions.
+func planJoinsSized(g *tgm.InstanceGraph, p *Pattern, sizes map[string]float64) (startKey string, steps []JoinStep, err error) {
+	st := stats.For(g)
 	for _, n := range p.Nodes {
 		if startKey == "" || sizes[n.Key] < sizes[startKey] {
 			startKey = n.Key
 		}
 	}
 	joined := map[string]bool{startKey: true}
-	est := float64(sizes[startKey])
+	est := sizes[startKey]
 	for len(joined) < len(p.Nodes) {
 		found := false
 		var bestStep JoinStep
@@ -72,11 +98,12 @@ func planJoins(g *tgm.InstanceGraph, p *Pattern, sizes map[string]int) (startKey
 			if !ok {
 				continue
 			}
-			cand := est * g.AvgOutDegree(edgeName) * selFrac(g, p, newKey, sizes)
+			cand := est * st.Fanout(edgeName) * selFrac(st, p, newKey, sizes)
 			if !found || cand < bestEst {
 				found = true
 				bestEst = cand
-				bestStep = JoinStep{AnchorKey: anchorKey, NewKey: newKey, EdgeName: edgeName}
+				bestStep = JoinStep{AnchorKey: anchorKey, NewKey: newKey, EdgeName: edgeName,
+					EstIn: est, EstOut: cand}
 			}
 		}
 		if !found {
@@ -118,16 +145,18 @@ func declaredSteps(schema *tgm.SchemaGraph, p *Pattern) (startKey string, steps 
 	return prim.Key, steps, nil
 }
 
-// matchSteps executes a join plan over pre-selected base relations.
-// When needed is non-nil, attribute columns that are neither join
-// anchors of a remaining step nor in needed are dropped right after each
-// join (projection pushdown; Retain shares columns, so dropping is
-// zero-copy).
-func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []JoinStep, needed map[string]bool) (*graphrel.Relation, error) {
+// matchSteps executes a join plan over pre-selected base relations,
+// with the execution options deciding serial vs morsel-parallel joins
+// (graphrel.JoinPar degrades to the serial kernel for sub-morsel
+// inputs, nil pools, or budgets of 1). When needed is non-nil,
+// attribute columns that are neither join anchors of a remaining step
+// nor in needed are dropped right after each join (projection pushdown;
+// Retain shares columns, so dropping is zero-copy).
+func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []JoinStep, needed map[string]bool, opt ExecOptions) (*graphrel.Relation, error) {
 	cur := bases[startKey]
 	for si, st := range steps {
 		var err error
-		if cur, err = graphrel.Join(cur, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey); err != nil {
+		if cur, err = graphrel.JoinPar(opt.Ctx, opt.Pool, opt.Parallelism, cur, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey); err != nil {
 			return nil, err
 		}
 		if needed == nil {
@@ -155,4 +184,36 @@ func anchorsRemaining(name string, steps []JoinStep) bool {
 		}
 	}
 	return false
+}
+
+// EstimatePattern estimates, from statistics alone (no execution), the
+// largest relation any kernel of the pattern's execution will scan: the
+// biggest unfiltered base (what Select scans) and the biggest estimated
+// intermediate (what each Join scans). ExecuteOpts uses it as the
+// serial-fallback gate — a query whose peak estimated scan fits in a
+// couple of morsels never pays the fan-out overhead, which keeps tiny
+// interactive queries (the common case in a browsing session) on the
+// fast serial path.
+func EstimatePattern(g *tgm.InstanceGraph, p *Pattern) float64 {
+	st := stats.For(g)
+	peak := 0.0
+	estSizes := make(map[string]float64, len(p.Nodes))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		if cnt := float64(st.Nodes[n.Type].Count); cnt > peak {
+			peak = cnt
+		}
+		estSizes[n.Key] = st.EstimateBaseRows(n.Type, n.Cond)
+	}
+	if _, steps, err := planJoinsSized(g, p, estSizes); err == nil {
+		for _, s := range steps {
+			if s.EstIn > peak {
+				peak = s.EstIn
+			}
+			if s.EstOut > peak {
+				peak = s.EstOut
+			}
+		}
+	}
+	return peak
 }

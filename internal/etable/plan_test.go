@@ -195,7 +195,7 @@ func TestPlannerExecuteEquivalence(t *testing.T) {
 func TestPlannerStartsAtMostSelectiveNode(t *testing.T) {
 	tr := planFixture(t)
 	p := figure7PlanPattern(t, tr)
-	bases, sizes, err := selectedBases(p, baseRelation(tr.Instance))
+	bases, sizes, err := selectedBases(p, baseRelation(tr.Instance, ExecOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,6 +41,7 @@ package graphrel
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/expr"
 	"repro/internal/tgm"
@@ -356,50 +357,15 @@ func JoinScan(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation
 }
 
 // Project returns r restricted to the named attributes, eliminating
-// duplicate tuples (Π; the paper's projection removes duplicates).
+// duplicate tuples (Π; the paper's projection removes duplicates). The
+// dedup pass is shared with ProjectPar's per-morsel phase (dedupRows),
+// so the serial and parallel kernels cannot drift apart.
 func Project(r *Relation, attrNames ...string) (*Relation, error) {
 	narrowed, err := r.Retain(attrNames...)
 	if err != nil {
 		return nil, err
 	}
-	var keep []int32
-	switch len(narrowed.cols) {
-	case 1:
-		seen := make(map[tgm.NodeID]bool, narrowed.n)
-		for i, id := range narrowed.cols[0] {
-			if !seen[id] {
-				seen[id] = true
-				keep = append(keep, int32(i))
-			}
-		}
-	case 2:
-		seen := make(map[uint64]bool, narrowed.n)
-		c0, c1 := narrowed.cols[0], narrowed.cols[1]
-		for i := range c0 {
-			key := uint64(uint32(c0[i]))<<32 | uint64(uint32(c1[i]))
-			if !seen[key] {
-				seen[key] = true
-				keep = append(keep, int32(i))
-			}
-		}
-	default:
-		seen := make(map[string]bool, narrowed.n)
-		key := make([]byte, 4*len(narrowed.cols))
-		for i := 0; i < narrowed.n; i++ {
-			for c, col := range narrowed.cols {
-				id := uint32(col[i])
-				key[4*c] = byte(id)
-				key[4*c+1] = byte(id >> 8)
-				key[4*c+2] = byte(id >> 16)
-				key[4*c+3] = byte(id >> 24)
-			}
-			if !seen[string(key)] {
-				seen[string(key)] = true
-				keep = append(keep, int32(i))
-			}
-		}
-	}
-	return narrowed.gather(keep), nil
+	return narrowed.gather(dedupRows(narrowed, 0, narrowed.n)), nil
 }
 
 // DistinctNodes returns the distinct nodes at the named attribute in
@@ -423,10 +389,16 @@ func DistinctNodes(r *Relation, attrName string) ([]tgm.NodeID, error) {
 }
 
 // GroupNeighbors computes, for every distinct node at groupAttr, the
-// distinct co-occurring nodes at valueAttr, preserving encounter order.
-// This is the bulk form of Π_type σ_{τa=r}(m(Q)) that the format
-// transformation evaluates once per participating node column instead of
-// once per row (§5.4.2).
+// distinct co-occurring nodes at valueAttr, each group sorted ascending
+// by node ID. This is the bulk form of Π_type σ_{τa=r}(m(Q)) that the
+// format transformation evaluates once per participating node column
+// instead of once per row (§5.4.2).
+//
+// The per-group order is deterministic by contract: the relation's row
+// order depends on the join order the planner picked, and encounter
+// order would leak that plan choice into the presentation (and into
+// memoized results computed under a different plan). Sorting by ID
+// makes the result a pure function of the tuple set.
 func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]tgm.NodeID, error) {
 	gi := r.AttrIndex(groupAttr)
 	if gi < 0 {
@@ -447,6 +419,9 @@ func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]
 		}
 		seen[key] = true
 		out[g] = append(out[g], v)
+	}
+	for _, ids := range out {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	}
 	return out, nil
 }

@@ -1,0 +1,328 @@
+package graphrel
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/tgm"
+)
+
+// Parallel kernels: SelectPar, JoinPar, and ProjectPar are the
+// morsel-driven counterparts of Select, Join, and Project. Each chunks
+// its input into MorselRows-row morsels, fans the morsels out to a
+// shared exec.Pool under a per-query budget, and splices the per-morsel
+// outputs into a single arena-backed relation without taking any lock
+// on the hot path:
+//
+//   - phase 1 (parallel): every morsel writes match indexes into its
+//     own private slice — no sharing, no locks;
+//   - phase 2 (serial, O(#morsels)): prefix-sum the per-morsel counts
+//     into disjoint output offsets;
+//   - phase 3 (parallel): every morsel gathers its rows into its own
+//     disjoint window of the output arena — disjoint writes, no locks.
+//
+// The output is row-for-row identical to the serial kernel, not merely
+// set-equal: morsels are contiguous input runs and are spliced in input
+// order. Cancellation is checked between morsels (exec.Pool.Map), so an
+// abandoned request stops a scan or join mid-flight with ctx.Err().
+//
+// Each kernel degrades to its serial counterpart when the input is a
+// single morsel, the budget is <= 1, or the pool is nil — tiny
+// interactive queries never pay the fan-out overhead.
+//
+// The execution pipeline (internal/etable) drives SelectPar and
+// JoinPar; ProjectPar and the Partitions/Concat morsel API are part of
+// the same kernel surface but have no pipeline caller yet — the
+// transform stage, whose parallelization is a ROADMAP item, is their
+// intended consumer. They share dedup code with the serial Project
+// (dedupRows) so the kernels cannot drift apart.
+
+// SelectPar is Select fanned out over morsels of r. It returns exactly
+// Select(r, attrName, cond), computed by at most budget workers drawn
+// from pool.
+func SelectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
+	if cond == nil {
+		return r, nil
+	}
+	if pool == nil || budget <= 1 || r.n <= MorselRows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return Select(r, attrName, cond)
+	}
+	bounds := morselBounds(r.n, MorselRows)
+	ai := r.AttrIndex(attrName)
+	if ai < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
+	}
+	pred, err := expr.Compile(cond, r.Attrs[ai].Type)
+	if err != nil {
+		return nil, err
+	}
+	col := r.cols[ai]
+	memoize := len(r.Attrs) > 1 // base relations have distinct nodes
+
+	// Phase 1: each morsel filters into its own keep list.
+	keeps := make([][]int32, len(bounds))
+	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
+		lo, hi := bounds[m][0], bounds[m][1]
+		keep := make([]int32, 0, hi-lo)
+		var memo map[tgm.NodeID]bool
+		if memoize {
+			memo = make(map[tgm.NodeID]bool, 64)
+		}
+		for i := lo; i < hi; i++ {
+			id := col[i]
+			ok, seen := false, false
+			if memoize {
+				ok, seen = memo[id]
+			}
+			if !seen {
+				var err error
+				if ok, err = pred(r.g.Node(id)); err != nil {
+					return err
+				}
+				if memoize {
+					memo[id] = ok
+				}
+			}
+			if ok {
+				keep = append(keep, int32(i))
+			}
+		}
+		keeps[m] = keep
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: prefix-sum morsel counts into disjoint output offsets.
+	offs, total := prefixOffsets(keeps)
+
+	// Phase 3: gather every morsel into its disjoint output window.
+	out := newRelation(r.g, r.Attrs, total)
+	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
+		rows := keeps[m]
+		lo := offs[m]
+		for c, src := range r.cols {
+			gatherInto(out.cols[c][lo:lo+len(rows)], src, rows)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// JoinPar is Join fanned out over morsels of r1. The hash index over r2
+// is built once on the calling goroutine (it is O(|r2|) and shared
+// read-only by every morsel); matching and output gathering then
+// parallelize over r1's morsels. It returns exactly
+// Join(r1, r2, edgeType, leftAttr, rightAttr).
+func JoinPar(ctx context.Context, pool *exec.Pool, budget int, r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, error) {
+	if pool == nil || budget <= 1 || r1.n <= MorselRows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return Join(r1, r2, edgeType, leftAttr, rightAttr)
+	}
+	bounds := morselBounds(r1.n, MorselRows)
+	li, ri, err := checkJoin(r1, r2, edgeType, leftAttr, rightAttr, true)
+	if err != nil {
+		return nil, err
+	}
+	// Index r2 rows by their node at rightAttr (read-only after this).
+	rcol := r2.cols[ri]
+	index := make(map[tgm.NodeID][]int32, r2.n)
+	for i, id := range rcol {
+		index[id] = append(index[id], int32(i))
+	}
+	lcol := r1.cols[li]
+
+	// Phase 1: each morsel probes its run of r1 into private pair lists.
+	lrows := make([][]int32, len(bounds))
+	rrows := make([][]int32, len(bounds))
+	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
+		lo, hi := bounds[m][0], bounds[m][1]
+		var lr, rr []int32
+		for i := lo; i < hi; i++ {
+			for _, nb := range r1.g.Neighbors(lcol[i], edgeType) {
+				for _, j := range index[nb] {
+					lr = append(lr, int32(i))
+					rr = append(rr, j)
+				}
+			}
+		}
+		lrows[m], rrows[m] = lr, rr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: offsets.
+	offs, total := prefixOffsets(lrows)
+
+	// Phase 3: gather both sides into disjoint windows of one arena.
+	attrs := make([]Attr, 0, len(r1.Attrs)+len(r2.Attrs))
+	attrs = append(append(attrs, r1.Attrs...), r2.Attrs...)
+	out := newRelation(r1.g, attrs, total)
+	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
+		lo, n := offs[m], len(lrows[m])
+		for c, src := range r1.cols {
+			gatherInto(out.cols[c][lo:lo+n], src, lrows[m])
+		}
+		for c, src := range r2.cols {
+			gatherInto(out.cols[len(r1.cols)+c][lo:lo+n], src, rrows[m])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ProjectPar is Project fanned out over morsels: each morsel
+// deduplicates its own run into a private candidate list (parallel),
+// a serial pass merges the candidates against a global seen set in
+// morsel order (preserving the serial kernel's first-occurrence
+// semantics), and the surviving rows are gathered. It returns exactly
+// Project(r, attrNames...).
+func ProjectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, attrNames ...string) (*Relation, error) {
+	narrowed, err := r.Retain(attrNames...)
+	if err != nil {
+		return nil, err
+	}
+	if pool == nil || budget <= 1 || narrowed.n <= MorselRows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return Project(r, attrNames...)
+	}
+	bounds := morselBounds(narrowed.n, MorselRows)
+
+	// Phase 1: per-morsel local dedup. A row survives locally if its key
+	// was not seen earlier in the same morsel; cross-morsel duplicates
+	// are resolved by the serial merge below.
+	cands := make([][]int32, len(bounds))
+	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
+		lo, hi := bounds[m][0], bounds[m][1]
+		cands[m] = dedupRows(narrowed, lo, hi)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (serial): merge candidates in morsel order against one
+	// global seen set — identical first-occurrence order to the serial
+	// kernel, because morsels are contiguous input runs.
+	var keep []int32
+	switch len(narrowed.cols) {
+	case 1:
+		seen := make(map[tgm.NodeID]bool, narrowed.n)
+		c0 := narrowed.cols[0]
+		for _, cand := range cands {
+			for _, i := range cand {
+				if id := c0[i]; !seen[id] {
+					seen[id] = true
+					keep = append(keep, i)
+				}
+			}
+		}
+	case 2:
+		seen := make(map[uint64]bool, narrowed.n)
+		c0, c1 := narrowed.cols[0], narrowed.cols[1]
+		for _, cand := range cands {
+			for _, i := range cand {
+				key := uint64(uint32(c0[i]))<<32 | uint64(uint32(c1[i]))
+				if !seen[key] {
+					seen[key] = true
+					keep = append(keep, i)
+				}
+			}
+		}
+	default:
+		seen := make(map[string]bool, narrowed.n)
+		key := make([]byte, 4*len(narrowed.cols))
+		for _, cand := range cands {
+			for _, i := range cand {
+				rowKeyInto(key, narrowed.cols, int(i))
+				if !seen[string(key)] {
+					seen[string(key)] = true
+					keep = append(keep, i)
+				}
+			}
+		}
+	}
+	return narrowed.gather(keep), nil
+}
+
+// dedupRows returns the rows of [lo, hi) whose projection key first
+// occurs in that window, in ascending row order.
+func dedupRows(narrowed *Relation, lo, hi int) []int32 {
+	var keep []int32
+	switch len(narrowed.cols) {
+	case 1:
+		seen := make(map[tgm.NodeID]bool, hi-lo)
+		c0 := narrowed.cols[0]
+		for i := lo; i < hi; i++ {
+			if id := c0[i]; !seen[id] {
+				seen[id] = true
+				keep = append(keep, int32(i))
+			}
+		}
+	case 2:
+		seen := make(map[uint64]bool, hi-lo)
+		c0, c1 := narrowed.cols[0], narrowed.cols[1]
+		for i := lo; i < hi; i++ {
+			key := uint64(uint32(c0[i]))<<32 | uint64(uint32(c1[i]))
+			if !seen[key] {
+				seen[key] = true
+				keep = append(keep, int32(i))
+			}
+		}
+	default:
+		seen := make(map[string]bool, hi-lo)
+		key := make([]byte, 4*len(narrowed.cols))
+		for i := lo; i < hi; i++ {
+			rowKeyInto(key, narrowed.cols, i)
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				keep = append(keep, int32(i))
+			}
+		}
+	}
+	return keep
+}
+
+// rowKeyInto serializes row i's IDs across cols into key (4 bytes per
+// column, little-endian).
+func rowKeyInto(key []byte, cols [][]tgm.NodeID, i int) {
+	for c, col := range cols {
+		id := uint32(col[i])
+		key[4*c] = byte(id)
+		key[4*c+1] = byte(id >> 8)
+		key[4*c+2] = byte(id >> 16)
+		key[4*c+3] = byte(id >> 24)
+	}
+}
+
+// prefixOffsets turns per-morsel output slices into disjoint output
+// offsets, returning the offsets and the total length.
+func prefixOffsets(parts [][]int32) (offs []int, total int) {
+	offs = make([]int, len(parts))
+	for m, p := range parts {
+		offs[m] = total
+		total += len(p)
+	}
+	return offs, total
+}
+
+// ctxErr reports a canceled or expired context (nil ctx = no error).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

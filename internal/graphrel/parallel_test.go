@@ -1,0 +1,364 @@
+package graphrel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// bigChainGraph builds an A→B chain large enough that relations span
+// many morsels (|A| ≈ 4×MorselRows), with skewed fan-out so morsel
+// workloads are unbalanced.
+func bigChainGraph(t testing.TB, rng *rand.Rand) *tgm.InstanceGraph {
+	t.Helper()
+	s := tgm.NewSchemaGraph()
+	for _, name := range []string{"A", "B"} {
+		if _, err := s.AddNodeType(tgm.NodeType{Name: name, Label: "id",
+			Attrs: []tgm.Attr{{Name: "id", Type: value.KindInt}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.AddBidirectional(tgm.EdgeType{Name: "A-B", Source: "A", Target: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	g := tgm.NewInstanceGraph(s)
+	nA := 4*MorselRows + rng.Intn(MorselRows)
+	nB := MorselRows + rng.Intn(MorselRows)
+	var as, bs []tgm.NodeID
+	for i := 0; i < nA; i++ {
+		id, err := g.AddNode("A", []value.V{value.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		as = append(as, id)
+	}
+	for i := 0; i < nB; i++ {
+		id, err := g.AddNode("B", []value.V{value.Int(int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bs = append(bs, id)
+	}
+	for i, src := range as {
+		// Skew: early A nodes fan out to many B nodes, the long tail to
+		// at most one.
+		deg := 1
+		if i < 64 {
+			deg = 1 + rng.Intn(48)
+		} else if rng.Intn(3) == 0 {
+			deg = 0
+		}
+		for d := 0; d < deg; d++ {
+			if err := g.AddEdge("A-B", src, bs[rng.Intn(nB)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// assertIdenticalRelations asserts exact row-for-row, column-for-column
+// equality — the parallel kernels promise identical output, not merely
+// an equal tuple set.
+func assertIdenticalRelations(t *testing.T, label string, got, want *Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	if len(got.Attrs) != len(want.Attrs) {
+		t.Fatalf("%s: %d attrs, want %d", label, len(got.Attrs), len(want.Attrs))
+	}
+	for ai := range want.Attrs {
+		if got.Attrs[ai] != want.Attrs[ai] {
+			t.Fatalf("%s: attr %d = %v, want %v", label, ai, got.Attrs[ai], want.Attrs[ai])
+		}
+		gc, wc := got.Column(ai), want.Column(ai)
+		for i := range wc {
+			if gc[i] != wc[i] {
+				t.Fatalf("%s: col %d row %d = %v, want %v", label, ai, i, gc[i], wc[i])
+			}
+		}
+	}
+}
+
+func TestSelectParEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(4)
+	ctx := context.Background()
+	as, err := Base(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Base(g, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		rel  *Relation
+		attr string
+	}{
+		{"base_single_attr", as, "A"},
+		{"joined_multi_attr_memoized", joined, "A"},
+	} {
+		for _, budget := range []int{1, 2, 4, 8} {
+			cond := expr.MustParse(fmt.Sprintf("id %% %d = %d", 2+budget%3, budget%2))
+			want, err := Select(tc.rel, tc.attr, cond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := SelectPar(ctx, pool, budget, tc.rel, tc.attr, cond)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdenticalRelations(t, fmt.Sprintf("%s/budget=%d", tc.name, budget), got, want)
+		}
+	}
+	// Nil condition returns the input unchanged, like the serial kernel.
+	same, err := SelectPar(ctx, pool, 4, as, "A", nil)
+	if err != nil || same != as {
+		t.Fatalf("nil cond: got %p (err %v), want input %p", same, err, as)
+	}
+	if _, err := SelectPar(ctx, pool, 4, as, "Nope", expr.MustParse("id = 1")); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestJoinParEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(4)
+	ctx := context.Background()
+	as, err := Base(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Base(g, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 2, 4, 8} {
+		got, err := JoinPar(ctx, pool, budget, as, bs, "A-B", "A", "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalRelations(t, fmt.Sprintf("budget=%d", budget), got, want)
+	}
+	// The reverse direction joins through the bidirectional pair.
+	wantRev, err := Join(bs, as, "A-B_rev", "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRev, err := JoinPar(ctx, pool, 4, bs, as, "A-B_rev", "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRelations(t, "reverse", gotRev, wantRev)
+	if _, err := JoinPar(ctx, pool, 4, as, bs, "Nope", "A", "B"); err == nil {
+		t.Error("unknown edge type accepted")
+	}
+}
+
+func TestProjectParEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(4)
+	ctx := context.Background()
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	j1, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second hop back to A gives three columns with heavy duplication.
+	as2, err := BaseNamed(g, "A", "A#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Join(j1, as2, "A-B_rev", "B", "A#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cols := range [][]string{
+		{"B"},             // 1-column dedup (NodeID keys)
+		{"A", "B"},        // 2-column dedup (uint64 keys)
+		{"A", "B", "A#2"}, // 3-column dedup (byte-string keys)
+	} {
+		want, err := Project(j2, cols...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int{1, 2, 4} {
+			got, err := ProjectPar(ctx, pool, budget, j2, cols...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertIdenticalRelations(t, fmt.Sprintf("%v/budget=%d", cols, budget), got, want)
+		}
+	}
+	if _, err := ProjectPar(ctx, pool, 4, j2, "Nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestParallelKernelCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	if _, err := SelectPar(ctx, pool, 4, as, "A", expr.MustParse("id > 3")); !errors.Is(err, context.Canceled) {
+		t.Errorf("SelectPar err = %v, want Canceled", err)
+	}
+	if _, err := JoinPar(ctx, pool, 4, as, bs, "A-B", "A", "B"); !errors.Is(err, context.Canceled) {
+		t.Errorf("JoinPar err = %v, want Canceled", err)
+	}
+	j, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProjectPar(ctx, pool, 4, j, "A", "B"); !errors.Is(err, context.Canceled) {
+		t.Errorf("ProjectPar err = %v, want Canceled", err)
+	}
+	// The serial degradation path must honor cancellation too.
+	if _, err := SelectPar(ctx, nil, 1, as, "A", expr.MustParse("id > 3")); !errors.Is(err, context.Canceled) {
+		t.Errorf("serial SelectPar err = %v, want Canceled", err)
+	}
+}
+
+func TestPartitionsConcatRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	j, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 7, 16, j.Len(), j.Len() + 5} {
+		parts := j.Partitions(n)
+		total := 0
+		for _, p := range parts {
+			if len(p.Attrs) != len(j.Attrs) {
+				t.Fatalf("n=%d: partition attrs %d", n, len(p.Attrs))
+			}
+			total += p.Len()
+		}
+		if total != j.Len() {
+			t.Fatalf("n=%d: partitions cover %d rows, want %d", n, total, j.Len())
+		}
+		if len(parts) > n {
+			t.Fatalf("n=%d: %d partitions", n, len(parts))
+		}
+		back, err := Concat(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalRelations(t, fmt.Sprintf("roundtrip n=%d", n), back, j)
+	}
+}
+
+func TestPartitionsEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	if parts := as.Partitions(0); len(parts) != 1 || parts[0] != as {
+		t.Errorf("Partitions(0) = %d parts", len(parts))
+	}
+	empty, err := Select(as, "A", expr.MustParse("id < 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts := empty.Partitions(4); len(parts) != 0 {
+		t.Errorf("empty relation yields %d partitions", len(parts))
+	}
+	// Partitions are zero-copy windows of the parent's columns.
+	parts := as.Partitions(4)
+	if &parts[0].Column(0)[0] != &as.Column(0)[0] {
+		t.Error("first partition does not alias the parent column")
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	if _, err := Concat(); err == nil {
+		t.Error("empty Concat accepted")
+	}
+	if _, err := Concat(as, bs); err == nil {
+		t.Error("Concat with mismatched attrs accepted")
+	}
+	g2 := bigChainGraph(t, rand.New(rand.NewSource(8)))
+	as2, _ := Base(g2, "A")
+	if _, err := Concat(as, as2); err == nil {
+		t.Error("Concat across graphs accepted")
+	}
+}
+
+// TestGroupNeighborsDeterministicOrder is the regression test for the
+// map-iteration leak: the same tuple set reached through two different
+// join orders (hence different row orders) must group to identical,
+// ID-ascending neighbor lists.
+func TestGroupNeighborsDeterministicOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	fwd, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reverse join yields the same tuple set in a different row
+	// order (B-major instead of A-major).
+	rev, err := Join(bs, as, "A-B_rev", "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := GroupNeighbors(fwd, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := GroupNeighbors(rev, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gf) != len(gr) {
+		t.Fatalf("group counts differ: %d vs %d", len(gf), len(gr))
+	}
+	for a, ids := range gf {
+		if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+			t.Fatalf("group %v not ID-ascending: %v", a, ids)
+		}
+		other := gr[a]
+		if len(other) != len(ids) {
+			t.Fatalf("group %v: %d vs %d neighbors", a, len(ids), len(other))
+		}
+		for i := range ids {
+			if ids[i] != other[i] {
+				t.Fatalf("group %v differs at %d: %v vs %v (join order leaked)", a, i, ids, other)
+			}
+		}
+	}
+}

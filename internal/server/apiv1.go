@@ -50,16 +50,21 @@ func (s *Server) handleV1Ops(w http.ResponseWriter, r *http.Request) {
 			"cursor cannot page an op response; use offset/limit"))
 		return
 	}
+	ctx, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	// The batch and the snapshot it returns are one atomic unit under
 	// the entry lock. Single ops go through the pipeline path too, so
 	// every failure envelope carries its op_index (0 for a single op).
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.sess.ApplyPipeline(pl); err != nil {
+	if err := e.sess.ApplyPipelineCtx(ctx, pl); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	st, err := s.stateOf(e.sess, p)
+	st, err := s.stateOf(ctx, e.sess, p)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -121,13 +126,18 @@ func (s *Server) handleV1Replay(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.sess.Replay(log); err != nil {
+	ctx, err := s.requestCtx(r)
+	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	st, err := s.stateOf(e.sess, page{})
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.sess.ReplayCtx(ctx, log); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	st, err := s.stateOf(ctx, e.sess, page{})
 	if err != nil {
 		s.writeErr(w, err)
 		return

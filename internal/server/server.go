@@ -27,10 +27,19 @@
 //   - Results are paginated: offset/limit (query parameters on GET,
 //     body fields on POST) select the row window that is encoded, so a
 //     request on a huge table pays for the window, not the table.
+//   - Queries parallelize internally: one exec.Pool (capacity
+//     Options.MaxWorkers) is shared by every session, each request
+//     carries a parallelism budget (Options.Parallelism, overridable
+//     per request with ?parallelism=), and the request context cancels
+//     execution mid-join when the client disconnects. Pool admission is
+//     try-acquire, so a busy pool degrades queries to serial instead of
+//     queueing them — the worker cap bounds goroutines server-wide no
+//     matter how many sessions are live.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -39,6 +48,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,8 +57,10 @@ import (
 	"time"
 
 	"repro/internal/etable"
+	"repro/internal/exec"
 	"repro/internal/ops"
 	"repro/internal/session"
+	"repro/internal/stats"
 	"repro/internal/tgm"
 )
 
@@ -65,6 +77,16 @@ type Options struct {
 	// PageSize is the default result-row window when a request names no
 	// limit (0 = return all rows unless the request pages explicitly).
 	PageSize int
+	// MaxWorkers caps the server-wide worker pool for intra-query
+	// parallelism (default GOMAXPROCS; negative disables the pool, so
+	// every query runs serially). The cap is global: N concurrent
+	// sessions share these workers, they do not multiply them.
+	MaxWorkers int
+	// Parallelism is the default per-request worker budget (default
+	// min(4, GOMAXPROCS); negative forces serial). Requests may override
+	// it per call with the ?parallelism= query parameter, still bounded
+	// by the pool.
+	Parallelism int
 	// PrivateCaches gives each session its own execution cache instead
 	// of the shared one. It exists as the ablation baseline for
 	// BenchmarkServerConcurrentSessions (the pre-refactor serving core
@@ -83,6 +105,12 @@ func (o Options) withDefaults() Options {
 		// A non-positive cap would make the eviction loop spin on an
 		// empty map; there is no "unbounded" mode.
 		o.MaxSessions = 1024
+	}
+	if o.MaxWorkers == 0 {
+		o.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = min(4, runtime.GOMAXPROCS(0))
 	}
 	return o
 }
@@ -105,6 +133,10 @@ type Server struct {
 	graph  *tgm.InstanceGraph
 	opts   Options
 	cache  *etable.Cache
+	// pool is the server-wide worker pool for intra-query parallelism,
+	// shared by every session (nil when MaxWorkers < 0). Its capacity is
+	// the hard bound on helper goroutines across all in-flight queries.
+	pool *exec.Pool
 
 	// logf and now are injection points for tests.
 	logf func(format string, args ...any)
@@ -141,6 +173,9 @@ func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Opti
 		sessions: make(map[int64]*sessionEntry),
 		nextID:   1,
 		mux:      http.NewServeMux(),
+	}
+	if opts.MaxWorkers > 0 {
+		s.pool = exec.NewPool(opts.MaxWorkers)
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	// Versioned API (the canonical surface; see docs/API.md).
@@ -206,11 +241,45 @@ const (
 	codeSessionNotFound = "session_not_found" // 404: id was never allocated
 	codeSessionExpired  = "session_expired"   // 410: id existed but was evicted
 	codeBadPage         = "bad_page"          // 400: malformed offset/limit
+	codeBadParallelism  = "bad_parallelism"   // 400: malformed ?parallelism=
 	codeInvalidCursor   = "invalid_cursor"    // 400: undecodable pagination cursor
 	codeStaleCursor     = "stale_cursor"      // 409: cursor from a different table state
 	codeBadBody         = "bad_body"          // 400: malformed request body
+	codeCanceled        = "request_canceled"  // 499: client went away mid-query
 	codeInternal        = "internal"          // 500
 )
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// disconnected before the response was ready. The response itself goes
+// nowhere; the status exists for access logs and tests.
+const statusClientClosedRequest = 499
+
+// defaultBudget resolves the server's per-request parallelism default
+// against the pool (no pool or negative option → serial).
+func (s *Server) defaultBudget() int {
+	if s.pool == nil || s.opts.Parallelism < 0 {
+		return 1
+	}
+	return s.opts.Parallelism
+}
+
+// requestCtx builds the execution context for one request: the
+// request's own context (canceled when the client disconnects, which
+// stops a running join mid-morsel) plus any per-request parallelism
+// override from the ?parallelism= query parameter. parallelism=1 forces
+// one request serial; values above the pool capacity are admitted but
+// effectively capped by the pool.
+func (s *Server) requestCtx(r *http.Request) (context.Context, error) {
+	ctx := r.Context()
+	if v := r.URL.Query().Get("parallelism"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return nil, apiErr(http.StatusBadRequest, codeBadParallelism, "bad parallelism %q", v)
+		}
+		ctx = exec.WithBudget(ctx, n)
+	}
+	return ctx, nil
+}
 
 // apiError is a failure with its HTTP status, stable machine-readable
 // code, and (for batch op failures) the index of the offending op.
@@ -239,18 +308,22 @@ type errorJSON struct {
 
 // writeErr maps an error to its status and structured envelope:
 // *apiError passes through; *ops.Error maps invalid_op → 400 and
-// op_failed → 422, carrying the op index; anything else is a 500.
+// op_failed → 422, carrying the op index; a context cancellation
+// (client disconnected mid-query) is 499; anything else is a 500.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if !errors.As(err, &ae) {
 		var oe *ops.Error
-		if errors.As(err, &oe) {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			ae = apiErr(statusClientClosedRequest, codeCanceled, "request canceled: %v", err)
+		case errors.As(err, &oe):
 			status := http.StatusUnprocessableEntity
 			if oe.Code == ops.CodeInvalidOp {
 				status = http.StatusBadRequest
 			}
 			ae = &apiError{status: status, code: oe.Code, message: oe.Message, opIndex: oe.OpIndex}
-		} else {
+		default:
 			ae = apiErr(http.StatusInternalServerError, codeInternal, "%v", err)
 		}
 	}
@@ -305,24 +378,67 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-// statsJSON is the /api/stats payload: serving-core health counters.
+// statsJSON is the /api/stats payload: serving-core health counters,
+// the worker pool's state, and the planner's per-edge cost statistics.
 type statsJSON struct {
-	Sessions     int   `json:"sessions"`
-	CacheEntries int   `json:"cacheEntries"`
-	CacheHits    int64 `json:"cacheHits"`
-	CacheMisses  int64 `json:"cacheMisses"`
+	Sessions     int            `json:"sessions"`
+	CacheEntries int            `json:"cacheEntries"`
+	CacheHits    int64          `json:"cacheHits"`
+	CacheMisses  int64          `json:"cacheMisses"`
+	Workers      workerJSON     `json:"workers"`
+	EdgeStats    []edgeStatJSON `json:"edgeStats"`
+}
+
+type workerJSON struct {
+	// Cap is the server-wide helper-goroutine cap (0 = serial server).
+	Cap int `json:"cap"`
+	// InFlight is the instantaneous helper count (racy snapshot).
+	InFlight int `json:"inFlight"`
+	// DefaultParallelism is the per-request budget when a request names
+	// none.
+	DefaultParallelism int `json:"defaultParallelism"`
+}
+
+// edgeStatJSON surfaces the translate-time degree statistics the
+// cost-based planner runs on, for capacity planning and debugging
+// ("why did this query go serial?").
+type edgeStatJSON struct {
+	Edge         string  `json:"edge"`
+	Count        int     `json:"count"`
+	Fanout       float64 `json:"fanout"`
+	MaxOutDegree int     `json:"maxOutDegree"`
+	P90OutDegree int     `json:"p90OutDegree"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.sessions)
 	s.mu.RUnlock()
-	s.writeJSON(w, http.StatusOK, statsJSON{
+	out := statsJSON{
 		Sessions:     n,
 		CacheEntries: s.cache.Len(),
 		CacheHits:    s.cache.Hits(),
 		CacheMisses:  s.cache.Misses(),
-	})
+		Workers: workerJSON{
+			Cap:                s.pool.Cap(),
+			InFlight:           s.pool.InFlight(),
+			DefaultParallelism: s.defaultBudget(),
+		},
+	}
+	st := stats.For(s.graph)
+	names := make([]string, 0, len(st.Edges))
+	for name := range st.Edges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		es := st.Edges[name]
+		out.EdgeStats = append(out.EdgeStats, edgeStatJSON{
+			Edge: name, Count: es.Count, Fanout: es.Fanout,
+			MaxOutDegree: es.MaxOutDegree, P90OutDegree: es.DegreeQuantile(0.9),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, out)
 }
 
 // maybeSweep runs a TTL sweep if one has not run recently (quarter-TTL
@@ -400,7 +516,7 @@ type createSessionBody struct {
 // createSession builds a session, applies any initial ops from the
 // request body, and registers it. If the initial ops fail, no session is
 // created. Returns the new id and entry.
-func (s *Server) createSession(r *http.Request) (int64, *sessionEntry, error) {
+func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *sessionEntry, error) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		return 0, nil, apiErr(http.StatusBadRequest, codeBadBody, "reading body: %v", err)
@@ -415,12 +531,14 @@ func (s *Server) createSession(r *http.Request) (int64, *sessionEntry, error) {
 	}
 	var sess *session.Session
 	if s.opts.PrivateCaches {
+		// Ablation baseline: private cache, serial execution — the
+		// pre-refactor serving core.
 		sess = session.New(s.schema, s.graph)
 	} else {
-		sess = session.NewShared(s.schema, s.graph, s.cache)
+		sess = session.NewWithExec(s.schema, s.graph, s.cache, s.pool, s.defaultBudget())
 	}
 	if len(initial) > 0 {
-		if err := sess.ApplyPipeline(initial); err != nil {
+		if err := sess.ApplyPipelineCtx(ctx, initial); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -441,13 +559,21 @@ func (s *Server) createSession(r *http.Request) (int64, *sessionEntry, error) {
 // response is the session state with its id (a superset of the legacy
 // {"id": n} shape).
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	id, e, err := s.createSession(r)
+	// The ?parallelism= override validates and applies here too — the
+	// initial-ops pipeline is the request most likely to replay a long
+	// op log.
+	ctx, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id, e, err := s.createSession(ctx, r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	e.mu.Lock()
-	st, serr := s.stateOf(e.sess, page{})
+	st, serr := s.stateOf(ctx, e.sess, page{})
 	e.mu.Unlock()
 	if serr != nil {
 		s.writeErr(w, serr)
@@ -666,8 +792,8 @@ type historyItem struct {
 // requested row window. Cursor requests are verified against the
 // current presentation state (409 stale_cursor on mismatch), and a
 // NextCursor is issued whenever rows remain past the window.
-func (s *Server) stateOf(sess *session.Session, p page) (*stateJSON, error) {
-	snap, err := sess.State()
+func (s *Server) stateOf(ctx context.Context, sess *session.Session, p page) (*stateJSON, error) {
+	snap, err := sess.StateCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -742,8 +868,13 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	ctx, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	e.mu.Lock()
-	st, err := s.stateOf(e.sess, p)
+	st, err := s.stateOf(ctx, e.sess, p)
 	e.mu.Unlock()
 	if err != nil {
 		s.writeErr(w, err)
@@ -833,16 +964,21 @@ func (s *Server) handleAction(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	ctx, err := s.requestCtx(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	// The action and the snapshot it returns are one atomic unit under
 	// the entry lock: a concurrent request on the same session cannot
 	// interleave between them.
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.sess.Apply(op); err != nil {
+	if err := e.sess.ApplyCtx(ctx, op); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	st, err := s.stateOf(e.sess, p)
+	st, err := s.stateOf(ctx, e.sess, p)
 	if err != nil {
 		s.writeErr(w, err)
 		return

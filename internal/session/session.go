@@ -34,12 +34,14 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/etable"
+	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/ops"
 	"repro/internal/tgm"
@@ -77,6 +79,14 @@ type Session struct {
 	// cache. The cache behind it is shared across sessions when the
 	// session is built with NewShared.
 	exec *etable.Executor
+	// pool and parallelism configure intra-query parallel execution:
+	// pool is the (usually server-wide) worker pool, parallelism the
+	// default per-request budget. A request context carrying
+	// exec.WithBudget overrides the default per call. Both zero values
+	// mean serial execution. Pool admission is try-acquire, so holding
+	// mu while executing never blocks on another session's work.
+	pool        *exec.Pool
+	parallelism int
 
 	// mu serializes all state-changing actions and snapshot reads on
 	// this session. Lock ordering: session.mu may be held while the
@@ -99,14 +109,38 @@ func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Session {
 
 // NewShared starts an empty session whose executor is backed by a
 // shared execution cache. All sessions sharing a cache must be over the
-// same instance graph.
+// same instance graph. Execution is serial; use NewWithExec to grant
+// the session a worker pool.
 func NewShared(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, cache *etable.Cache) *Session {
+	return NewWithExec(schema, graph, cache, nil, 0)
+}
+
+// NewWithExec is NewShared plus intra-query parallel execution: queries
+// fan out to at most parallelism workers drawn from pool (both may be
+// zero/nil for serial execution). The pool is typically owned by the
+// server and shared by every session, so the pool capacity — not the
+// session count — bounds total helper goroutines.
+func NewWithExec(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, cache *etable.Cache, pool *exec.Pool, parallelism int) *Session {
 	return &Session{
-		schema: schema,
-		graph:  graph,
-		exec:   etable.NewSharedExecutor(graph, cache),
-		cursor: -1,
-		memo:   make(map[string]*etable.Result),
+		schema:      schema,
+		graph:       graph,
+		exec:        etable.NewSharedExecutor(graph, cache),
+		pool:        pool,
+		parallelism: parallelism,
+		cursor:      -1,
+		memo:        make(map[string]*etable.Result),
+	}
+}
+
+// execOptions resolves the execution options for one request: the
+// request context (cancellation), the session's worker pool, and the
+// per-request budget (context override via exec.WithBudget, else the
+// session default).
+func (s *Session) execOptions(ctx context.Context) etable.ExecOptions {
+	return etable.ExecOptions{
+		Ctx:         ctx,
+		Pool:        s.pool,
+		Parallelism: exec.BudgetFrom(ctx, s.parallelism),
 	}
 }
 
@@ -155,7 +189,12 @@ type State struct {
 }
 
 // State snapshots the session under one lock acquisition.
-func (s *Session) State() (State, error) {
+func (s *Session) State() (State, error) { return s.StateCtx(context.Background()) }
+
+// StateCtx is State under a request context: rendering the snapshot may
+// execute the current pattern, which honors ctx's cancellation and any
+// exec.WithBudget parallelism override it carries.
+func (s *Session) StateCtx(ctx context.Context) (State, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := State{Cursor: s.cursor, History: append([]Entry(nil), s.history...)}
@@ -163,7 +202,7 @@ func (s *Session) State() (State, error) {
 		return st, nil
 	}
 	st.Pattern = s.history[s.cursor].Pattern
-	res, err := s.resultLocked()
+	res, err := s.resultLocked(ctx)
 	if err != nil {
 		return State{}, err
 	}
@@ -192,17 +231,38 @@ func (s *Session) current() (Entry, error) {
 // any session state is touched; state-dependent failures (no open table,
 // unknown column, …) return code op_failed and leave the session
 // unchanged.
-func (s *Session) Apply(op ops.Op) error {
+func (s *Session) Apply(op ops.Op) error { return s.ApplyCtx(context.Background(), op) }
+
+// ApplyCtx is Apply under a request context: ops that execute the
+// pattern (pivot, seeall, sort, …) honor ctx's cancellation and any
+// exec.WithBudget parallelism override it carries. A canceled ctx
+// leaves the session unchanged.
+func (s *Session) ApplyCtx(ctx context.Context, op ops.Op) error {
 	c, err := op.Compile(s.schema)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.applyLocked(c); err != nil {
+	// Enforce the "canceled ctx leaves the session unchanged" contract
+	// for every op, not only those that execute the pattern: a request
+	// whose client vanished while queued on the session lock must not
+	// mutate history it will never report back.
+	if err := ctxErr(ctx); err != nil {
+		return ops.Failed(err, -1)
+	}
+	if err := s.applyLocked(ctx, c); err != nil {
 		return ops.Failed(err, -1)
 	}
 	return nil
+}
+
+// ctxErr reports a canceled or expired context (nil ctx = no error).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ApplyPipeline executes a batch of operations atomically: the whole
@@ -210,6 +270,12 @@ func (s *Session) Apply(op ops.Op) error {
 // session is restored to its pre-batch state and the returned *ops.Error
 // carries the index of the offending op.
 func (s *Session) ApplyPipeline(p ops.Pipeline) error {
+	return s.ApplyPipelineCtx(context.Background(), p)
+}
+
+// ApplyPipelineCtx is ApplyPipeline under a request context; a
+// cancellation mid-batch rolls the session back like any other failure.
+func (s *Session) ApplyPipelineCtx(ctx context.Context, p ops.Pipeline) error {
 	compiled, err := p.Compile(s.schema)
 	if err != nil {
 		return err
@@ -222,7 +288,11 @@ func (s *Session) ApplyPipeline(p ops.Pipeline) error {
 	savedHistory := append([]Entry(nil), s.history...)
 	savedCursor := s.cursor
 	for i, c := range compiled {
-		if err := s.applyLocked(c); err != nil {
+		if err := ctxErr(ctx); err != nil {
+			s.history, s.cursor = savedHistory, savedCursor
+			return ops.Failed(err, i)
+		}
+		if err := s.applyLocked(ctx, c); err != nil {
 			s.history, s.cursor = savedHistory, savedCursor
 			return ops.Failed(err, i)
 		}
@@ -233,7 +303,7 @@ func (s *Session) ApplyPipeline(p ops.Pipeline) error {
 // applyLocked executes one compiled op with s.mu held. It is the single
 // implementation of every session mutation; the imperative methods and
 // the replay path all funnel through it.
-func (s *Session) applyLocked(c ops.Compiled) error {
+func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 	op := c.Op
 	switch op.Op {
 	case ops.KindOpen:
@@ -264,7 +334,7 @@ func (s *Session) applyLocked(c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked()
+		res, err := s.resultLocked(ctx)
 		if err != nil {
 			return err
 		}
@@ -292,7 +362,7 @@ func (s *Session) applyLocked(c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked()
+		res, err := s.resultLocked(ctx)
 		if err != nil {
 			return err
 		}
@@ -346,7 +416,7 @@ func (s *Session) applyLocked(c ops.Compiled) error {
 			return fmt.Errorf("session: node %q is not of the primary type %q",
 				n.Label(), cur.Pattern.PrimaryNode().Type)
 		}
-		res, err := s.resultLocked()
+		res, err := s.resultLocked(ctx)
 		if err != nil {
 			return err
 		}
@@ -381,7 +451,7 @@ func (s *Session) applyLocked(c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked()
+		res, err := s.resultLocked(ctx)
 		if err != nil {
 			return err
 		}
@@ -404,7 +474,7 @@ func (s *Session) applyLocked(c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked()
+		res, err := s.resultLocked(ctx)
 		if err != nil {
 			return err
 		}
@@ -536,7 +606,11 @@ func (s *Session) Entries() ([]Entry, int) {
 // carries the offending op's index. On success the history, cursor, and
 // presented state are identical to the session the log was exported
 // from.
-func (s *Session) Replay(log Log) error {
+func (s *Session) Replay(log Log) error { return s.ReplayCtx(context.Background(), log) }
+
+// ReplayCtx is Replay under a request context; cancellation mid-replay
+// restores the previous state.
+func (s *Session) ReplayCtx(ctx context.Context, log Log) error {
 	compiled, err := ops.Pipeline(log.Ops).Compile(s.schema)
 	if err != nil {
 		return err
@@ -549,7 +623,11 @@ func (s *Session) Replay(log Log) error {
 	// so the saved slice cannot be clobbered.
 	s.history, s.cursor = nil, -1
 	for i, c := range compiled {
-		if err := s.applyLocked(c); err != nil {
+		if err := ctxErr(ctx); err != nil {
+			restore()
+			return ops.Failed(err, i)
+		}
+		if err := s.applyLocked(ctx, c); err != nil {
 			restore()
 			return ops.Failed(err, i)
 		}
@@ -595,13 +673,19 @@ func presentationKey(e Entry) string {
 // (sort, hidden columns). Identical presentation states are served from
 // the session's memo without re-sorting or re-transforming.
 func (s *Session) Result() (*etable.Result, error) {
+	return s.ResultCtx(context.Background())
+}
+
+// ResultCtx is Result under a request context (cancellation and
+// parallelism budget; see StateCtx).
+func (s *Session) ResultCtx(ctx context.Context) (*etable.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.resultLocked()
+	return s.resultLocked(ctx)
 }
 
 // resultLocked is Result with s.mu held.
-func (s *Session) resultLocked() (*etable.Result, error) {
+func (s *Session) resultLocked(ctx context.Context) (*etable.Result, error) {
 	cur, err := s.current()
 	if err != nil {
 		return nil, err
@@ -610,7 +694,7 @@ func (s *Session) resultLocked() (*etable.Result, error) {
 	if res, ok := s.memo[key]; ok {
 		return res, nil
 	}
-	res, err := s.exec.Execute(cur.Pattern)
+	res, err := s.exec.ExecuteWithOpts(cur.Pattern, s.execOptions(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -672,7 +756,7 @@ func (s *Session) EntityTypes() []*tgm.NodeType {
 func (s *Session) LookupValue(rowLabel, attr string) (value.V, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	res, err := s.resultLocked()
+	res, err := s.resultLocked(context.Background())
 	if err != nil {
 		return value.Null, err
 	}

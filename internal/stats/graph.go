@@ -1,0 +1,328 @@
+package stats
+
+// Planner statistics over a TGDB instance graph. Where the rest of this
+// package reproduces the paper's *evaluation* statistics (t-tests,
+// confidence intervals), this file computes the *cost-model* statistics
+// the join planner consumes: per-edge-type out-degree histograms and
+// per-node-type attribute NDV (number-of-distinct-values) estimates.
+// They replace the single tgm.AvgOutDegree scalar the planner used
+// before: a per-edge fan-out plus NDV-based condition selectivities let
+// the planner estimate intermediate cardinalities well enough to order
+// joins and to decide when a query is too small to be worth fanning out
+// to the worker pool.
+//
+// Statistics are computed once per graph — translate.Translate collects
+// them right after freezing the instance graph — and are immutable
+// afterwards, like the graph itself. For returns the frozen graph's
+// cached statistics without recomputation.
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/tgm"
+)
+
+// HistBuckets is the number of log2 out-degree buckets per edge type.
+// Bucket b counts source nodes whose out-degree d satisfies
+// 2^b <= d < 2^(b+1); degree-0 sources are Sources - SourcesWithOut.
+// 16 buckets cover degrees up to 65535, far beyond any per-node fan-out
+// the academic graph produces.
+const HistBuckets = 16
+
+// EdgeStats summarizes one edge type's out-degree distribution over all
+// nodes of its source type.
+type EdgeStats struct {
+	// Count is the number of edges of this type.
+	Count int
+	// Sources is the number of nodes of the source type (including
+	// nodes with no out-edge of this type).
+	Sources int
+	// SourcesWithOut is the number of source nodes with at least one
+	// out-edge of this type.
+	SourcesWithOut int
+	// MaxOutDegree is the largest out-degree of any source node.
+	MaxOutDegree int
+	// Fanout is Count/Sources — the expected number of neighbors per
+	// source node, counting zero-degree sources. It is 0 (never NaN)
+	// when the source type has no instances.
+	Fanout float64
+	// Hist is the log2 out-degree histogram (see HistBuckets).
+	Hist [HistBuckets]int
+}
+
+// DegreeQuantile returns an upper bound on the out-degree of the q
+// quantile (0 < q <= 1) of source nodes, from the histogram. Zero-degree
+// sources count below the first bucket. It answers "how skewed is this
+// edge?" — a planner can distrust a mean fan-out whose p90 is 100× it.
+func (e EdgeStats) DegreeQuantile(q float64) int {
+	if e.Sources == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(e.Sources)))
+	seen := e.Sources - e.SourcesWithOut // degree-0 sources
+	if seen >= target {
+		return 0
+	}
+	for b := 0; b < HistBuckets; b++ {
+		seen += e.Hist[b]
+		if seen >= target {
+			upper := (1 << (b + 1)) - 1 // max degree in bucket b
+			if upper > e.MaxOutDegree {
+				upper = e.MaxOutDegree
+			}
+			return upper
+		}
+	}
+	return e.MaxOutDegree
+}
+
+// NodeStats summarizes one node type.
+type NodeStats struct {
+	// Count is the number of instances.
+	Count int
+	// NDV maps attribute name → number of distinct non-null values.
+	NDV map[string]int
+}
+
+// Graph is the full statistics set of one instance graph.
+type Graph struct {
+	// Nodes maps node type name → NodeStats.
+	Nodes map[string]NodeStats
+	// Edges maps edge type name → EdgeStats.
+	Edges map[string]EdgeStats
+}
+
+// Collect computes fresh statistics for g in one pass over its nodes
+// and adjacency lists. Call it once per graph (For caches the result
+// for frozen graphs).
+func Collect(g *tgm.InstanceGraph) *Graph {
+	s := &Graph{
+		Nodes: make(map[string]NodeStats),
+		Edges: make(map[string]EdgeStats),
+	}
+	schema := g.Schema()
+	for _, nt := range schema.NodeTypes() {
+		ids := g.NodesOfType(nt.Name)
+		ns := NodeStats{Count: len(ids), NDV: make(map[string]int, len(nt.Attrs))}
+		for ai, a := range nt.Attrs {
+			distinct := make(map[string]struct{}, len(ids))
+			for _, id := range ids {
+				v := g.Node(id).Attrs[ai]
+				if v.IsNull() {
+					continue
+				}
+				distinct[v.Key()] = struct{}{}
+			}
+			ns.NDV[a.Name] = len(distinct)
+		}
+		s.Nodes[nt.Name] = ns
+	}
+	for _, et := range schema.EdgeTypes() {
+		srcIDs := g.NodesOfType(et.Source)
+		es := EdgeStats{Sources: len(srcIDs)}
+		for _, id := range srcIDs {
+			d := g.Degree(id, et.Name)
+			if d == 0 {
+				continue
+			}
+			es.Count += d
+			es.SourcesWithOut++
+			if d > es.MaxOutDegree {
+				es.MaxOutDegree = d
+			}
+			b := 0
+			for v := d; v > 1; v >>= 1 {
+				b++
+			}
+			if b >= HistBuckets {
+				b = HistBuckets - 1
+			}
+			es.Hist[b]++
+		}
+		if es.Sources > 0 {
+			es.Fanout = float64(es.Count) / float64(es.Sources)
+		}
+		s.Edges[et.Name] = es
+	}
+	return s
+}
+
+// For returns g's statistics, computing and caching them on first use.
+// The cache lives on the graph itself (InstanceGraph.StatsCache), so
+// statistics share the graph's lifetime — no global registry pinning
+// graphs for the life of the process. Only frozen graphs are cached (an
+// unfrozen graph could still change); translate.Translate calls For
+// right after freezing, so serving-path lookups always hit the cache.
+// For a nil graph it returns nil.
+//
+// Performance note: on an UNFROZEN graph every call recollects — a full
+// O(nodes×attrs + edges) pass. Callers that execute queries repeatedly
+// over a hand-built graph should Freeze it first (the etable planner
+// calls For once per planned query).
+func For(g *tgm.InstanceGraph) *Graph {
+	if g == nil {
+		return nil
+	}
+	if v := g.StatsCache(); v != nil {
+		return v.(*Graph)
+	}
+	s := Collect(g)
+	if g.Frozen() {
+		// A concurrent collector may have landed first; the first
+		// published value wins so every caller shares one object.
+		return g.SetStatsCache(s).(*Graph)
+	}
+	return s
+}
+
+// Fanout returns the expected neighbors-per-source of an edge type,
+// 0 for unknown edge types or empty source types (never NaN).
+func (s *Graph) Fanout(edgeType string) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.Edges[edgeType].Fanout
+}
+
+// ndv resolves an attribute's NDV for a node type, accepting dotted
+// names ("Papers.year") like the expression environment does. The
+// second result reports whether the attribute is known.
+func (s *Graph) ndv(nodeType, attr string) (int, bool) {
+	ns, ok := s.Nodes[nodeType]
+	if !ok {
+		return 0, false
+	}
+	if n, ok := ns.NDV[attr]; ok {
+		return n, true
+	}
+	if i := strings.LastIndexByte(attr, '.'); i >= 0 {
+		if n, ok := ns.NDV[attr[i+1:]]; ok {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// Textbook default selectivities for predicates the NDV cannot refine.
+const (
+	defaultEqSel    = 0.1 // equality on an unknown attribute
+	defaultRangeSel = 1.0 / 3
+	defaultLikeSel  = 0.1
+	defaultNullSel  = 0.1
+)
+
+// CondSelectivity estimates the fraction of nodeType's instances that
+// satisfy cond, from NDV statistics and textbook defaults, clamped to
+// [0, 1]. A nil condition is 1. Every division is guarded: empty types
+// and zero NDVs yield finite estimates, never NaN or Inf.
+func (s *Graph) CondSelectivity(nodeType string, cond expr.Expr) float64 {
+	if cond == nil {
+		return 1
+	}
+	if s == nil {
+		return defaultRangeSel
+	}
+	sel := s.condSel(nodeType, cond)
+	if sel < 0 {
+		return 0
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+func (s *Graph) condSel(nodeType string, cond expr.Expr) float64 {
+	switch c := cond.(type) {
+	case expr.Cmp:
+		attr, isAttrConst := attrConstCmp(c)
+		switch c.Op {
+		case expr.OpEq:
+			if isAttrConst {
+				if n, ok := s.ndv(nodeType, attr); ok && n > 0 {
+					return 1 / float64(n)
+				}
+			}
+			return defaultEqSel
+		case expr.OpNe:
+			if isAttrConst {
+				if n, ok := s.ndv(nodeType, attr); ok && n > 0 {
+					return 1 - 1/float64(n)
+				}
+			}
+			return 1 - defaultEqSel
+		default:
+			return defaultRangeSel
+		}
+	case expr.Like:
+		return defaultLikeSel
+	case expr.Between:
+		return defaultRangeSel * defaultRangeSel * 2 // narrower than one-sided range
+	case expr.In:
+		sel := defaultEqSel * float64(len(c.List))
+		if attr := colName(c.Left); attr != "" {
+			if n, ok := s.ndv(nodeType, attr); ok && n > 0 {
+				sel = float64(len(c.List)) / float64(n)
+			}
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		if c.Negate {
+			return 1 - sel
+		}
+		return sel
+	case expr.IsNull:
+		if c.Negate {
+			return 1 - defaultNullSel
+		}
+		return defaultNullSel
+	case expr.And:
+		return s.condSel(nodeType, c.Left) * s.condSel(nodeType, c.Right)
+	case expr.Or:
+		a, b := s.condSel(nodeType, c.Left), s.condSel(nodeType, c.Right)
+		return a + b - a*b
+	case expr.Not:
+		return 1 - s.condSel(nodeType, c.Inner)
+	default:
+		return defaultRangeSel
+	}
+}
+
+// attrConstCmp reports whether a comparison is column-vs-constant (in
+// either order) and returns the column name.
+func attrConstCmp(c expr.Cmp) (attr string, ok bool) {
+	if n := colName(c.Left); n != "" {
+		if _, isConst := c.Right.(expr.Const); isConst {
+			return n, true
+		}
+	}
+	if n := colName(c.Right); n != "" {
+		if _, isConst := c.Left.(expr.Const); isConst {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+func colName(e expr.Expr) string {
+	if c, ok := e.(expr.Col); ok {
+		return c.Name
+	}
+	return ""
+}
+
+// EstimateBaseRows estimates |σ_cond(R^G_nodeType)| without executing
+// the selection: instance count × condition selectivity. Empty types
+// estimate 0.
+func (s *Graph) EstimateBaseRows(nodeType string, cond expr.Expr) float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(s.Nodes[nodeType].Count) * s.CondSelectivity(nodeType, cond)
+}

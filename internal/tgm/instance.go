@@ -68,6 +68,11 @@ type InstanceGraph struct {
 	// above). Atomic so concurrent readers may assert it without racing
 	// a late Freeze call.
 	frozen atomic.Bool
+	// statsCache holds derived statistics computed over the frozen
+	// graph (an opaque value owned by internal/stats). Stored on the
+	// graph so the statistics share its lifetime instead of pinning the
+	// graph in a process-global registry.
+	statsCache atomic.Value
 }
 
 // NewInstanceGraph returns an empty instance graph over schema.
@@ -89,6 +94,21 @@ func (g *InstanceGraph) Schema() *SchemaGraph { return g.schema }
 // unsynchronized concurrent reads (see the type's immutability
 // contract).
 func (g *InstanceGraph) Freeze() { g.frozen.Store(true) }
+
+// StatsCache returns the derived statistics published by
+// SetStatsCache, or nil.
+func (g *InstanceGraph) StatsCache() any { return g.statsCache.Load() }
+
+// SetStatsCache publishes derived statistics for the graph. If two
+// collectors race, the first published value wins; the winner is
+// returned either way. Callers must always pass the same concrete
+// type.
+func (g *InstanceGraph) SetStatsCache(v any) any {
+	if g.statsCache.CompareAndSwap(nil, v) {
+		return v
+	}
+	return g.statsCache.Load()
+}
 
 // Frozen reports whether Freeze has been called.
 func (g *InstanceGraph) Frozen() bool { return g.frozen.Load() }

@@ -376,3 +376,28 @@ func TestConcurrentReads(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestAvgOutDegreeEmptyTypes pins the division-by-zero guard: an edge
+// type whose source type has no instances must report degree 0, never
+// NaN — the planner multiplies this statistic into cost estimates, and
+// one NaN would poison every downstream comparison.
+func TestAvgOutDegreeEmptyTypes(t *testing.T) {
+	s := paperSchema(t)
+	g := NewInstanceGraph(s)
+	// No nodes at all: every edge type's source is empty.
+	for _, et := range s.EdgeTypes() {
+		if d := g.AvgOutDegree(et.Name); d != 0 || d != d /* NaN check */ {
+			t.Errorf("empty graph AvgOutDegree(%q) = %v, want 0", et.Name, d)
+		}
+	}
+	if d := g.AvgOutDegree("no-such-edge"); d != 0 {
+		t.Errorf("unknown edge AvgOutDegree = %v, want 0", d)
+	}
+	// Conferences populated, Papers (the source) still empty.
+	if _, err := g.AddNode("Conferences", []value.V{value.Int(1), value.Str("SIGMOD")}); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.AvgOutDegree("Papers→Conferences"); d != 0 {
+		t.Errorf("empty-source AvgOutDegree = %v, want 0", d)
+	}
+}

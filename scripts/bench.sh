@@ -7,7 +7,11 @@
 #
 # Writes BENCH_<date>.json (the `go test -json` event stream, which
 # includes every benchmark result line with -benchmem statistics) and
-# prints the human-readable results to stdout.
+# BENCH_<date>.txt (the plain benchmark lines in the format `benchstat`
+# consumes), prints the human-readable results to stdout, and — when an
+# earlier BENCH_*.json exists — prints a benchstat-comparable old-vs-new
+# summary against the most recent one (and runs `benchstat` itself when
+# the tool is installed).
 #
 # Smoke mode (what CI runs) executes each benchmark for exactly one
 # iteration and writes no artifact: it proves every benchmark still
@@ -24,10 +28,31 @@ fi
 pattern="${1:-.}"
 stamp="$(date +%Y-%m-%d)"
 out="BENCH_${stamp}.json"
+txt="BENCH_${stamp}.txt"
+
+# extract_bench turns a `go test -json` event stream into the plain
+# benchmark text benchstat consumes. The stream emits a result line as
+# two Output events — "BenchmarkX \t" then "N\tV ns/op…" — so a name
+# line without values is rejoined with the event that follows it.
+extract_bench() {
+	grep -o '"Output":"[^"]*"' "$1" |
+		sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' |
+		awk '
+			/^(goos|goarch|pkg|cpu):/ { print; next }
+			/^Benchmark/ && /ns\/op/ { print; next }
+			/^Benchmark/ { pending = $0; next }
+			pending != "" && /ns\/op/ { print pending $0; pending = ""; next }
+			{ pending = "" }
+		'
+}
+
+# Remember the newest earlier artifact before writing today's.
+prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -n 1 || true)"
 
 status=0
 go test -run '^$' -bench "$pattern" -benchmem -json . >"$out" || status=$?
 
+extract_bench "$out" >"$txt"
 grep -o '"Output":"[^"]*"' "$out" |
 	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' |
 	grep -E '^Benchmark|ns/op|^(goos|goarch|pkg|cpu):|^(PASS|FAIL|ok)' |
@@ -37,4 +62,36 @@ if [ "$status" -ne 0 ]; then
 	echo "go test failed (exit $status); $out holds a partial event stream" >&2
 	exit "$status"
 fi
-echo "wrote $out" >&2
+
+if [ -n "$prev" ]; then
+	prevtxt="${prev%.json}.txt"
+	if [ ! -f "$prevtxt" ]; then
+		prevtxt="$(mktemp)"
+		extract_bench "$prev" >"$prevtxt"
+	fi
+	echo ""
+	echo "== vs ${prev} =="
+	if command -v benchstat >/dev/null 2>&1; then
+		benchstat "$prevtxt" "$txt" || true
+	else
+		# Fallback: join on benchmark name, compare ns/op. The .txt
+		# artifacts remain benchstat-ready: `benchstat old.txt new.txt`.
+		awk '
+			/^Benchmark/ {
+				name = $1
+				v = ""
+				for (i = 2; i <= NF; i++) if ($i == "ns/op") v = $(i - 1)
+				if (v == "") next
+				if (FNR == NR) old[name] = v
+				else if (name in old) {
+					printf "%-60s %14.0f -> %14.0f ns/op  %+.1f%%\n",
+						name, old[name], v, (v - old[name]) * 100.0 / old[name]
+				} else {
+					printf "%-60s %14s -> %14.0f ns/op  (new)\n", name, "-", v
+				}
+			}
+		' "$prevtxt" "$txt"
+		echo "(install benchstat for confidence intervals: go install golang.org/x/perf/cmd/benchstat@latest)"
+	fi
+fi
+echo "wrote $out and $txt" >&2
