@@ -589,6 +589,131 @@ func BenchmarkParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7Pipeline measures page-fetch latency on the Figure
+// 7/8 workload (12k-paper corpus): a client viewing a 10-row window of
+// the matched result. Arms ablate the presentation pipeline:
+//
+//   - page_full_render: the pre-windowing serving path — the match is
+//     cached, but every page fetch re-renders the ENTIRE result and
+//     slices 10 rows out. Cost scales with the table.
+//   - page_windowed: the windowed path in steady state — the session
+//     memoizes the prepared presentation (pinned matched relation, row
+//     order, groupings) and each fetch transforms only the requested
+//     10 rows. Cost scales with the window.
+//   - page_windowed_cold: a cold fetch through TransformWindow (prepare
+//     + window in one call) — what the first page after an op costs.
+//
+// The acceptance target is >= 2x latency and allocs/op between the
+// first two arms; PERFORMANCE.md §6 records the measured numbers.
+func BenchmarkFigure7Pipeline(b *testing.B) {
+	tr := scaleFixtures(b)
+	p := figure7Pattern(b, tr)
+	matched, err := etable.Match(tr.Instance, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if matched.Len() == 0 {
+		b.Fatal("no matches")
+	}
+	pres, err := etable.Prepare(tr.Instance, p, matched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offset := pres.NumRows() / 2
+	const window = 10
+
+	b.Run("page_full_render", func(b *testing.B) {
+		ex := etable.NewExecutor(tr.Instance)
+		if _, err := ex.Execute(p); err != nil { // warm the match cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ex.Execute(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := len(res.Rows[offset : offset+window]); got != window {
+				b.Fatalf("window of %d rows", got)
+			}
+		}
+	})
+	b.Run("page_windowed", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := pres.Window(offset, window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NumRows() != window || res.Total() != pres.NumRows() {
+				b.Fatalf("window = [%d of %d]", res.NumRows(), res.Total())
+			}
+		}
+	})
+	b.Run("page_windowed_cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := etable.TransformWindow(tr.Instance, p, matched, offset, window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NumRows() != window {
+				b.Fatalf("window of %d rows", res.NumRows())
+			}
+		}
+	})
+
+	// The same page fetch against the full 12k-row Papers table: the
+	// windowed arm's cost must not grow with the table (this table has
+	// ~80× the rows of the Figure 7 result).
+	pPapers, err := etable.Initiate(tr.Schema, "Papers")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mPapers, err := etable.Match(tr.Instance, pPapers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	presPapers, err := etable.Prepare(tr.Instance, pPapers, mPapers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	offPapers := presPapers.NumRows() / 2
+	b.Run("bigtable_full_render", func(b *testing.B) {
+		ex := etable.NewExecutor(tr.Instance)
+		if _, err := ex.Execute(pPapers); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ex.Execute(pPapers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := len(res.Rows[offPapers : offPapers+window]); got != window {
+				b.Fatalf("window of %d rows", got)
+			}
+		}
+	})
+	b.Run("bigtable_windowed", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := presPapers.Window(offPapers, window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.NumRows() != window {
+				b.Fatalf("window of %d rows", res.NumRows())
+			}
+		}
+	})
+}
+
 // globalMutexHandler serializes every request behind one lock — the
 // serving discipline this PR removed, kept as the benchmark baseline.
 type globalMutexHandler struct {

@@ -103,4 +103,43 @@
 //
 // PERFORMANCE.md §5 records the scaling measurements
 // (BenchmarkParallelScaling).
+//
+// # Windowed presentation
+//
+// The format transformation (§5.4.2) is prepared and windowed rather
+// than monolithic: etable.Prepare computes the row set, column layout,
+// and per-column neighbor groupings without materializing a single
+// cell, and etable.Presentation.Window (or the one-shot
+// etable.TransformWindow) materializes any [offset, offset+limit) row
+// range on demand. Row materialization partitions cleanly by row
+// range, so Window fans the transformRange kernel out over the shared
+// worker pool with the same disjoint-window splice discipline as the
+// matching kernels — row- and cell-identical to the serial transform,
+// equivalence-tested under -race.
+//
+// Pinning semantics: the session layer prepares one Presentation per
+// presentation state (pattern, sort, hidden columns) and pins the
+// matched relation in the shared execution cache (etable.Cache.Pin via
+// Executor.PrepareWithOpts). A pinned relation is exempt from LRU
+// eviction, so every page of a result addresses the same relation — a
+// page fetch costs O(window), never a re-match or a full re-render.
+// Sorting happens on the presentation's row order (no cells), so
+// sort-then-page equals full-render-then-slice by construction.
+//
+// Cursor invalidation: HTTP cursors fingerprint the presentation state
+// they were issued against; any op that changes the table invalidates
+// them (409 stale_cursor), and the client re-pages the new state.
+//
+// Memory bound: pins are released when the per-session presentation
+// memo (8 entries) evicts an entry, so at most sessions × 8 relations
+// are pinned beyond the cache capacity; /api/v1/stats reports the
+// current count as pinnedRelations.
+//
+// Allocation discipline in the transform: all cells of a window share
+// one backing array, entity references are carved from one per-range
+// arena (empty lists share a single slice), per-(group,value) hash
+// dedup was replaced by sort-side compaction and a dense-ID bitmap
+// (graphrel.Bitset), and non-string labels are interned per range so N
+// rows referencing one node share one rendered string. PERFORMANCE.md
+// §6 records the page-fetch measurements (BenchmarkFigure7Pipeline).
 package repro

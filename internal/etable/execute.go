@@ -69,7 +69,7 @@ func ExecuteOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	return transform(g, p, matched)
+	return transformOpts(g, p, matched, opt)
 }
 
 // baseRelation builds one pattern node's selected base relation,
@@ -197,98 +197,31 @@ func orientEdge(schema *tgm.SchemaGraph, e PatternEdge, joined map[string]bool) 
 	}
 }
 
-// transform implements the format transformation (§5.4.2): rows are the
-// distinct primary nodes of the matched relation; columns are the base
-// attributes A_b, the participating node columns A_t, and the neighbor
-// node columns A_h.
+// transform implements the format transformation (§5.4.2) serially:
+// rows are the distinct primary nodes of the matched relation; columns
+// are the base attributes A_b, the participating node columns A_t, and
+// the neighbor node columns A_h. It is a full-table render through the
+// windowed presentation pipeline (see transform.go): Prepare computes
+// the row set and groupings, Window(0, -1) materializes every row.
 //
-// The enriched table is canonical: rows ascend by primary node ID (the
-// order the declaration-order matcher produced them in) and the entity
-// references of participating cells ascend by node ID, so Execute's
-// output does not depend on the join order the planner picked.
+// The enriched table is canonical: rows ascend by primary node ID and
+// the entity references of participating cells ascend by node ID, so
+// Execute's output does not depend on the join order the planner
+// picked.
 func transform(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*Result, error) {
-	prim := p.PrimaryNode()
-	primType := g.Schema().NodeType(prim.Type)
-	res := &Result{Pattern: p, PrimaryType: primType}
+	return transformOpts(g, p, matched, ExecOptions{})
+}
 
-	// Rows: Π_τa of the matched relation, canonically ordered.
-	rowIDs, err := graphrel.DistinctNodes(matched, prim.Key)
+// transformOpts is transform under execution options: the grouping
+// passes and the row materialization fan out over the shared pool in
+// morsel-sized row ranges (transformRange), splice-order deterministic
+// and row-identical to the serial path.
+func transformOpts(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, opt ExecOptions) (*Result, error) {
+	pr, err := PrepareOpts(g, p, matched, opt)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
-
-	// Base attribute columns A_b.
-	for _, a := range primType.Attrs {
-		res.Columns = append(res.Columns, Column{Kind: ColBase, Name: a.Name, Attr: a.Name})
-	}
-
-	// Participating node columns A_t: every pattern node except the
-	// primary, with values Π_type σ_{τa=r}(m(Q)) computed in one pass.
-	type partCol struct {
-		col    int
-		groups map[tgm.NodeID][]tgm.NodeID
-	}
-	var parts []partCol
-	primEdges := primaryEdgeTypes(p, g.Schema())
-	for _, n := range p.Nodes {
-		if n.Key == prim.Key {
-			continue
-		}
-		// GroupNeighbors returns each group ID-ascending by contract, so
-		// the cell order is already canonical regardless of join order.
-		groups, err := graphrel.GroupNeighbors(matched, prim.Key, n.Key)
-		if err != nil {
-			return nil, err
-		}
-		res.Columns = append(res.Columns, Column{
-			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
-			EdgeType: primEdges[n.Key], TargetType: n.Type,
-		})
-		parts = append(parts, partCol{col: len(res.Columns) - 1, groups: groups})
-	}
-
-	// Neighbor node columns A_h: schema out-edges of the primary type,
-	// skipping edges already shown as participating columns directly
-	// adjacent to the primary node (the paper notes the overlap).
-	shown := map[string]bool{}
-	for _, en := range primEdges {
-		if en != "" {
-			shown[en] = true
-		}
-	}
-	var neighborCols []*tgm.EdgeType
-	for _, et := range g.Schema().OutEdges(prim.Type) {
-		if shown[et.Name] {
-			continue
-		}
-		res.Columns = append(res.Columns, Column{
-			Kind: ColNeighbor, Name: et.Label, EdgeType: et.Name, TargetType: et.Target,
-		})
-		neighborCols = append(neighborCols, et)
-	}
-
-	// Materialize rows.
-	res.Rows = make([]Row, len(rowIDs))
-	for ri, id := range rowIDs {
-		n := g.Node(id)
-		row := Row{Node: id, Label: n.Label(), Cells: make([]Cell, len(res.Columns))}
-		ci := 0
-		for ai := range primType.Attrs {
-			row.Cells[ci] = Cell{Value: n.Attrs[ai]}
-			ci++
-		}
-		for _, pc := range parts {
-			row.Cells[pc.col] = Cell{Refs: refs(g, pc.groups[id])}
-		}
-		ci = len(primType.Attrs) + len(parts)
-		for _, et := range neighborCols {
-			row.Cells[ci] = Cell{Refs: refs(g, g.Neighbors(id, et.Name))}
-			ci++
-		}
-		res.Rows[ri] = row
-	}
-	return res, nil
+	return pr.WindowOpts(0, -1, opt)
 }
 
 // primaryEdgeTypes maps each pattern node key adjacent to the primary
@@ -308,17 +241,6 @@ func primaryEdgeTypes(p *Pattern, schema *tgm.SchemaGraph) map[string]string {
 				out[e.From] = et.Reverse
 			}
 		}
-	}
-	return out
-}
-
-func refs(g *tgm.InstanceGraph, ids []tgm.NodeID) []EntityRef {
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]EntityRef, len(ids))
-	for i, id := range ids {
-		out[i] = EntityRef{ID: id, Label: g.Node(id).Label()}
 	}
 	return out
 }

@@ -110,23 +110,29 @@ func (e *Executor) base(opt ExecOptions) func(n *PatternNode) (*graphrel.Relatio
 	}
 }
 
-// getOrComputeLive wraps Cache.GetOrCompute for a caller whose own
-// context is live: a singleflight waiter can receive the *leader's*
-// cancellation error (the leader's client disconnected mid-compute, the
-// waiter's did not). Surfacing that would fail an innocent request, so
-// on a foreign cancellation the lookup retries — the error is never
-// cached, and with the canceled leader gone this caller computes the
-// value itself on the next attempt.
+// foreignCancellation classifies a cache-lookup error for a caller
+// whose own context is ctx: true means err is a cancellation that did
+// NOT originate from ctx (a singleflight leader's client disconnected
+// mid-compute, this caller's did not) and the lookup should retry —
+// the error is never cached, and with the canceled leader gone the
+// caller computes the value itself on the next attempt. Both the plain
+// and the pinned lookup paths share this single classification, so the
+// retry rules cannot drift apart.
+func foreignCancellation(ctx context.Context, err error) bool {
+	if err == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return false
+	}
+	return ctx == nil || ctx.Err() == nil
+}
+
+// getOrComputeLive wraps Cache.GetOrCompute with the
+// foreign-cancellation retry (see foreignCancellation).
 func getOrComputeLive(ctx context.Context, c *Cache, key string, compute func() (*graphrel.Relation, error)) (*graphrel.Relation, error) {
 	for {
 		rel, err := c.GetOrCompute(key, compute)
-		if err == nil || !(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		if !foreignCancellation(ctx, err) {
 			return rel, err
 		}
-		if ctx == nil || ctx.Err() == nil {
-			continue // foreign cancellation; retry with a live context
-		}
-		return nil, err // our own cancellation
 	}
 }
 
@@ -157,7 +163,13 @@ func (e *Executor) MatchWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relatio
 			return nil, err
 		}
 	}
-	return getOrComputeLive(opt.Ctx, e.cache, matchPrefix+Signature(p), func() (*graphrel.Relation, error) {
+	return getOrComputeLive(opt.Ctx, e.cache, matchPrefix+Signature(p), e.matchCompute(p, opt))
+}
+
+// matchCompute builds the cache compute closure for one pattern match —
+// shared by the plain and the pinned lookup paths.
+func (e *Executor) matchCompute(p *Pattern, opt ExecOptions) func() (*graphrel.Relation, error) {
+	return func() (*graphrel.Relation, error) {
 		// Resolving the options (EstimatePattern runs a statistics-only
 		// plan) happens inside the compute path only — cache hits, the
 		// common case, pay nothing for the parallelism decision.
@@ -171,7 +183,51 @@ func (e *Executor) MatchWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relatio
 			return nil, err
 		}
 		return matchSteps(bases, start, steps, nil, opt)
-	})
+	}
+}
+
+// MatchPinnedWithOpts is MatchWithOpts plus a Pin on the cached matched
+// relation: while the pin is held, the relation is exempt from cache
+// eviction, so a session paging through the result keeps addressing
+// the same relation. The caller must Release the pin when the last
+// window over it is dropped. Foreign-cancellation retry composes with
+// pinning the same way as with the plain lookup.
+func (e *Executor) MatchPinnedWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relation, *Pin, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	key := matchPrefix + Signature(p)
+	compute := e.matchCompute(p, opt)
+	for {
+		rel, pin, err := e.cache.GetOrComputePinned(key, compute)
+		if !foreignCancellation(opt.Ctx, err) {
+			return rel, pin, err
+		}
+	}
+}
+
+// PrepareWithOpts builds the windowed presentation of a pattern: the
+// matched relation comes from the shared cache (pinned), and the
+// returned Presentation materializes any row window on demand. The
+// caller owns the Pin and must Release it when done paging; the
+// Presentation stays valid afterwards (relations are immutable), but
+// the cache may then recompute the match for other sessions.
+func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, *Pin, error) {
+	if err := p.Validate(e.g.Schema()); err != nil {
+		return nil, nil, err
+	}
+	matched, pin, err := e.MatchPinnedWithOpts(p, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	pr, err := PrepareOpts(e.g, p, matched, opt)
+	if err != nil {
+		pin.Release()
+		return nil, nil, err
+	}
+	return pr, pin, nil
 }
 
 // Execute runs the pattern with intermediate-result reuse (serial,
@@ -191,5 +247,5 @@ func (e *Executor) ExecuteWithOpts(p *Pattern, opt ExecOptions) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return transform(e.g, p, matched)
+	return transformOpts(e.g, p, matched, opt)
 }

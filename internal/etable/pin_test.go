@@ -1,0 +1,167 @@
+package etable
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graphrel"
+)
+
+// TestCachePinSurvivesEviction: a pinned entry is exempt from LRU
+// eviction under insert pressure; once released it evicts normally.
+func TestCachePinSurvivesEviction(t *testing.T) {
+	tr := planFixture(t)
+	rel, err := graphrel.Base(tr.Instance, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One entry per shard cap: every insert beyond the first forces an
+	// eviction decision in that shard.
+	c := NewCache(1)
+	got, pin, err := c.GetOrComputePinned("pinned", func() (*graphrel.Relation, error) { return rel, nil })
+	if err != nil || got != rel {
+		t.Fatalf("GetOrComputePinned = %v, %v", got, err)
+	}
+	if c.PinnedCount() != 1 {
+		t.Fatalf("PinnedCount = %d, want 1", c.PinnedCount())
+	}
+	// Hammer every shard with fresh keys; the pinned entry must survive.
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("filler-%d", i)
+		if _, err := c.GetOrCompute(key, func() (*graphrel.Relation, error) { return rel, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("pinned"); !ok {
+		t.Fatal("pinned entry was evicted")
+	}
+	pin.Release()
+	pin.Release() // idempotent
+	if c.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount after release = %d, want 0", c.PinnedCount())
+	}
+	// Unpinned now: pressure in its own shard evicts it. Keep inserting
+	// until two keys have landed in that shard, so the test is
+	// deterministic regardless of the hash spread.
+	shard := c.shardFor("pinned")
+	inserted := 0
+	for i := 0; inserted < 2 && i < 10000; i++ {
+		key := fmt.Sprintf("fill2-%d", i)
+		if c.shardFor(key) != shard {
+			continue
+		}
+		if _, err := c.GetOrCompute(key, func() (*graphrel.Relation, error) { return rel, nil }); err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	if _, ok := c.Get("pinned"); ok {
+		t.Fatal("released entry still resident after shard pressure")
+	}
+}
+
+// TestCachePinnedShardOverflow: inserting into a shard whose entries
+// are ALL pinned must overflow the shard, not evict the just-inserted
+// entry — self-eviction would make GetOrComputePinned's follow-up
+// lookup miss (historically: nil-pointer panic with the shard mutex
+// held, deadlocking the shard forever).
+func TestCachePinnedShardOverflow(t *testing.T) {
+	tr := planFixture(t)
+	rel, err := graphrel.Base(tr.Instance, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(1) // one entry per shard: every shard is instantly full
+	shard := c.shardFor("first")
+	// Pin entries into one shard until it is over capacity and fully
+	// pinned.
+	var pins []*Pin
+	keys := []string{"first"}
+	for i := 0; len(keys) < 3 && i < 10000; i++ {
+		k := fmt.Sprintf("pinfill-%d", i)
+		if c.shardFor(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		_, pin, err := c.GetOrComputePinned(k, func() (*graphrel.Relation, error) { return rel, nil })
+		if err != nil {
+			t.Fatalf("pinning %q: %v", k, err)
+		}
+		pins = append(pins, pin)
+	}
+	// Every pinned entry must still be resident (overflowed, not
+	// evicted), and the shard must still be usable.
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("pinned entry %q missing from an overflowed shard", k)
+		}
+	}
+	if got := c.PinnedCount(); got != len(keys) {
+		t.Fatalf("PinnedCount = %d, want %d", got, len(keys))
+	}
+	for _, p := range pins {
+		p.Release()
+	}
+}
+
+// TestCachePinRefcounts: two pins on one key require two releases.
+func TestCachePinRefcounts(t *testing.T) {
+	tr := planFixture(t)
+	rel, err := graphrel.Base(tr.Instance, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(1)
+	_, pin1, err := c.GetOrComputePinned("k", func() (*graphrel.Relation, error) { return rel, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pin2, err := c.GetOrComputePinned("k", func() (*graphrel.Relation, error) { return rel, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PinnedCount() != 1 {
+		t.Fatalf("PinnedCount = %d, want 1 (one entry, two pins)", c.PinnedCount())
+	}
+	pin1.Release()
+	if c.PinnedCount() != 1 {
+		t.Fatal("entry unpinned while a pin is still held")
+	}
+	pin2.Release()
+	if c.PinnedCount() != 0 {
+		t.Fatal("entry still pinned after final release")
+	}
+}
+
+// TestExecutorPreparePinned: the executor's presentation path pins the
+// matched relation and reuses the cached match (no second compute).
+func TestExecutorPreparePinned(t *testing.T) {
+	tr := planFixture(t)
+	p := figure7PlanPattern(t, tr)
+	ex := NewExecutor(tr.Instance)
+	pr, pin, err := ex.PrepareWithOpts(p, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	if ex.Cache().PinnedCount() != 1 {
+		t.Fatalf("PinnedCount = %d, want 1", ex.Cache().PinnedCount())
+	}
+	missesBefore := ex.Misses()
+	if _, err := ex.Match(p); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Misses() != missesBefore {
+		t.Error("match recomputed despite pinned cache entry")
+	}
+	full, err := Execute(tr.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win, err := pr.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "prepared", win, full)
+}

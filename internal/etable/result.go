@@ -81,7 +81,10 @@ type Row struct {
 	Cells []Cell
 }
 
-// Result is an executed enriched table.
+// Result is an executed enriched table, or — when produced by the
+// windowed presentation path (TransformWindow, Presentation.Window) —
+// one row window of it. Rows always holds exactly the materialized
+// window; TotalRows and Offset locate it within the full table.
 type Result struct {
 	// Pattern is the query pattern that produced this table.
 	Pattern *Pattern
@@ -89,6 +92,14 @@ type Result struct {
 	PrimaryType *tgm.NodeType
 	Columns     []Column
 	Rows        []Row
+	// TotalRows is the full table's row count. For windowed results it
+	// may exceed len(Rows); full renders set it to len(Rows), and
+	// builders that predate windowing may leave it zero — read it
+	// through Total, which falls back to len(Rows).
+	TotalRows int
+	// Offset is the index of Rows[0] within the full table (0 for full
+	// renders).
+	Offset int
 }
 
 // ColumnIndex returns the ordinal of the column with the given display
@@ -102,5 +113,16 @@ func (r *Result) ColumnIndex(name string) int {
 	return -1
 }
 
-// NumRows returns the row count.
+// NumRows returns the number of materialized rows (the window size for
+// windowed results).
 func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Total returns the row count of the full table this result views:
+// TotalRows when set, else len(Rows) (builders that always materialize
+// fully may leave TotalRows zero).
+func (r *Result) Total() int {
+	if r.TotalRows > len(r.Rows) {
+		return r.TotalRows
+	}
+	return len(r.Rows)
+}

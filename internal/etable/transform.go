@@ -1,0 +1,398 @@
+package etable
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/graphrel"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// This file is the presentation pipeline: the format transformation of
+// §5.4.2 rebuilt as a prepared, windowed, morsel-parallel kernel.
+//
+// The transformation has two phases with very different costs:
+//
+//   - Prepare computes everything that depends on the whole matched
+//     relation — the distinct primary rows, the column layout, and the
+//     per-column neighbor groupings — but materializes no cells.
+//   - Window materializes any [offset, offset+limit) row range of the
+//     presentation. Row materialization partitions cleanly by row
+//     range, so Window fans transformRange out over the shared worker
+//     pool with the same disjoint-window splice discipline as the
+//     matching kernels (graphrel.SelectPar): every range writes only
+//     its own rows and its own cell-arena window, no locks.
+//
+// Splitting the phases is what makes paging cheap: a session pins the
+// matched relation and its Presentation once, then each page fetch
+// pays only for the rows it returns — O(window), not O(table).
+//
+// Allocation discipline: all cells of a window share one backing
+// array, each range's entity references are carved from one per-range
+// arena, empty reference lists share a single package-level slice, and
+// non-string labels are interned per range so N references to one node
+// share one rendered string.
+
+// Presentation is a prepared format transformation over one matched
+// relation: the canonical row order, the column layout, and the
+// per-column groupings, ready to materialize any row window.
+//
+// The zero value is unusable; build one with Prepare/PrepareOpts (or
+// Executor.PrepareWithOpts, which also pins the matched relation in
+// the shared cache). Sort reorders rows without materializing cells.
+// A Presentation is safe for concurrent Window calls once built, but
+// Sort must not race Window.
+type Presentation struct {
+	g         *tgm.InstanceGraph
+	pattern   *Pattern
+	primType  *tgm.NodeType
+	columns   []Column
+	rowIDs    []tgm.NodeID // current row order; ID-ascending until Sort
+	parts     []partCol
+	neighbors []neighborCol
+}
+
+// partCol is one participating node column (A_t) with its precomputed
+// row → related-nodes grouping.
+type partCol struct {
+	col    int
+	groups map[tgm.NodeID][]tgm.NodeID
+}
+
+// neighborCol is one neighbor node column (A_h): references are read
+// straight off the instance graph's adjacency at materialization time.
+type neighborCol struct {
+	col int
+	et  *tgm.EdgeType
+}
+
+// Prepare builds the presentation over a matched relation serially.
+// See PrepareOpts.
+func Prepare(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation) (*Presentation, error) {
+	return PrepareOpts(g, p, matched, ExecOptions{})
+}
+
+// PrepareOpts builds the presentation: rows are the distinct primary
+// nodes of the matched relation ordered ascending by ID (the canonical
+// order — independent of the join plan), columns are the base
+// attributes A_b, participating node columns A_t, and neighbor node
+// columns A_h of §5.4.2. The per-column groupings (the bulk
+// Π_type σ_{τa=r}(m(Q)) evaluation) run through the morsel-parallel
+// GroupNeighborsPar kernel when the options grant a budget.
+func PrepareOpts(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, opt ExecOptions) (*Presentation, error) {
+	if err := ctxErr(opt.Ctx); err != nil {
+		return nil, err
+	}
+	prim := p.PrimaryNode()
+	if prim == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	primType := g.Schema().NodeType(prim.Type)
+	pr := &Presentation{g: g, pattern: p, primType: primType}
+
+	// Rows: Π_τa of the matched relation, canonically ordered.
+	rowIDs, err := graphrel.DistinctNodes(matched, prim.Key)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
+	pr.rowIDs = rowIDs
+
+	// Base attribute columns A_b.
+	for _, a := range primType.Attrs {
+		pr.columns = append(pr.columns, Column{Kind: ColBase, Name: a.Name, Attr: a.Name})
+	}
+
+	// Participating node columns A_t: every pattern node except the
+	// primary, with values grouped in one pass over the relation.
+	primEdges := primaryEdgeTypes(p, g.Schema())
+	for _, n := range p.Nodes {
+		if n.Key == prim.Key {
+			continue
+		}
+		// GroupNeighbors returns each group ID-ascending by contract, so
+		// the cell order is already canonical regardless of join order.
+		groups, err := graphrel.GroupNeighborsPar(opt.Ctx, opt.Pool, opt.Parallelism, matched, prim.Key, n.Key)
+		if err != nil {
+			return nil, err
+		}
+		pr.columns = append(pr.columns, Column{
+			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
+			EdgeType: primEdges[n.Key], TargetType: n.Type,
+		})
+		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, groups: groups})
+	}
+
+	// Neighbor node columns A_h: schema out-edges of the primary type,
+	// skipping edges already shown as participating columns directly
+	// adjacent to the primary node (the paper notes the overlap).
+	shown := map[string]bool{}
+	for _, en := range primEdges {
+		if en != "" {
+			shown[en] = true
+		}
+	}
+	for _, et := range g.Schema().OutEdges(prim.Type) {
+		if shown[et.Name] {
+			continue
+		}
+		pr.columns = append(pr.columns, Column{
+			Kind: ColNeighbor, Name: et.Label, EdgeType: et.Name, TargetType: et.Target,
+		})
+		pr.neighbors = append(pr.neighbors, neighborCol{col: len(pr.columns) - 1, et: et})
+	}
+	return pr, nil
+}
+
+// NumRows returns the full table's row count (no rows need be
+// materialized to know it).
+func (pr *Presentation) NumRows() int { return len(pr.rowIDs) }
+
+// Columns returns the column layout. The returned slice must not be
+// modified; materialized Results alias it.
+func (pr *Presentation) Columns() []Column { return pr.columns }
+
+// sortKey resolves spec against the presentation's columns and returns
+// the per-row key extractor. It reads only column metadata and the
+// prepared groupings — no cells — which is what lets Sort reorder a
+// huge table without materializing it.
+func (pr *Presentation) sortKey(spec SortSpec) (func(id tgm.NodeID) value.V, error) {
+	switch {
+	case spec.Attr != "":
+		ai := -1
+		for i := range pr.columns {
+			if pr.columns[i].Kind == ColBase && pr.columns[i].Attr == spec.Attr {
+				ai = pr.primType.AttrIndex(spec.Attr)
+				break
+			}
+		}
+		if ai < 0 {
+			return nil, fmt.Errorf("etable: no base attribute %q to sort by", spec.Attr)
+		}
+		g := pr.g
+		return func(id tgm.NodeID) value.V { return g.Node(id).Attrs[ai] }, nil
+	case spec.Column != "":
+		for _, pc := range pr.parts {
+			if pr.columns[pc.col].Name == spec.Column {
+				groups := pc.groups
+				return func(id tgm.NodeID) value.V { return value.Int(int64(len(groups[id]))) }, nil
+			}
+		}
+		for _, nc := range pr.neighbors {
+			if pr.columns[nc.col].Name == spec.Column {
+				g, edge := pr.g, nc.et.Name
+				return func(id tgm.NodeID) value.V { return value.Int(int64(len(g.Neighbors(id, edge)))) }, nil
+			}
+		}
+		return nil, fmt.Errorf("etable: no entity-reference column %q to sort by", spec.Column)
+	default:
+		return nil, fmt.Errorf("etable: empty sort specification")
+	}
+}
+
+// ValidateSort reports whether spec can sort this presentation, without
+// reordering anything.
+func (pr *Presentation) ValidateSort(spec SortSpec) error {
+	_, err := pr.sortKey(spec)
+	return err
+}
+
+// Sort stably reorders the presentation's rows per spec without
+// materializing any cells. Windows materialized afterwards follow the
+// new order; the permutation is identical to materializing the full
+// table and calling Result.Sort (ties keep the canonical ID-ascending
+// order), which the sort-then-page equivalence test pins.
+func (pr *Presentation) Sort(spec SortSpec) error {
+	key, err := pr.sortKey(spec)
+	if err != nil {
+		return err
+	}
+	sort.SliceStable(pr.rowIDs, func(i, j int) bool {
+		d := value.Compare(key(pr.rowIDs[i]), key(pr.rowIDs[j]))
+		if spec.Desc {
+			return d > 0
+		}
+		return d < 0
+	})
+	return nil
+}
+
+// transformChunkRows is the row-range size Window fans out in; it
+// matches the matching kernels' morsel size, so a window smaller than
+// one morsel never pays fan-out overhead.
+const transformChunkRows = graphrel.MorselRows
+
+// Window materializes the [offset, offset+limit) row window serially.
+// See WindowOpts.
+func (pr *Presentation) Window(offset, limit int) (*Result, error) {
+	return pr.WindowOpts(offset, limit, ExecOptions{})
+}
+
+// WindowOpts materializes one row window of the presentation. limit < 0
+// means "all rows from offset"; limit 0 returns a row-less result that
+// still carries the table metadata (columns, TotalRows). An offset past
+// the end clamps to an empty window — paging past a table that shrank
+// is not an error. The returned Result's TotalRows and Offset locate
+// the window; Rows is row- and cell-identical to the same slice of a
+// full render.
+func (pr *Presentation) WindowOpts(offset, limit int, opt ExecOptions) (*Result, error) {
+	return pr.window(offset, limit, opt, transformChunkRows)
+}
+
+// window is WindowOpts with an explicit fan-out chunk size, so tests
+// can exercise the parallel path (including windows straddling a final
+// partial chunk) on corpora far smaller than a real morsel.
+func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*Result, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("etable: negative window offset %d", offset)
+	}
+	total := len(pr.rowIDs)
+	start := offset
+	if start > total {
+		start = total
+	}
+	end := total
+	if limit >= 0 && limit < total-start {
+		end = start + limit
+	}
+	n := end - start
+	res := &Result{
+		Pattern: pr.pattern, PrimaryType: pr.primType, Columns: pr.columns,
+		TotalRows: total, Offset: start, Rows: make([]Row, n),
+	}
+	if n == 0 {
+		return res, ctxErr(opt.Ctx)
+	}
+	// All cells of the window share one backing array; each range slices
+	// its own disjoint piece (full-capacity sub-slices, so no append can
+	// cross range boundaries).
+	cells := make([]Cell, n*len(pr.columns))
+	if opt.Pool == nil || opt.Parallelism <= 1 || n <= chunk {
+		if err := ctxErr(opt.Ctx); err != nil {
+			return nil, err
+		}
+		pr.transformRange(start, end, start, res.Rows, cells)
+		return res, nil
+	}
+	if err := opt.Pool.MapRanges(opt.Ctx, n, chunk, opt.Parallelism, func(lo, hi int) error {
+		pr.transformRange(start+lo, start+hi, start, res.Rows, cells)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// transformRange is the row-range transform kernel (§5.4.2 restricted
+// to rows [lo, hi) of the presentation order): it writes rows into
+// rows[lo-base:hi-base] and carves their cells from the shared arena.
+// Ranges touch disjoint row and cell windows, so concurrent calls on
+// distinct ranges need no synchronization — the same splice discipline
+// as graphrel's morsel kernels.
+func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cell) {
+	ncols := len(pr.columns)
+	nattrs := len(pr.primType.Attrs)
+	g := pr.g
+
+	// Count the range's entity references first, then carve every cell's
+	// Refs from one arena: one allocation per range, not one per cell.
+	refTotal := 0
+	for i := lo; i < hi; i++ {
+		id := pr.rowIDs[i]
+		for _, pc := range pr.parts {
+			refTotal += len(pc.groups[id])
+		}
+		for _, nc := range pr.neighbors {
+			refTotal += len(g.Neighbors(id, nc.et.Name))
+		}
+	}
+	arena := make([]EntityRef, 0, refTotal)
+	intern := labelInterner{}
+	for i := lo; i < hi; i++ {
+		id := pr.rowIDs[i]
+		n := g.Node(id)
+		cs := cells[(i-base)*ncols : (i-base+1)*ncols : (i-base+1)*ncols]
+		for ai := 0; ai < nattrs; ai++ {
+			cs[ai] = Cell{Value: n.Attrs[ai]}
+		}
+		for _, pc := range pr.parts {
+			arena, cs[pc.col].Refs = appendRefs(arena, g, intern, pc.groups[id])
+		}
+		for _, nc := range pr.neighbors {
+			arena, cs[nc.col].Refs = appendRefs(arena, g, intern, g.Neighbors(id, nc.et.Name))
+		}
+		rows[i-base] = Row{Node: id, Label: intern.label(n), Cells: cs}
+	}
+}
+
+// emptyRefs is the shared zero-length reference list: cells with no
+// entity references all alias it instead of each allocating (or
+// carving arena) — asserted zero-alloc by test.
+var emptyRefs = make([]EntityRef, 0)
+
+// appendRefs renders ids' entity references into the arena and returns
+// the grown arena plus the full-capacity window just written. The
+// arena must have been sized by the caller's counting pass, so appends
+// never reallocate and earlier windows stay valid.
+func appendRefs(arena []EntityRef, g *tgm.InstanceGraph, intern labelInterner, ids []tgm.NodeID) ([]EntityRef, []EntityRef) {
+	if len(ids) == 0 {
+		return arena, emptyRefs
+	}
+	start := len(arena)
+	for _, id := range ids {
+		arena = append(arena, EntityRef{ID: id, Label: intern.label(g.Node(id))})
+	}
+	return arena, arena[start:len(arena):len(arena)]
+}
+
+// labelInterner dedups rendered node labels within one transform range:
+// N references to one node share one string instead of re-rendering
+// per ref. String-valued labels bypass the map entirely — Format
+// returns the stored string without allocating, so interning them
+// would only add map traffic; the map holds only labels that require
+// rendering (ints, floats, bools).
+type labelInterner map[tgm.NodeID]string
+
+func (li labelInterner) label(n *tgm.Node) string {
+	v := n.Attrs[n.Type.LabelIndex()]
+	if v.Kind() == value.KindString {
+		return v.Format()
+	}
+	if s, ok := li[n.ID]; ok {
+		return s
+	}
+	s := v.Format()
+	li[n.ID] = s
+	return s
+}
+
+// TransformWindow prepares and materializes one row window of the
+// matched relation's enriched table in a single call: only the
+// [offset, offset+limit) rows are transformed (limit < 0 = to the
+// end), so a page fetch over a cached matched relation costs
+// O(prepare + window), not O(table). Callers fetching several windows
+// should Prepare once and call Window per page — which is what the
+// session layer's windowed presentation memo does.
+func TransformWindow(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, offset, limit int) (*Result, error) {
+	return TransformWindowOpts(g, p, matched, offset, limit, ExecOptions{})
+}
+
+// TransformWindowOpts is TransformWindow under execution options
+// (cancellation and morsel-parallel fan-out).
+func TransformWindowOpts(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, offset, limit int, opt ExecOptions) (*Result, error) {
+	pr, err := PrepareOpts(g, p, matched, opt)
+	if err != nil {
+		return nil, err
+	}
+	return pr.WindowOpts(offset, limit, opt)
+}
+
+// ctxErr reports a canceled or expired context (nil ctx = no error).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}

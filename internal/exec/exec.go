@@ -161,6 +161,34 @@ func (p *Pool) Map(ctx context.Context, tasks, budget int, f func(i int) error) 
 	return firstErr
 }
 
+// MapRanges fans f out over contiguous chunks of [0, n): f(lo, hi) is
+// called once per chunk of at most chunkSize rows, with the same
+// worker admission, budget, cancellation, and panic-recovery rules as
+// Map. Chunks are claimed in order but may run concurrently; callers
+// writing into disjoint output windows per chunk need no locks. It is
+// the range-task helper behind the morsel kernels (graphrel) and the
+// presentation transform (etable), so every kernel chunks identically
+// instead of each computing its own bounds.
+//
+// n <= 0 is a no-op; chunkSize <= 0 runs everything as one chunk.
+func (p *Pool) MapRanges(ctx context.Context, n, chunkSize, budget int, f func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 || chunkSize > n {
+		chunkSize = n
+	}
+	chunks := (n + chunkSize - 1) / chunkSize
+	return p.Map(ctx, chunks, budget, func(i int) error {
+		lo := i * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		return f(lo, hi)
+	})
+}
+
 // budgetKey carries the per-request parallelism budget through a
 // context, so the knob crosses layers (HTTP handler → session →
 // executor → kernels) without widening every signature in between.

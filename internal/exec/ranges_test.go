@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestMapRangesCoversExactly: every index of [0, n) is visited exactly
+// once, chunks are contiguous and at most chunkSize wide, across serial
+// and parallel configurations.
+func TestMapRangesCoversExactly(t *testing.T) {
+	for _, tc := range []struct{ n, chunk, budget int }{
+		{0, 4, 4},    // no-op
+		{10, 4, 1},   // serial, final partial chunk
+		{10, 4, 8},   // parallel, final partial chunk
+		{8, 4, 4},    // exact multiple
+		{5, 0, 4},    // chunkSize <= 0: one chunk
+		{3, 100, 4},  // chunk larger than n
+		{1000, 7, 3}, // many chunks
+	} {
+		pool := NewPool(4)
+		var mu sync.Mutex
+		seen := make([]int, tc.n)
+		err := pool.MapRanges(context.Background(), tc.n, tc.chunk, tc.budget, func(lo, hi int) error {
+			if lo >= hi {
+				t.Errorf("empty range [%d,%d)", lo, hi)
+			}
+			if tc.chunk > 0 && hi-lo > tc.chunk {
+				t.Errorf("range [%d,%d) wider than chunk %d", lo, hi, tc.chunk)
+			}
+			mu.Lock()
+			for i := lo; i < hi; i++ {
+				seen[i]++
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d chunk=%d budget=%d: %v", tc.n, tc.chunk, tc.budget, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d chunk=%d budget=%d: index %d visited %d times", tc.n, tc.chunk, tc.budget, i, c)
+			}
+		}
+	}
+}
+
+// TestMapRangesError: an error from one chunk stops further claims and
+// surfaces; a canceled context surfaces as ctx.Err.
+func TestMapRangesError(t *testing.T) {
+	pool := NewPool(2)
+	boom := errors.New("boom")
+	err := pool.MapRanges(context.Background(), 100, 10, 4, func(lo, hi int) error {
+		if lo >= 50 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = pool.MapRanges(ctx, 100, 10, 4, func(lo, hi int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled err = %v", err)
+	}
+}

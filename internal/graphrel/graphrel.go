@@ -226,12 +226,24 @@ func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	col := r.cols[ai]
-	keep := make([]int32, 0, r.n)
+	keep, err := selectRange(r, r.cols[ai], pred, 0, r.n)
+	if err != nil {
+		return nil, err
+	}
+	return r.gather(keep), nil
+}
+
+// selectRange evaluates pred over col's rows [lo, hi) and returns the
+// matching row indexes. It is the per-range phase shared by the serial
+// Select ([0, n) in one call) and the morsel-parallel SelectPar (one
+// call per morsel), so the kernels cannot drift apart. Multi-attribute
+// relations memoize per node, since nodes repeat after joins; base
+// relations have distinct nodes, so memoization would only add cost.
+func selectRange(r *Relation, col []tgm.NodeID, pred func(*tgm.Node) (bool, error), lo, hi int) ([]int32, error) {
+	keep := make([]int32, 0, hi-lo)
 	if len(r.Attrs) == 1 {
-		// Base relations have distinct nodes; no memoization value.
-		for i, id := range col {
-			ok, err := pred(r.g.Node(id))
+		for i := lo; i < hi; i++ {
+			ok, err := pred(r.g.Node(col[i]))
 			if err != nil {
 				return nil, err
 			}
@@ -239,23 +251,24 @@ func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
 				keep = append(keep, int32(i))
 			}
 		}
-	} else {
-		memo := make(map[tgm.NodeID]bool, 64)
-		for i, id := range col {
-			ok, seen := memo[id]
-			if !seen {
-				var err error
-				if ok, err = pred(r.g.Node(id)); err != nil {
-					return nil, err
-				}
-				memo[id] = ok
+		return keep, nil
+	}
+	memo := make(map[tgm.NodeID]bool, 64)
+	for i := lo; i < hi; i++ {
+		id := col[i]
+		ok, seen := memo[id]
+		if !seen {
+			var err error
+			if ok, err = pred(r.g.Node(id)); err != nil {
+				return nil, err
 			}
-			if ok {
-				keep = append(keep, int32(i))
-			}
+			memo[id] = ok
+		}
+		if ok {
+			keep = append(keep, int32(i))
 		}
 	}
-	return r.gather(keep), nil
+	return keep, nil
 }
 
 // checkJoin validates a join's edge type and attributes, returning the
@@ -317,22 +330,37 @@ func Join(r1, r2 *Relation, edgeType, leftAttr, rightAttr string) (*Relation, er
 	if err != nil {
 		return nil, err
 	}
-	// Index r2 rows by their node at rightAttr.
-	rcol := r2.cols[ri]
-	index := make(map[tgm.NodeID][]int32, r2.n)
-	for i, id := range rcol {
+	lrows, rrows := probeRange(r1.g, r1.cols[li], buildJoinIndex(r2, ri), edgeType, 0, r1.n)
+	return joinOutput(r1, r2, lrows, rrows), nil
+}
+
+// buildJoinIndex indexes r's rows by their node at attribute ordinal
+// ai — the hash side of the graph join, built once and shared
+// read-only by every probe range.
+func buildJoinIndex(r *Relation, ai int) map[tgm.NodeID][]int32 {
+	col := r.cols[ai]
+	index := make(map[tgm.NodeID][]int32, r.n)
+	for i, id := range col {
 		index[id] = append(index[id], int32(i))
 	}
-	var lrows, rrows []int32
-	for i, id := range r1.cols[li] {
-		for _, nb := range r1.g.Neighbors(id, edgeType) {
+	return index
+}
+
+// probeRange probes lcol's rows [lo, hi) through the adjacency index:
+// for each left row, every edge-connected right row joins. It is the
+// per-range phase shared by the serial Join ([0, n) in one call) and
+// the morsel-parallel JoinPar (one call per morsel), so the kernels
+// cannot drift apart.
+func probeRange(g *tgm.InstanceGraph, lcol []tgm.NodeID, index map[tgm.NodeID][]int32, edgeType string, lo, hi int) (lrows, rrows []int32) {
+	for i := lo; i < hi; i++ {
+		for _, nb := range g.Neighbors(lcol[i], edgeType) {
 			for _, j := range index[nb] {
 				lrows = append(lrows, int32(i))
 				rrows = append(rrows, j)
 			}
 		}
 	}
-	return joinOutput(r1, r2, lrows, rrows), nil
+	return lrows, rrows
 }
 
 // JoinScan is Join without the adjacency index: it nested-loops over
@@ -371,17 +399,18 @@ func Project(r *Relation, attrNames ...string) (*Relation, error) {
 // DistinctNodes returns the distinct nodes at the named attribute in
 // first-occurrence order. It is Π over a single attribute returned as a
 // flat node list, which is what the ETable format transformation needs
-// for its row set (§5.4.2).
+// for its row set (§5.4.2). Node IDs are dense ordinals, so dedup is a
+// bitset over the graph's node count — one bit per node instead of a
+// hash-map entry per distinct ID.
 func DistinctNodes(r *Relation, attrName string) ([]tgm.NodeID, error) {
 	ai := r.AttrIndex(attrName)
 	if ai < 0 {
 		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
 	}
-	seen := make(map[tgm.NodeID]bool, r.n)
+	seen := NewBitset(r.g.NumNodes())
 	var out []tgm.NodeID
 	for _, id := range r.cols[ai] {
-		if !seen[id] {
-			seen[id] = true
+		if !seen.TestAndSet(id) {
 			out = append(out, id)
 		}
 	}
@@ -399,7 +428,27 @@ func DistinctNodes(r *Relation, attrName string) ([]tgm.NodeID, error) {
 // order would leak that plan choice into the presentation (and into
 // memoized results computed under a different plan). Sorting by ID
 // makes the result a pure function of the tuple set.
+//
+// Duplicate (group, value) pairs are eliminated on the sort, not
+// through the per-pair hash map earlier versions kept: groups collect
+// every co-occurrence, then each group is sorted and compacted in
+// place. The map cost (one hashed entry per relation row) was the
+// dominant allocation of the format transformation.
 func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]tgm.NodeID, error) {
+	groups, err := groupPairs(r, groupAttr, valueAttr, 0, r.n)
+	if err != nil {
+		return nil, err
+	}
+	for g, ids := range groups {
+		groups[g] = sortDedup(ids)
+	}
+	return groups, nil
+}
+
+// groupPairs collects, for rows [lo, hi), every value co-occurring with
+// each group node — duplicates included, insertion order. It is the
+// per-morsel phase shared by GroupNeighbors and GroupNeighborsPar.
+func groupPairs(r *Relation, groupAttr, valueAttr string, lo, hi int) (map[tgm.NodeID][]tgm.NodeID, error) {
 	gi := r.AttrIndex(groupAttr)
 	if gi < 0 {
 		return nil, fmt.Errorf("graphrel: no attribute %q", groupAttr)
@@ -409,19 +458,23 @@ func GroupNeighbors(r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]
 		return nil, fmt.Errorf("graphrel: no attribute %q", valueAttr)
 	}
 	out := make(map[tgm.NodeID][]tgm.NodeID)
-	seen := make(map[uint64]bool, r.n)
 	gcol, vcol := r.cols[gi], r.cols[vi]
-	for i := range gcol {
-		g, v := gcol[i], vcol[i]
-		key := uint64(uint32(g))<<32 | uint64(uint32(v))
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		out[g] = append(out[g], v)
-	}
-	for _, ids := range out {
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i := lo; i < hi; i++ {
+		out[gcol[i]] = append(out[gcol[i]], vcol[i])
 	}
 	return out, nil
+}
+
+// sortDedup sorts ids ascending and removes adjacent duplicates in
+// place, returning the compacted slice.
+func sortDedup(ids []tgm.NodeID) []tgm.NodeID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 0
+	for i, id := range ids {
+		if i == 0 || id != ids[w-1] {
+			ids[w] = id
+			w++
+		}
+	}
+	return ids[:w]
 }

@@ -1,0 +1,137 @@
+package graphrel
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/tgm"
+)
+
+// assertSameGroups asserts two group maps are identical: same group
+// set, and per group the exact same (sorted) value list.
+func assertSameGroups(t *testing.T, label string, got, want map[tgm.NodeID][]tgm.NodeID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d groups, want %d", label, len(got), len(want))
+	}
+	for g, w := range want {
+		gv, ok := got[g]
+		if !ok {
+			t.Fatalf("%s: missing group %d", label, g)
+		}
+		if len(gv) != len(w) {
+			t.Fatalf("%s: group %d has %d values, want %d", label, g, len(gv), len(w))
+		}
+		for i := range w {
+			if gv[i] != w[i] {
+				t.Fatalf("%s: group %d value %d = %d, want %d", label, g, i, gv[i], w[i])
+			}
+		}
+	}
+}
+
+// TestGroupNeighborsParEquivalence asserts the morsel-parallel grouping
+// kernel returns exactly the serial GroupNeighbors result (groups
+// ID-sorted, duplicates eliminated) across budgets, on a joined
+// relation big enough to span many morsels.
+func TestGroupNeighborsParEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := bigChainGraph(t, rng)
+	a, err := Base(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Base(g, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Join(a, b, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joined.Len() <= MorselRows {
+		t.Fatalf("joined relation too small to span morsels: %d rows", joined.Len())
+	}
+	want, err := GroupNeighbors(joined, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.NewPool(4)
+	for _, budget := range []int{1, 2, 4, 8} {
+		got, err := GroupNeighborsPar(context.Background(), pool, budget, joined, "A", "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameGroups(t, "budget="+string(rune('0'+budget)), got, want)
+	}
+	// Attribute errors surface identically.
+	if _, err := GroupNeighborsPar(context.Background(), pool, 4, joined, "nope", "B"); err == nil {
+		t.Error("bad group attribute: want error")
+	}
+	if _, err := GroupNeighborsPar(context.Background(), pool, 4, joined, "A", "nope"); err == nil {
+		t.Error("bad value attribute: want error")
+	}
+}
+
+// TestGroupNeighborsParCancellation: a canceled context stops the
+// fan-out path with ctx.Err (the serial fallback checks up front too).
+func TestGroupNeighborsParCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := bigChainGraph(t, rng)
+	a, _ := Base(g, "A")
+	b, _ := Base(g, "B")
+	joined, err := Join(a, b, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GroupNeighborsPar(ctx, exec.NewPool(2), 4, joined, "A", "B"); err == nil {
+		t.Error("canceled fan-out: want error")
+	}
+	if _, err := GroupNeighborsPar(ctx, nil, 1, joined, "A", "B"); err == nil {
+		t.Error("canceled serial fallback: want error")
+	}
+}
+
+// TestBitset pins the dense-ID dedup primitive the presentation
+// kernels use instead of hash maps.
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	for _, id := range []tgm.NodeID{0, 1, 63, 64, 129} {
+		if b.TestAndSet(id) {
+			t.Errorf("fresh bit %d reported set", id)
+		}
+		if !b.TestAndSet(id) {
+			t.Errorf("bit %d lost after set", id)
+		}
+	}
+	// IDs beyond the allocated words degrade to "seen", never panic
+	// (capacity is word-granular: 130 bits allocate 3 words = 192 bits).
+	if !b.TestAndSet(192) || !b.TestAndSet(-1) {
+		t.Error("out-of-range IDs must report seen")
+	}
+	if NewBitset(0) != nil || NewBitset(-3) != nil {
+		t.Error("empty bitsets should be nil")
+	}
+}
+
+// TestSortDedup pins the in-place sort+compact shared by the grouping
+// kernels.
+func TestSortDedup(t *testing.T) {
+	got := sortDedup([]tgm.NodeID{5, 3, 5, 1, 3, 3, 9, 1})
+	want := []tgm.NodeID{1, 3, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if out := sortDedup(nil); len(out) != 0 {
+		t.Errorf("nil input: got %v", out)
+	}
+}

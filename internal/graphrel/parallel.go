@@ -32,12 +32,12 @@ import (
 // single morsel, the budget is <= 1, or the pool is nil — tiny
 // interactive queries never pay the fan-out overhead.
 //
-// The execution pipeline (internal/etable) drives SelectPar and
-// JoinPar; ProjectPar and the Partitions/Concat morsel API are part of
-// the same kernel surface but have no pipeline caller yet — the
-// transform stage, whose parallelization is a ROADMAP item, is their
-// intended consumer. They share dedup code with the serial Project
-// (dedupRows) so the kernels cannot drift apart.
+// The execution pipeline (internal/etable) drives SelectPar, JoinPar,
+// and GroupNeighborsPar (the transform-stage prep kernel); ProjectPar
+// and the Partitions/Concat morsel API are part of the same kernel
+// surface. Every parallel kernel shares its per-morsel phase with the
+// serial operator (selectRange, probeRange, dedupRows, groupPairs,
+// sortDedup) so the kernels cannot drift apart.
 
 // SelectPar is Select fanned out over morsels of r. It returns exactly
 // Select(r, attrName, cond), computed by at most budget workers drawn
@@ -62,35 +62,14 @@ func SelectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, at
 		return nil, err
 	}
 	col := r.cols[ai]
-	memoize := len(r.Attrs) > 1 // base relations have distinct nodes
 
-	// Phase 1: each morsel filters into its own keep list.
+	// Phase 1: each morsel filters into its own keep list, through the
+	// same selectRange phase the serial kernel runs over [0, n).
 	keeps := make([][]int32, len(bounds))
 	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
-		lo, hi := bounds[m][0], bounds[m][1]
-		keep := make([]int32, 0, hi-lo)
-		var memo map[tgm.NodeID]bool
-		if memoize {
-			memo = make(map[tgm.NodeID]bool, 64)
-		}
-		for i := lo; i < hi; i++ {
-			id := col[i]
-			ok, seen := false, false
-			if memoize {
-				ok, seen = memo[id]
-			}
-			if !seen {
-				var err error
-				if ok, err = pred(r.g.Node(id)); err != nil {
-					return err
-				}
-				if memoize {
-					memo[id] = ok
-				}
-			}
-			if ok {
-				keep = append(keep, int32(i))
-			}
+		keep, err := selectRange(r, col, pred, bounds[m][0], bounds[m][1])
+		if err != nil {
+			return err
 		}
 		keeps[m] = keep
 		return nil
@@ -134,28 +113,16 @@ func JoinPar(ctx context.Context, pool *exec.Pool, budget int, r1, r2 *Relation,
 		return nil, err
 	}
 	// Index r2 rows by their node at rightAttr (read-only after this).
-	rcol := r2.cols[ri]
-	index := make(map[tgm.NodeID][]int32, r2.n)
-	for i, id := range rcol {
-		index[id] = append(index[id], int32(i))
-	}
+	index := buildJoinIndex(r2, ri)
 	lcol := r1.cols[li]
 
-	// Phase 1: each morsel probes its run of r1 into private pair lists.
+	// Phase 1: each morsel probes its run of r1 into private pair
+	// lists, through the same probeRange phase the serial kernel runs
+	// over [0, n).
 	lrows := make([][]int32, len(bounds))
 	rrows := make([][]int32, len(bounds))
 	if err := pool.Map(ctx, len(bounds), budget, func(m int) error {
-		lo, hi := bounds[m][0], bounds[m][1]
-		var lr, rr []int32
-		for i := lo; i < hi; i++ {
-			for _, nb := range r1.g.Neighbors(lcol[i], edgeType) {
-				for _, j := range index[nb] {
-					lr = append(lr, int32(i))
-					rr = append(rr, j)
-				}
-			}
-		}
-		lrows[m], rrows[m] = lr, rr
+		lrows[m], rrows[m] = probeRange(r1.g, lcol, index, edgeType, bounds[m][0], bounds[m][1])
 		return nil
 	}); err != nil {
 		return nil, err
@@ -256,6 +223,77 @@ func ProjectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, a
 		}
 	}
 	return narrowed.gather(keep), nil
+}
+
+// GroupNeighborsPar is GroupNeighbors fanned out over morsels of r: the
+// per-morsel pair collection runs in parallel into private group maps,
+// a serial merge splices the per-morsel groups in morsel order, and the
+// per-group sort+dedup passes fan out over the groups. The result is a
+// pure function of the tuple set (each group is ID-sorted), so it is
+// identical to the serial kernel's for any morsel schedule. It returns
+// exactly GroupNeighbors(r, groupAttr, valueAttr).
+func GroupNeighborsPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, groupAttr, valueAttr string) (map[tgm.NodeID][]tgm.NodeID, error) {
+	if pool == nil || budget <= 1 || r.n <= MorselRows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return GroupNeighbors(r, groupAttr, valueAttr)
+	}
+	// Validate before fan-out so attribute errors surface once, not per
+	// morsel.
+	if r.AttrIndex(groupAttr) < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", groupAttr)
+	}
+	if r.AttrIndex(valueAttr) < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", valueAttr)
+	}
+
+	// Phase 1: each morsel collects its run's pairs into a private map.
+	chunks := (r.n + MorselRows - 1) / MorselRows
+	parts := make([]map[tgm.NodeID][]tgm.NodeID, chunks)
+	if err := pool.MapRanges(ctx, r.n, MorselRows, budget, func(lo, hi int) error {
+		m, err := groupPairs(r, groupAttr, valueAttr, lo, hi)
+		if err != nil {
+			return err
+		}
+		parts[lo/MorselRows] = m
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 2 (serial): splice per-morsel groups in morsel order.
+	out := parts[0]
+	for _, part := range parts[1:] {
+		for g, ids := range part {
+			out[g] = append(out[g], ids...)
+		}
+	}
+
+	// Phase 3: sort+dedup every group, fanned out over the group list.
+	// Workers write into a slice aligned with keys — never into the map,
+	// whose internals are not safe for concurrent writes — and a serial
+	// pass stores the compacted groups back.
+	keys := make([]tgm.NodeID, 0, len(out))
+	for g := range out {
+		keys = append(keys, g)
+	}
+	vals := make([][]tgm.NodeID, len(keys))
+	for i, g := range keys {
+		vals[i] = out[g]
+	}
+	if err := pool.MapRanges(ctx, len(keys), 64, budget, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			vals[i] = sortDedup(vals[i])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, g := range keys {
+		out[g] = vals[i]
+	}
+	return out, nil
 }
 
 // dedupRows returns the rows of [lo, hi) whose projection key first

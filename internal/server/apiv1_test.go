@@ -482,25 +482,7 @@ func TestV1OpsBadBodies(t *testing.T) {
 	}
 }
 
-// TestWindowUnchanged guards the offset/limit window math the cursors
-// build on.
-func TestWindowUnchanged(t *testing.T) {
-	srv := New(nil, nil)
-	srv.opts.PageSize = 0
-	for _, tc := range []struct {
-		p          page
-		total      int
-		start, end int
-	}{
-		{page{}, 10, 0, 10},
-		{page{offset: 3}, 10, 3, 10},
-		{page{offset: 3, limit: 4, hasLimit: true}, 10, 3, 7},
-		{page{offset: 20, limit: 4, hasLimit: true}, 10, 10, 10},
-		{page{limit: 0, hasLimit: true}, 10, 0, 0},
-	} {
-		s, e := srv.window(tc.p, tc.total)
-		if s != tc.start || e != tc.end {
-			t.Errorf("window(%+v, %d) = [%d,%d), want [%d,%d)", tc.p, tc.total, s, e, tc.start, tc.end)
-		}
-	}
-}
+// The offset/limit window math the cursors build on now lives in
+// etable.Presentation (the windowed transform); its clamping rules are
+// pinned by TestPresentationWindowEdgeCases in internal/etable and by
+// the HTTP paging edge-case tests in server_test.go.

@@ -381,12 +381,16 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 // statsJSON is the /api/stats payload: serving-core health counters,
 // the worker pool's state, and the planner's per-edge cost statistics.
 type statsJSON struct {
-	Sessions     int            `json:"sessions"`
-	CacheEntries int            `json:"cacheEntries"`
-	CacheHits    int64          `json:"cacheHits"`
-	CacheMisses  int64          `json:"cacheMisses"`
-	Workers      workerJSON     `json:"workers"`
-	EdgeStats    []edgeStatJSON `json:"edgeStats"`
+	Sessions     int   `json:"sessions"`
+	CacheEntries int   `json:"cacheEntries"`
+	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
+	// PinnedRelations counts cache entries currently pinned by session
+	// presentation memos (exempt from eviction while paged against);
+	// bounded by sessions × per-session memo size.
+	PinnedRelations int            `json:"pinnedRelations"`
+	Workers         workerJSON     `json:"workers"`
+	EdgeStats       []edgeStatJSON `json:"edgeStats"`
 }
 
 type workerJSON struct {
@@ -415,10 +419,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	n := len(s.sessions)
 	s.mu.RUnlock()
 	out := statsJSON{
-		Sessions:     n,
-		CacheEntries: s.cache.Len(),
-		CacheHits:    s.cache.Hits(),
-		CacheMisses:  s.cache.Misses(),
+		Sessions:        n,
+		CacheEntries:    s.cache.Len(),
+		CacheHits:       s.cache.Hits(),
+		CacheMisses:     s.cache.Misses(),
+		PinnedRelations: s.cache.PinnedCount(),
 		Workers: workerJSON{
 			Cap:                s.pool.Cap(),
 			InFlight:           s.pool.InFlight(),
@@ -459,26 +464,42 @@ func (s *Server) maybeSweep() {
 		return
 	}
 	s.mu.Lock()
-	s.evictExpiredLocked(now)
+	evicted := s.evictExpiredLocked(now)
 	s.mu.Unlock()
+	closeSessions(evicted)
 }
 
-// evictExpiredLocked drops sessions idle past the TTL. Caller holds
-// s.mu (write).
-func (s *Server) evictExpiredLocked(now int64) {
+// closeSessions closes evicted sessions' pinned state. Called after
+// s.mu is released — Close takes the session's own lock, and the lock
+// ordering never takes session.mu under server.mu.
+func closeSessions(evicted []*sessionEntry) {
+	for _, e := range evicted {
+		e.sess.Close()
+	}
+}
+
+// evictExpiredLocked drops sessions idle past the TTL, returning them
+// for the caller to Close once s.mu is released. Caller holds s.mu
+// (write).
+func (s *Server) evictExpiredLocked(now int64) []*sessionEntry {
+	var evicted []*sessionEntry
 	if ttl := s.opts.SessionTTL; ttl > 0 {
 		for id, e := range s.sessions {
 			if now-e.lastUsed.Load() > int64(ttl) {
 				delete(s.sessions, id)
+				evicted = append(evicted, e)
 			}
 		}
 	}
+	return evicted
 }
 
 // evictLocked drops expired sessions and, if the map would still exceed
-// MaxSessions, the least recently used ones. Caller holds s.mu (write).
-func (s *Server) evictLocked() {
-	s.evictExpiredLocked(s.now().UnixNano())
+// MaxSessions, the least recently used ones, returning the evicted
+// entries for the caller to Close once s.mu is released. Caller holds
+// s.mu (write).
+func (s *Server) evictLocked() []*sessionEntry {
+	evicted := s.evictExpiredLocked(s.now().UnixNano())
 	for len(s.sessions) >= s.opts.MaxSessions && len(s.sessions) > 0 {
 		var lruID int64
 		var lruAt int64
@@ -488,8 +509,10 @@ func (s *Server) evictLocked() {
 				lruID, lruAt, first = id, at, false
 			}
 		}
+		evicted = append(evicted, s.sessions[lruID])
 		delete(s.sessions, lruID)
 	}
+	return evicted
 }
 
 // strictDecode decodes one JSON value into v, rejecting unknown fields
@@ -545,11 +568,12 @@ func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *se
 	e := &sessionEntry{sess: sess}
 	e.lastUsed.Store(s.now().UnixNano())
 	s.mu.Lock()
-	s.evictLocked()
+	evicted := s.evictLocked()
 	id := s.nextID
 	s.nextID++
 	s.sessions[id] = e
 	s.mu.Unlock()
+	closeSessions(evicted)
 	return id, e, nil
 }
 
@@ -724,29 +748,6 @@ func (p page) validate() error {
 	return nil
 }
 
-// window resolves the effective [start, end) row range for a table of
-// total rows under the server's default page size. An offset past the
-// end yields an empty window; limit 0 is honored as "no rows, metadata
-// only".
-func (s *Server) window(p page, total int) (start, end int) {
-	start = p.offset
-	if start > total {
-		start = total
-	}
-	limit, limited := p.limit, p.hasLimit
-	if !limited && s.opts.PageSize > 0 {
-		limit, limited = s.opts.PageSize, true
-	}
-	if !limited {
-		return start, total
-	}
-	end = start + limit
-	if end > total {
-		end = total
-	}
-	return start, end
-}
-
 // stateJSON is the main/schema/history view payload. Rows holds the
 // requested window; TotalRows/Offset support offset paging and
 // NextCursor opaque-cursor paging (present when more rows follow).
@@ -788,27 +789,33 @@ type historyItem struct {
 	Action string `json:"action"`
 }
 
-// stateOf renders one consistent session snapshot, encoding only the
-// requested row window. Cursor requests are verified against the
-// current presentation state (409 stale_cursor on mismatch), and a
-// NextCursor is issued whenever rows remain past the window.
+// stateOf renders one consistent session snapshot, materializing and
+// encoding only the requested row window: the session's windowed
+// presentation memo keeps the matched relation pinned in the shared
+// cache and transforms just the requested rows, so the cost of a page
+// does not scale with the table. Cursor requests are verified against
+// the current presentation state (409 stale_cursor on mismatch — a
+// cursor addresses the pinned relation of the state it was issued
+// against, so a changed presentation invalidates it), and a NextCursor
+// is issued whenever rows remain past the window.
+//
+// The caller holds the session's entry lock for the whole request, so
+// the history read and the window render observe the same state.
 func (s *Server) stateOf(ctx context.Context, sess *session.Session, p page) (*stateJSON, error) {
-	snap, err := sess.StateCtx(ctx)
-	if err != nil {
-		return nil, err
-	}
-	st := &stateJSON{Cursor: snap.Cursor}
-	for _, h := range snap.History {
+	entries, cursor := sess.Entries()
+	st := &stateJSON{Cursor: cursor}
+	for _, h := range entries {
 		st.History = append(st.History, historyItem{Action: h.Action})
 	}
-	if snap.Pattern == nil {
+	if cursor < 0 {
 		if p.cursor != nil {
 			return nil, apiErr(http.StatusConflict, codeStaleCursor, "cursor refers to a closed table")
 		}
 		return st, nil
 	}
-	st.Pattern = snap.Pattern.String()
-	sig := presentationSig(snap.History[snap.Cursor])
+	cur := entries[cursor]
+	st.Pattern = cur.Pattern.String()
+	sig := presentationSig(cur)
 	if p.cursor != nil {
 		if p.cursor.Sig != sig {
 			return nil, apiErr(http.StatusConflict, codeStaleCursor,
@@ -816,29 +823,31 @@ func (s *Server) stateOf(ctx context.Context, sess *session.Session, p page) (*s
 		}
 		p.offset, p.limit, p.hasLimit = p.cursor.Offset, p.cursor.Limit, true
 	}
-	res := snap.Result
+	// Effective window size: the explicit limit, else the server's
+	// default page size, else the full table.
+	limit := -1
+	if p.hasLimit {
+		limit = p.limit
+	} else if s.opts.PageSize > 0 {
+		limit = s.opts.PageSize
+	}
+	res, err := sess.WindowCtx(ctx, p.offset, limit)
+	if err != nil {
+		return nil, err
+	}
 	for _, c := range res.Columns {
 		st.Columns = append(st.Columns, columnJSON{Name: c.Name, Kind: c.Kind.String()})
 	}
-	st.TotalRows = len(res.Rows)
-	start, end := s.window(p, len(res.Rows))
-	st.Offset = start
-	if end < len(res.Rows) {
-		// More rows follow: issue the opaque continuation cursor. Its
-		// window size is the effective one (explicit limit or the
-		// server's default page size).
-		limit := p.limit
-		if !p.hasLimit {
-			limit = s.opts.PageSize
-		}
-		if limit > 0 {
-			st.NextCursor = encodeCursor(cursorToken{Offset: end, Limit: limit, Sig: sig})
-		}
+	st.TotalRows = res.Total()
+	st.Offset = res.Offset
+	if end := res.Offset + len(res.Rows); end < st.TotalRows && limit > 0 {
+		// More rows follow: issue the opaque continuation cursor.
+		st.NextCursor = encodeCursor(cursorToken{Offset: end, Limit: limit, Sig: sig})
 	}
 	// Rows is always a JSON array once a table is open, even when the
 	// requested window is empty (limit 0, offset past the end).
-	st.Rows = make([]rowJSON, 0, end-start)
-	for _, row := range res.Rows[start:end] {
+	st.Rows = make([]rowJSON, 0, len(res.Rows))
+	for _, row := range res.Rows {
 		rj := rowJSON{Node: int64(row.Node), Label: row.Label}
 		for ci := range res.Columns {
 			cell := &row.Cells[ci]

@@ -19,10 +19,18 @@
 // requests for the same session without a global lock. Expensive
 // execution state is NOT per-session — matching runs through an
 // etable.Executor whose cache may be shared across every session of a
-// server (NewShared); the session itself keeps only a small presentation
-// memo of fully presented results (sorted, columns hidden) so
-// presentation-only re-reads (history browsing, pagination) skip even
-// the transform step.
+// server (NewShared).
+//
+// Presentation is windowed: the session keeps a small memo of prepared
+// presentations (etable.Presentation — row order, sort, column layout;
+// no cells), each pinning its matched relation in the shared cache
+// (etable.Pin), plus a bounded memo of materialized row windows per
+// presentation, keyed by (offset, limit). A page fetch therefore costs
+// O(window): the match comes from the pinned relation, the row order
+// and groupings from the prepared presentation, and only the requested
+// rows are transformed. Pins are released when the presentation memo
+// evicts an entry, so the memory pinned beyond the cache capacity is
+// bounded by sessions × memoEntries relations.
 //
 // Every mutation flows through the declarative operation protocol of
 // internal/ops: Apply executes one validated ops.Op, ApplyPipeline
@@ -34,6 +42,7 @@
 package session
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"sort"
@@ -67,8 +76,44 @@ type Entry struct {
 
 // memoEntries bounds the per-session presentation memo. It only needs
 // to cover a short revert/redo window; the heavy lifting is in the
-// shared execution cache.
+// shared execution cache. It is also the per-session bound on pinned
+// cache relations (each memo entry holds one etable.Pin).
 const memoEntries = 8
+
+// windowMemoEntries bounds the materialized row windows kept per
+// presentation (a paging client re-reads its current and adjacent
+// windows; anything older is cheap to rebuild from the presentation).
+const windowMemoEntries = 8
+
+// windowMemoRowCap bounds the rows of any memoized partial window, so
+// a client requesting 8 near-full windows cannot hold 8 full renders'
+// worth of cells per presentation. Only the canonical full render
+// (offset 0, no limit) is exempt — it is one entry, matching the
+// pre-windowing memo's footprint; oversized partial windows (including
+// unlimited reads at a nonzero offset) are simply rebuilt per read,
+// which is still O(window).
+const windowMemoRowCap = 4096
+
+// presEntry is one memoized presentation state: the prepared (and
+// sorted) presentation, the pin holding its matched relation in the
+// shared cache, and the bounded window memo. windows values have
+// hidden columns already applied — they are exactly what readers get —
+// so the window key carries the hidden set alongside the row range.
+type presEntry struct {
+	pres     *etable.Presentation
+	pin      *etable.Pin
+	windows  map[winKey]*etable.Result
+	winOrder []winKey
+}
+
+// winKey identifies one materialized window of a presentation.
+type winKey struct {
+	offset, limit int
+	hidden        string // hiddenKey of the entry's hidden-column set
+}
+
+// release drops the entry's pin (idempotent).
+func (pe *presEntry) release() { pe.pin.Release() }
 
 // Session is one user's interactive exploration state.
 type Session struct {
@@ -95,10 +140,14 @@ type Session struct {
 	history []Entry
 	cursor  int // index into history of the current state; -1 = empty
 
-	// memo caches fully presented results keyed by presentation
-	// signature (pattern, sort, hidden columns), bounded FIFO.
-	memo      map[string]*etable.Result
+	// memo caches prepared presentations keyed by presentation
+	// signature (pattern, sort — hiding is per window), bounded FIFO;
+	// evicted entries release their cache pin.
+	memo      map[string]*presEntry
 	memoOrder []string
+	// closed marks a session evicted by its server: its pins are
+	// released and later presentations no longer pin (see Close).
+	closed bool
 }
 
 // New starts an empty session over a TGDB with a private execution
@@ -128,7 +177,7 @@ func NewWithExec(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, cache *etabl
 		pool:        pool,
 		parallelism: parallelism,
 		cursor:      -1,
-		memo:        make(map[string]*etable.Result),
+		memo:        make(map[string]*presEntry),
 	}
 }
 
@@ -176,11 +225,12 @@ func (s *Session) Pattern() *etable.Pattern {
 	return s.history[s.cursor].Pattern
 }
 
-// State is a consistent snapshot of a session: the pattern, the fully
+// State is a consistent snapshot of a session: the pattern, the
 // presented result (nil before any Open), and the history. The server
 // encodes one State per request instead of reading pattern, result, and
 // history through separate locks that could interleave with a
-// concurrent action.
+// concurrent action. Windowed snapshots (StateWindowCtx) carry only the
+// requested rows in Result; Result.TotalRows/Offset locate the window.
 type State struct {
 	Pattern *etable.Pattern
 	Result  *etable.Result
@@ -193,8 +243,19 @@ func (s *Session) State() (State, error) { return s.StateCtx(context.Background(
 
 // StateCtx is State under a request context: rendering the snapshot may
 // execute the current pattern, which honors ctx's cancellation and any
-// exec.WithBudget parallelism override it carries.
+// exec.WithBudget parallelism override it carries. The result is the
+// full render; servers paging large tables use StateWindowCtx instead.
 func (s *Session) StateCtx(ctx context.Context) (State, error) {
+	return s.StateWindowCtx(ctx, 0, -1)
+}
+
+// StateWindowCtx is StateCtx materializing only the [offset,
+// offset+limit) row window of the presented result (limit < 0 = all
+// rows from offset, limit 0 = metadata only). The window is served
+// from the session's windowed presentation memo: the matched relation
+// stays pinned in the shared cache and only the requested rows are
+// transformed, so the cost of a page does not scale with the table.
+func (s *Session) StateWindowCtx(ctx context.Context, offset, limit int) (State, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := State{Cursor: s.cursor, History: append([]Entry(nil), s.history...)}
@@ -202,12 +263,21 @@ func (s *Session) StateCtx(ctx context.Context) (State, error) {
 		return st, nil
 	}
 	st.Pattern = s.history[s.cursor].Pattern
-	res, err := s.resultLocked(ctx)
+	res, err := s.windowLocked(ctx, offset, limit)
 	if err != nil {
 		return State{}, err
 	}
 	st.Result = res
 	return st, nil
+}
+
+// WindowCtx returns the [offset, offset+limit) row window of the
+// current presented result (limit < 0 = all rows from offset). See
+// StateWindowCtx for the cost model.
+func (s *Session) WindowCtx(ctx context.Context, offset, limit int) (*etable.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.windowLocked(ctx, offset, limit)
 }
 
 func (s *Session) push(op ops.Op, action string, p *etable.Pattern, sort *etable.SortSpec, hidden map[string]bool) {
@@ -334,15 +404,15 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked(ctx)
+		cols, err := s.visibleColumnsLocked(ctx)
 		if err != nil {
 			return err
 		}
-		ci := res.ColumnIndex(op.Column)
+		ci := findColumn(cols, op.Column)
 		if ci < 0 {
 			return fmt.Errorf("session: no column %q", op.Column)
 		}
-		col := res.Columns[ci]
+		col := cols[ci]
 		if col.Kind != etable.ColNeighbor {
 			return fmt.Errorf("session: column %q is not a neighbor column", op.Column)
 		}
@@ -362,15 +432,15 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked(ctx)
+		cols, err := s.visibleColumnsLocked(ctx)
 		if err != nil {
 			return err
 		}
-		ci := res.ColumnIndex(op.Column)
+		ci := findColumn(cols, op.Column)
 		if ci < 0 {
 			return fmt.Errorf("session: no column %q", op.Column)
 		}
-		col := res.Columns[ci]
+		col := cols[ci]
 		var p *etable.Pattern
 		switch col.Kind {
 		case etable.ColNeighbor:
@@ -416,15 +486,15 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 			return fmt.Errorf("session: node %q is not of the primary type %q",
 				n.Label(), cur.Pattern.PrimaryNode().Type)
 		}
-		res, err := s.resultLocked(ctx)
+		cols, err := s.visibleColumnsLocked(ctx)
 		if err != nil {
 			return err
 		}
-		ci := res.ColumnIndex(op.Column)
+		ci := findColumn(cols, op.Column)
 		if ci < 0 {
 			return fmt.Errorf("session: no column %q", op.Column)
 		}
-		col := res.Columns[ci]
+		col := cols[ci]
 		cond, condSrc := keyCondition(n)
 		p, err := etable.SelectExpr(cur.Pattern, cond, condSrc)
 		if err != nil {
@@ -444,20 +514,27 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 		s.push(op, fmt.Sprintf("See all '%s' of '%s'", op.Column, n.Label()), p, nil, nil)
 
 	case ops.KindSort:
-		// The spec is validated against the current result's columns
-		// only — no rows are copied or sorted until the result is next
-		// read.
+		// The spec is validated without materializing rows: against the
+		// visible columns (a hidden column is not a sort target) AND
+		// against the presentation that will execute the sort, so an
+		// accepted op can never fail resolution on a later page read.
 		cur, err := s.current()
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked(ctx)
+		pe, err := s.presentationLocked(ctx, cur)
 		if err != nil {
 			return err
 		}
 		spec := etable.SortSpec{Attr: op.Attr, Column: op.Column, Desc: op.Desc}
-		if err := res.ValidateSort(spec); err != nil {
+		// One resolver: the presentation that will execute the sort.
+		// Visibility is a separate, trivial rule — hidden columns are
+		// not sort targets (base column names equal their attr names).
+		if err := pe.pres.ValidateSort(spec); err != nil {
 			return err
+		}
+		if name := cmp.Or(spec.Attr, spec.Column); cur.Hidden[name] {
+			return fmt.Errorf("session: cannot sort by hidden column %q", name)
 		}
 		what := spec.Attr
 		if what == "" {
@@ -474,11 +551,11 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 		if err != nil {
 			return err
 		}
-		res, err := s.resultLocked(ctx)
+		cols, err := s.visibleColumnsLocked(ctx)
 		if err != nil {
 			return err
 		}
-		if res.ColumnIndex(op.Column) < 0 {
+		if findColumn(cols, op.Column) < 0 {
 			return fmt.Errorf("session: no column %q", op.Column)
 		}
 		hidden := map[string]bool{op.Column: true}
@@ -647,9 +724,13 @@ func (s *Session) ReplayCtx(ctx context.Context, log Log) error {
 	return nil
 }
 
-// presentationKey identifies a fully presented result: the pattern
-// (String covers nodes, conditions, primary, and edges), the sort spec,
-// and the hidden column set.
+// presentationKey identifies a prepared presentation: the pattern
+// (String covers nodes, conditions, primary, and edges) and the sort
+// spec. The hidden column set is deliberately NOT part of the key — a
+// Presentation is independent of hiding (hideColumns applies per
+// materialized window), so hide/show toggles reuse the prepared row
+// order and groupings instead of re-preparing and re-pinning an
+// identical presentation; hiding differentiates windows via winKey.
 func presentationKey(e Entry) string {
 	var b strings.Builder
 	b.WriteString(e.Pattern.String())
@@ -657,21 +738,26 @@ func presentationKey(e Entry) string {
 	if e.Sort != nil {
 		fmt.Fprintf(&b, "%s\x01%s\x01%v", e.Sort.Attr, e.Sort.Column, e.Sort.Desc)
 	}
-	b.WriteByte(0)
-	if len(e.Hidden) > 0 {
-		names := make([]string, 0, len(e.Hidden))
-		for k := range e.Hidden {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		b.WriteString(strings.Join(names, "\x01"))
-	}
 	return b.String()
 }
 
+// hiddenKey canonicalizes a hidden-column set for the window memo key.
+func hiddenKey(hidden map[string]bool) string {
+	if len(hidden) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(hidden))
+	for k := range hidden {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "\x01")
+}
+
 // Result executes the current pattern and applies the presentation state
-// (sort, hidden columns). Identical presentation states are served from
-// the session's memo without re-sorting or re-transforming.
+// (sort, hidden columns), returning the full render. Identical
+// presentation states are served from the session's memo without
+// re-sorting or re-transforming; paged readers should prefer WindowCtx.
 func (s *Session) Result() (*etable.Result, error) {
 	return s.ResultCtx(context.Background())
 }
@@ -684,35 +770,118 @@ func (s *Session) ResultCtx(ctx context.Context) (*etable.Result, error) {
 	return s.resultLocked(ctx)
 }
 
-// resultLocked is Result with s.mu held.
+// resultLocked is the full render with s.mu held: the all-rows window.
 func (s *Session) resultLocked(ctx context.Context) (*etable.Result, error) {
-	cur, err := s.current()
-	if err != nil {
-		return nil, err
-	}
+	return s.windowLocked(ctx, 0, -1)
+}
+
+// presentationLocked returns the memoized presentation for the current
+// entry, preparing (and pinning) it on first use. Caller holds s.mu.
+func (s *Session) presentationLocked(ctx context.Context, cur Entry) (*presEntry, error) {
 	key := presentationKey(cur)
-	if res, ok := s.memo[key]; ok {
-		return res, nil
+	if pe, ok := s.memo[key]; ok {
+		return pe, nil
 	}
-	res, err := s.exec.ExecuteWithOpts(cur.Pattern, s.execOptions(ctx))
+	pres, pin, err := s.exec.PrepareWithOpts(cur.Pattern, s.execOptions(ctx))
 	if err != nil {
 		return nil, err
 	}
 	if cur.Sort != nil {
-		if err := res.Sort(*cur.Sort); err != nil {
+		if err := pres.Sort(*cur.Sort); err != nil {
+			pin.Release()
 			return nil, err
 		}
+	}
+	pe := &presEntry{pres: pres, pin: pin, windows: make(map[winKey]*etable.Result)}
+	if s.closed {
+		// A request racing the server's eviction of this session must
+		// not leave a pin nobody will release; the presentation itself
+		// stays usable (relations are immutable regardless of pinning).
+		pin.Release()
+	}
+	if len(s.memoOrder) >= memoEntries {
+		evict := s.memoOrder[0]
+		s.memo[evict].release()
+		delete(s.memo, evict)
+		s.memoOrder = s.memoOrder[1:]
+	}
+	s.memo[key] = pe
+	s.memoOrder = append(s.memoOrder, key)
+	return pe, nil
+}
+
+// windowLocked materializes (or re-reads) one row window of the current
+// presentation, with hidden columns applied. Caller holds s.mu.
+func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.Result, error) {
+	cur, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	pe, err := s.presentationLocked(ctx, cur)
+	if err != nil {
+		return nil, err
+	}
+	wkey := winKey{offset: offset, limit: limit, hidden: hiddenKey(cur.Hidden)}
+	if res, ok := pe.windows[wkey]; ok {
+		return res, nil
+	}
+	res, err := pe.pres.WindowOpts(offset, limit, s.execOptions(ctx))
+	if err != nil {
+		return nil, err
 	}
 	if len(cur.Hidden) > 0 {
 		res = hideColumns(res, cur.Hidden)
 	}
-	if len(s.memoOrder) >= memoEntries {
-		delete(s.memo, s.memoOrder[0])
-		s.memoOrder = s.memoOrder[1:]
+	if !(offset == 0 && limit < 0) && len(res.Rows) > windowMemoRowCap {
+		return res, nil // oversized partial window: serve, don't retain
 	}
-	s.memo[key] = res
-	s.memoOrder = append(s.memoOrder, key)
+	if len(pe.winOrder) >= windowMemoEntries {
+		delete(pe.windows, pe.winOrder[0])
+		pe.winOrder = pe.winOrder[1:]
+	}
+	pe.windows[wkey] = res
+	pe.winOrder = append(pe.winOrder, wkey)
 	return res, nil
+}
+
+// visibleColumnsLocked returns the current entry's presented column
+// layout (hidden columns removed) without materializing any rows —
+// what ops that only need to resolve a column (pivot, seeall, sort,
+// hide) read instead of rendering the table. Caller holds s.mu.
+func (s *Session) visibleColumnsLocked(ctx context.Context) ([]etable.Column, error) {
+	cur, err := s.current()
+	if err != nil {
+		return nil, err
+	}
+	pe, err := s.presentationLocked(ctx, cur)
+	if err != nil {
+		return nil, err
+	}
+	return visibleColumns(pe.pres.Columns(), cur.Hidden), nil
+}
+
+// visibleColumns filters hidden columns out of a column layout.
+func visibleColumns(cols []etable.Column, hidden map[string]bool) []etable.Column {
+	if len(hidden) == 0 {
+		return cols
+	}
+	out := make([]etable.Column, 0, len(cols))
+	for _, c := range cols {
+		if !hidden[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findColumn returns the ordinal of the named column, or -1.
+func findColumn(cols []etable.Column, name string) int {
+	for i := range cols {
+		if cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 func hideColumns(res *etable.Result, hidden map[string]bool) *etable.Result {
@@ -735,6 +904,19 @@ func hideColumns(res *etable.Result, hidden map[string]bool) *etable.Result {
 		out.Rows[ri] = nr
 	}
 	return &out
+}
+
+// Close releases the session's pinned cache relations and marks the
+// session closed: later reads still work (and re-prepare presentations
+// as needed) but no longer pin, so pins cannot outlive the session.
+// Servers must Close a session when evicting it; Close is idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for _, pe := range s.memo {
+		pe.release()
+	}
 }
 
 // EntityTypes lists the node types shown in the default table list:

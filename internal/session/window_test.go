@@ -1,0 +1,212 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/etable"
+	"repro/internal/testdb"
+)
+
+// newSharedSession builds a session over the Figure 3 corpus with an
+// externally visible shared cache, so tests can observe pinning.
+func newSharedSession(t testing.TB) (*Session, *etable.Cache) {
+	t.Helper()
+	res, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := etable.NewCache(64)
+	return NewShared(res.Schema, res.Instance, cache), cache
+}
+
+// TestWindowMatchesFullRender: every window of the presented result is
+// exactly the corresponding slice of the full render — across plain,
+// sorted, and hidden-column presentations.
+func TestWindowMatchesFullRender(t *testing.T) {
+	s, _ := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	stages := []struct {
+		name  string
+		mutch func() error
+	}{
+		{"open", func() error { return nil }},
+		{"sorted", func() error { return s.SortBy(etable.SortSpec{Attr: "year", Desc: true}) }},
+		{"hidden", func() error { return s.HideColumn("year") }},
+	}
+	for _, st := range stages {
+		if err := st.mutch(); err != nil {
+			t.Fatalf("%s: %v", st.name, err)
+		}
+		full, err := s.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := full.NumRows()
+		if full.Total() != total || full.Offset != 0 {
+			t.Fatalf("%s: full render window metadata [%d +%d of %d]", st.name, full.Offset, total, full.Total())
+		}
+		for _, win := range [][2]int{{0, 2}, {1, 3}, {total - 1, 10}, {total + 5, 2}, {0, 0}} {
+			res, err := s.WindowCtx(ctx, win[0], win[1])
+			if err != nil {
+				t.Fatalf("%s window %v: %v", st.name, win, err)
+			}
+			start := win[0]
+			if start > total {
+				start = total
+			}
+			end := total
+			if win[1] >= 0 && start+win[1] < total {
+				end = start + win[1]
+			}
+			if res.Total() != total || res.Offset != start || len(res.Rows) != end-start {
+				t.Fatalf("%s window %v: got [%d +%d of %d], want [%d +%d of %d]",
+					st.name, win, res.Offset, len(res.Rows), res.Total(), start, end-start, total)
+			}
+			if len(res.Columns) != len(full.Columns) {
+				t.Fatalf("%s window %v: %d columns, want %d", st.name, win, len(res.Columns), len(full.Columns))
+			}
+			for i, row := range res.Rows {
+				want := full.Rows[start+i]
+				if row.Node != want.Node || row.Label != want.Label {
+					t.Fatalf("%s window %v row %d: %d/%q, want %d/%q",
+						st.name, win, i, row.Node, row.Label, want.Node, want.Label)
+				}
+				for ci := range want.Cells {
+					if row.Cells[ci].Count() != want.Cells[ci].Count() {
+						t.Fatalf("%s window %v row %d cell %d ref count differs", st.name, win, i, ci)
+					}
+				}
+			}
+			// Re-reading the same window hits the memo (same pointer).
+			again, err := s.WindowCtx(ctx, win[0], win[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != res {
+				t.Errorf("%s window %v: not served from the window memo", st.name, win)
+			}
+		}
+	}
+}
+
+// TestWindowPinsMatchedRelation: rendering any window pins the matched
+// relation in the shared cache; cycling through more presentation
+// states than the memo holds releases the oldest pins, so the pinned
+// set stays bounded by memoEntries.
+func TestWindowPinsMatchedRelation(t *testing.T) {
+	s, cache := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WindowCtx(context.Background(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.PinnedCount(); got != 1 {
+		t.Fatalf("PinnedCount after first window = %d, want 1", got)
+	}
+	// Hiding a column is a per-window concern, not a new presentation:
+	// the prepared row order and pin are reused, not re-prepared.
+	if err := s.HideColumn("year"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WindowCtx(context.Background(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.PinnedCount(); got != 1 {
+		t.Fatalf("PinnedCount after hide = %d, want 1 (hide must not re-prepare)", got)
+	}
+	// Each distinct filter is a new presentation state; far more than
+	// memoEntries of them must not pin more than memoEntries relations.
+	for i := 0; i < memoEntries+6; i++ {
+		if err := s.Filter(fmt.Sprintf("year > %d", 1990+i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WindowCtx(context.Background(), 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.PinnedCount(); got > memoEntries {
+		t.Fatalf("PinnedCount = %d, want <= %d (evicted memo entries must release their pins)", got, memoEntries)
+	}
+}
+
+// TestCloseReleasesPins: closing a session (what the server does on
+// eviction) releases every pinned relation, and later reads on the
+// closed session keep working without pinning anew.
+func TestCloseReleasesPins(t *testing.T) {
+	s, cache := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WindowCtx(context.Background(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.PinnedCount() != 1 {
+		t.Fatalf("PinnedCount = %d, want 1", cache.PinnedCount())
+	}
+	s.Close()
+	s.Close() // idempotent
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("PinnedCount after Close = %d, want 0", cache.PinnedCount())
+	}
+	// A closed session still serves reads — and doesn't re-pin.
+	if err := s.Filter("year > 2000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WindowCtx(context.Background(), 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if cache.PinnedCount() != 0 {
+		t.Fatalf("closed session pinned %d relations", cache.PinnedCount())
+	}
+}
+
+// TestStateWindowCtx: the snapshot carries the windowed result plus
+// consistent history, and a session with no open table still snapshots.
+func TestStateWindowCtx(t *testing.T) {
+	s, _ := newSharedSession(t)
+	st, err := s.StateWindowCtx(context.Background(), 0, 5)
+	if err != nil || st.Result != nil || st.Cursor != -1 {
+		t.Fatalf("empty session snapshot: %+v, %v", st, err)
+	}
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Filter("year > 2000"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = s.StateWindowCtx(context.Background(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Result == nil || st.Result.Offset != 1 || len(st.Result.Rows) > 2 {
+		t.Fatalf("windowed snapshot: %+v", st.Result)
+	}
+	if len(st.History) != 2 || st.Cursor != 1 {
+		t.Fatalf("history %d entries, cursor %d", len(st.History), st.Cursor)
+	}
+}
+
+// TestSortValidationWithoutRender: sort ops validate against the
+// visible columns without materializing rows, and sorting by a hidden
+// column still fails.
+func TestSortValidationWithoutRender(t *testing.T) {
+	s, _ := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HideColumn("year"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SortBy(etable.SortSpec{Attr: "year"}); err == nil {
+		t.Error("sorting by a hidden column must fail")
+	}
+	if err := s.SortBy(etable.SortSpec{Attr: "title"}); err != nil {
+		t.Errorf("sorting by a visible column failed: %v", err)
+	}
+}

@@ -3,7 +3,7 @@
 # repo's performance trajectory is tracked PR over PR.
 #
 # Usage: scripts/bench.sh [go-test-bench-regexp]
-#        scripts/bench.sh smoke [go-test-bench-regexp]
+#        scripts/bench.sh --smoke [go-test-bench-regexp]   (alias: smoke)
 #
 # Writes BENCH_<date>.json (the `go test -json` event stream, which
 # includes every benchmark result line with -benchmem statistics) and
@@ -20,8 +20,11 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-if [ "${1:-}" = "smoke" ]; then
+if [ "${1:-}" = "smoke" ] || [ "${1:-}" = "--smoke" ]; then
 	pattern="${2:-.}"
+	# vet first so CI's smoke shard fails on bench-code rot even when a
+	# benchmark would happen to run.
+	go vet .
 	exec go test -run '^$' -bench "$pattern" -benchtime 1x .
 fi
 
@@ -76,18 +79,23 @@ if [ -n "$prev" ]; then
 	else
 		# Fallback: join on benchmark name, compare ns/op. The .txt
 		# artifacts remain benchstat-ready: `benchstat old.txt new.txt`.
-		awk '
-			/^Benchmark/ {
-				name = $1
+		# Files are told apart by FILENAME, not the FNR==NR idiom — an
+		# empty or name-less previous artifact would otherwise
+		# misclassify every new line as "old" and silently print no
+		# comparison at all. Benchmarks absent from the previous
+		# artifact are marked "new benchmark" instead of skipped.
+		awk -v OLD="$prevtxt" '
+			!/^Benchmark/ { next }
+			{
 				v = ""
 				for (i = 2; i <= NF; i++) if ($i == "ns/op") v = $(i - 1)
 				if (v == "") next
-				if (FNR == NR) old[name] = v
-				else if (name in old) {
+				if (FILENAME == OLD) { old[$1] = v; next }
+				if ($1 in old) {
 					printf "%-60s %14.0f -> %14.0f ns/op  %+.1f%%\n",
-						name, old[name], v, (v - old[name]) * 100.0 / old[name]
+						$1, old[$1], v, (v - old[$1]) * 100.0 / old[$1]
 				} else {
-					printf "%-60s %14s -> %14.0f ns/op  (new)\n", name, "-", v
+					printf "%-60s %14s -> %14.0f ns/op  (new benchmark)\n", $1, "-", v
 				}
 			}
 		' "$prevtxt" "$txt"

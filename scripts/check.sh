@@ -16,6 +16,13 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> staticcheck ./..."
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"
+fi
+
 echo "==> go test -race ./..."
 go test -race -run "$pattern" ./...
 
