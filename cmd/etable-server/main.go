@@ -27,6 +27,7 @@ func main() {
 	pageSize := flag.Int("page-size", 0, "default result rows per response (0 = all; clients may page with offset/limit)")
 	maxWorkers := flag.Int("max-workers", 0, "server-wide worker cap for intra-query parallelism (0 = GOMAXPROCS, negative = serial)")
 	parallelism := flag.Int("parallelism", 0, "default per-request parallelism budget (0 = min(4, GOMAXPROCS); requests may override with ?parallelism=)")
+	maxRows := flag.Int("max-rows", 0, "maximum rows one request may materialize (0 = unbounded; oversized results fail with 413 result_too_large)")
 	flag.Parse()
 
 	log.Printf("generating %d-paper corpus…", *papers)
@@ -51,9 +52,10 @@ func main() {
 		PageSize:     *pageSize,
 		MaxWorkers:   *maxWorkers,
 		Parallelism:  *parallelism,
+		MaxRows:      *maxRows,
 	})
-	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d)\n",
-		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism)
+	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d, max rows %d)\n",
+		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism, *maxRows)
 	fmt.Printf("API: /api/v1 (declarative ops; see docs/API.md) — legacy /api/* routes are deprecated aliases\n")
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

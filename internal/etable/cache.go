@@ -225,6 +225,38 @@ func (c *Cache) PinnedCount() int {
 	return n
 }
 
+// MemStats is the cache's memory telemetry for the server's stats
+// endpoint: estimated resident bytes of every cached relation and the
+// subset held by pinned entries (the bytes session presentation memos
+// keep beyond LRU discipline).
+type MemStats struct {
+	// ResidentBytes estimates the bytes of all cached relations
+	// (graphrel.Relation.SizeBytes; column data, not Go object headers).
+	ResidentBytes int64
+	// PinnedBytes estimates the bytes of currently pinned relations.
+	PinnedBytes int64
+}
+
+// MemStatsNow sums the size estimates of the cached relations across
+// all shards. It takes each shard lock briefly; the result is a
+// point-in-time snapshot, not a linearizable total.
+func (c *Cache) MemStatsNow() MemStats {
+	var ms MemStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for it := s.head; it != nil; it = it.next {
+			b := it.rel.SizeBytes()
+			ms.ResidentBytes += b
+			if it.pins > 0 {
+				ms.PinnedBytes += b
+			}
+		}
+		s.mu.Unlock()
+	}
+	return ms
+}
+
 // Get returns the cached relation for key without computing, for tests
 // and introspection.
 func (c *Cache) Get(key string) (*graphrel.Relation, bool) {

@@ -1,0 +1,41 @@
+// Package etable implements the paper's primary contribution: the ETable
+// presentation data model. It defines the query pattern Q = (τa, T, P, C)
+// (Definition 3), the primitive operators Initiate/Select/Add/Shift that
+// incrementally build patterns (§5.3), and query execution as instance
+// matching over the typed graph model followed by format transformation
+// into an enriched table (§5.4).
+//
+// # Execution modes
+//
+// The matching core m(Q) runs in one of two modes over the same plan
+// (selectedBases + planJoins):
+//
+//   - Materializing (the historical path): every join step produces a
+//     full intermediate relation. Cheapest for small results — one
+//     arena allocation per step, no per-batch bookkeeping.
+//   - Streaming: the join chain is composed as pull-based morsel
+//     iterators (graphrel.RowSource). No intermediate ever exists in
+//     full; memory is proportional to the in-flight batches, and a
+//     window or LIMIT consumer terminates upstream production after
+//     O(window) driving-side work (MatchSource, PrepareFromSource).
+//
+// ExecOptions.Stream selects the mode. The default, StreamAuto, streams
+// when the statistics-only cost estimate (EstimatePattern) predicts a
+// scan large enough to profit and the pattern has at least one join;
+// the gate is evaluated only inside cache-miss computes, so cache hits
+// never pay for it. Both modes produce byte-identical relations — the
+// streamed pipeline runs the same per-range kernels over contiguous
+// input runs consumed in order — so cache and pin semantics are
+// preserved by materializing lazily: the first full consumption splices
+// the retained batches into the one relation that gets cached.
+//
+// # Windowing and recycling
+//
+// Presentation windows (Presentation.Window) draw their row/cell/ref
+// storage from a sync.Pool-backed arena (windowStore). Callers that can
+// guarantee sole ownership — the serving layer deep-copies windows into
+// response structs before releasing them — return the storage with
+// Result.Recycle, making steady-state paging allocation-free. Recycling
+// is strictly opt-in; a Result that is never recycled is garbage
+// collected like any other value.
+package etable

@@ -29,6 +29,19 @@ type ExecOptions struct {
 	// drawn from Pool — cooperate on each kernel. Values <= 1 are
 	// serial.
 	Parallelism int
+	// Stream selects the matching core's execution mode: cost-gated
+	// streaming (StreamAuto, the zero value), always eager (StreamOff),
+	// or always streaming (StreamOn). Both modes produce identical
+	// relations; streaming bounds intermediate memory by the consumer's
+	// appetite instead of the relation's size (see stream.go).
+	Stream StreamMode
+	// MaxRows caps the number of rows any full materialization of this
+	// execution may produce; 0 is unbounded. Exceeding the cap fails
+	// with *graphrel.RowLimitError instead of allocating without limit —
+	// the server's -max-rows guard. The streaming path enforces it
+	// batch by batch (terminating upstream production early); the eager
+	// path checks after each join step. Errors are never cached.
+	MaxRows int
 }
 
 // parallelMinEstRows is the serial-fallback gate: when the pattern's
@@ -99,9 +112,19 @@ func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
 // MatchOpts is Match under execution options: the selection scans and
 // joins run through the morsel-parallel kernels when the options grant
 // a budget and the query is big enough to profit (see ExecOptions and
-// EstimatePattern).
+// EstimatePattern), and the whole pipeline runs in streaming mode when
+// the options select it (see StreamMode) — same tuples either way, the
+// streamed pipeline is materialized on return.
 func MatchOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
-	return matchColumnsOpts(g, p, opt.effective(g, p))
+	opt = opt.effective(g, p)
+	if opt.wantStream(g, p) {
+		src, err := matchSource(g, p, opt, baseRelation(g, opt))
+		if err != nil {
+			return nil, err
+		}
+		return materializeMax(src, opt.MaxRows)
+	}
+	return matchColumnsOpts(g, p, opt)
 }
 
 // MatchColumns is Match with projection pushdown: when keep is

@@ -167,23 +167,41 @@ func (e *Executor) MatchWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relatio
 }
 
 // matchCompute builds the cache compute closure for one pattern match —
-// shared by the plain and the pinned lookup paths.
+// shared by the plain and the pinned lookup paths. When the options
+// select streaming, the join pipeline runs as a pull-based batch
+// stream and is materialized only at the end (identical relation,
+// bounded intermediates); either way the cached value is a fully
+// materialized relation.
 func (e *Executor) matchCompute(p *Pattern, opt ExecOptions) func() (*graphrel.Relation, error) {
 	return func() (*graphrel.Relation, error) {
 		// Resolving the options (EstimatePattern runs a statistics-only
-		// plan) happens inside the compute path only — cache hits, the
-		// common case, pay nothing for the parallelism decision.
+		// plan, as does the streaming gate) happens inside the compute
+		// path only — cache hits, the common case, pay nothing for
+		// either decision.
 		opt := opt.effective(e.g, p)
-		bases, sizes, err := selectedBases(p, e.base(opt))
-		if err != nil {
-			return nil, err
+		if opt.wantStream(e.g, p) {
+			src, err := matchSource(e.g, p, opt, e.base(opt))
+			if err != nil {
+				return nil, err
+			}
+			return materializeMax(src, opt.MaxRows)
 		}
-		start, steps, err := planJoins(e.g, p, sizes)
-		if err != nil {
-			return nil, err
-		}
-		return matchSteps(bases, start, steps, nil, opt)
+		return e.matchEager(p, opt)
 	}
+}
+
+// matchEager is the materializing match body: cached bases, planned
+// join order, eager join steps.
+func (e *Executor) matchEager(p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
+	bases, sizes, err := selectedBases(p, e.base(opt))
+	if err != nil {
+		return nil, err
+	}
+	start, steps, err := planJoins(e.g, p, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return matchSteps(bases, start, steps, nil, opt)
 }
 
 // MatchPinnedWithOpts is MatchWithOpts plus a Pin on the cached matched
@@ -214,20 +232,65 @@ func (e *Executor) MatchPinnedWithOpts(p *Pattern, opt ExecOptions) (*graphrel.R
 // caller owns the Pin and must Release it when done paging; the
 // Presentation stays valid afterwards (relations are immutable), but
 // the cache may then recompute the match for other sessions.
+//
+// On a cache miss with streaming selected, the presentation is folded
+// directly off the streamed pipeline (PrepareFromSource): the match
+// never exists as a chain of materialized intermediates, only as the
+// final spliced relation that goes into the cache and under the pin.
+// The fold happens only when this caller is the compute leader —
+// singleflight waiters and cache hits receive the cached relation and
+// prepare from it eagerly, which yields an identical presentation (the
+// fold and the eager passes are both pure functions of the tuple set).
 func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, *Pin, error) {
 	if err := p.Validate(e.g.Schema()); err != nil {
 		return nil, nil, err
 	}
-	matched, pin, err := e.MatchPinnedWithOpts(p, opt)
-	if err != nil {
-		return nil, nil, err
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 	}
-	pr, err := PrepareOpts(e.g, p, matched, opt)
-	if err != nil {
-		pin.Release()
-		return nil, nil, err
+	key := matchPrefix + Signature(p)
+	// streamed carries the presentation out of the compute closure when
+	// this call ends up being the singleflight leader. Unsynchronized by
+	// design: GetOrComputePinned runs the closure on this goroutine or
+	// not at all.
+	var streamed *Presentation
+	compute := func() (*graphrel.Relation, error) {
+		opt := opt.effective(e.g, p)
+		if opt.wantStream(e.g, p) {
+			src, err := matchSource(e.g, p, opt, e.base(opt))
+			if err != nil {
+				return nil, err
+			}
+			pres, rel, err := PrepareFromSource(e.g, p, src, opt)
+			if err != nil {
+				return nil, err
+			}
+			streamed = pres
+			return rel, nil
+		}
+		return e.matchEager(p, opt)
 	}
-	return pr, pin, nil
+	for {
+		streamed = nil
+		rel, pin, err := e.cache.GetOrComputePinned(key, compute)
+		if foreignCancellation(opt.Ctx, err) {
+			continue
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if streamed != nil {
+			return streamed, pin, nil
+		}
+		pr, err := PrepareOpts(e.g, p, rel, opt)
+		if err != nil {
+			pin.Release()
+			return nil, nil, err
+		}
+		return pr, pin, nil
+	}
 }
 
 // Execute runs the pattern with intermediate-result reuse (serial,

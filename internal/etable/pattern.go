@@ -1,9 +1,3 @@
-// Package etable implements the paper's primary contribution: the ETable
-// presentation data model. It defines the query pattern Q = (τa, T, P, C)
-// (Definition 3), the primitive operators Initiate/Select/Add/Shift that
-// incrementally build patterns (§5.3), and query execution as instance
-// matching over the typed graph model followed by format transformation
-// into an enriched table (§5.4).
 package etable
 
 import (

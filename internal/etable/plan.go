@@ -159,6 +159,13 @@ func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []Jo
 		if cur, err = graphrel.JoinPar(opt.Ctx, opt.Pool, opt.Parallelism, cur, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey); err != nil {
 			return nil, err
 		}
+		// The MaxRows guard, on the eager path: checked after each step,
+		// so a pathological join fails before later steps amplify it
+		// further (the streaming path enforces the same cap batch by
+		// batch, before the relation ever exists in full).
+		if opt.MaxRows > 0 && cur.Len() > opt.MaxRows {
+			return nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
+		}
 		if needed == nil {
 			continue
 		}

@@ -1,0 +1,246 @@
+package etable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graphrel"
+	"repro/internal/tgm"
+)
+
+// Streaming execution: the matching pipeline composed as pull-based
+// morsel iterators (graphrel.RowSource) instead of fully materialized
+// intermediates. The planner's join order is unchanged — the same
+// selectedBases/planJoins plan drives both modes — but in streaming
+// mode each join step is a StreamJoin stage probing batches of the
+// driving side against a hash index over its (cached, materialized)
+// base relation, so no intermediate relation ever exists in full.
+//
+// Memory tracks the consumer: a window or LIMIT consumer pulls only
+// the batches it needs (graphrel.StreamLimit terminates upstream
+// production), and a full consumer holds at most one pipeline's worth
+// of in-flight batches plus the batches it has retained. The genuine
+// pipeline breakers — the distinct-row pass, the row-ID sort, and the
+// per-column groupings — are folded incrementally batch by batch
+// (PrepareFromSource), never by materializing first.
+//
+// Cache and pin semantics are preserved by materializing lazily: the
+// first full consumption splices the retained batches into one
+// arena-backed relation (graphrel.ConcatAll), which is what gets
+// cached and pinned. Batches are contiguous runs of the driving base
+// consumed in order and every stage shares its per-range phase with
+// the eager kernel, so the spliced relation — and everything derived
+// from it — is identical to the eager path's output.
+
+// StreamMode selects how the matching core executes a query.
+type StreamMode uint8
+
+const (
+	// StreamAuto streams when the pattern's estimated peak scan is
+	// large enough to profit (streamMinEstRows) and the pattern has at
+	// least one join; small interactive queries stay on the eager path,
+	// whose single-relation materialization is cheaper than per-batch
+	// bookkeeping. The cost gate runs only on cache misses.
+	StreamAuto StreamMode = iota
+	// StreamOff always materializes every intermediate (the pre-PR-6
+	// behavior).
+	StreamOff
+	// StreamOn streams every query with at least one join, regardless
+	// of estimated size. Joinless patterns are a single cached base
+	// relation — streaming them would only copy it.
+	StreamOn
+)
+
+// streamMinEstRows is the streaming cost gate: below a few morsels of
+// estimated peak scan, the eager path's one-shot materialization is
+// cheaper than per-batch headers and queue bookkeeping. The estimate
+// is the same statistics-only EstimatePattern the parallelism gate
+// uses.
+const streamMinEstRows = 4 * graphrel.MorselRows
+
+// wantStream decides the execution mode for one compute. It is
+// consulted only inside cache-miss compute closures — cache hits never
+// pay for the estimate.
+func (o ExecOptions) wantStream(g *tgm.InstanceGraph, p *Pattern) bool {
+	if len(p.Edges) == 0 {
+		return false
+	}
+	switch o.Stream {
+	case StreamOff:
+		return false
+	case StreamOn:
+		return true
+	}
+	return EstimatePattern(g, p) >= streamMinEstRows
+}
+
+// streamBatchRows overrides the streamed pipeline's batch size; 0 uses
+// graphrel.MorselRows. Tests shrink it to exercise multi-batch
+// pipelines on hand-checkable fixtures.
+var streamBatchRows = 0
+
+// MatchSource returns the pattern's instance matching m(Q) as a
+// pull-based stream of morsel batches: the planner's base relations
+// are built (and their selections pushed down) exactly as in MatchOpts,
+// then the join chain starting from the planner's start base is
+// composed as StreamJoin stages instead of materializing joins.
+// Concatenating the stream's batches in order yields exactly
+// MatchOpts(g, p, opt); consuming only a window of it does only the
+// driving-side work that window needs. The caller must Close the
+// source (Materialize and PrepareFromSource do so themselves).
+func MatchSource(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (graphrel.RowSource, error) {
+	opt = opt.effective(g, p)
+	return matchSource(g, p, opt, baseRelation(g, opt))
+}
+
+// matchSource is MatchSource parameterized by the base-relation
+// builder, so the executor's cached bases slot in (Executor.base).
+func matchSource(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions, base func(*PatternNode) (*graphrel.Relation, error)) (graphrel.RowSource, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if p.PrimaryNode() == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	bases, sizes, err := selectedBases(p, base)
+	if err != nil {
+		return nil, err
+	}
+	start, steps, err := planJoins(g, p, sizes)
+	if err != nil {
+		return nil, err
+	}
+	src := graphrel.StreamRelationBatch(bases[start], streamBatchRows)
+	for _, st := range steps {
+		src, err = graphrel.StreamJoin(opt.Ctx, opt.Pool, opt.Parallelism, src, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return src, nil
+}
+
+// materializeMax drains a streamed match under the options' row cap
+// (MaxRows <= 0 = unbounded).
+func materializeMax(src graphrel.RowSource, maxRows int) (*graphrel.Relation, error) {
+	if maxRows > 0 {
+		return graphrel.MaterializeMax(src, maxRows)
+	}
+	return graphrel.Materialize(src)
+}
+
+// PrepareFromSource builds the windowed presentation directly from a
+// streamed match, folding the pipeline breakers batch by batch: the
+// distinct primary rows accumulate through a bitset, the per-column
+// groupings through incremental pair folds (graphrel.AppendGroupPairs),
+// and the batches themselves are retained and spliced into the
+// materialized relation on EOF — the lazy-materialization point that
+// preserves cache/pin semantics. The returned presentation and
+// relation are identical to PrepareOpts over the eager match: rows are
+// a pure function of the tuple set (ID-sorted), groups are sorted and
+// deduplicated by SortDedupGroups, and the splice preserves row order.
+// The source is Closed before returning, success or not.
+func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource, opt ExecOptions) (*Presentation, *graphrel.Relation, error) {
+	defer src.Close()
+	prim := p.PrimaryNode()
+	if prim == nil {
+		return nil, nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	primType := g.Schema().NodeType(prim.Type)
+	pr := &Presentation{g: g, pattern: p, primType: primType}
+
+	// Participating columns fold in pattern order, like PrepareOpts.
+	partKeys := make([]string, 0, len(p.Nodes)-1)
+	for _, n := range p.Nodes {
+		if n.Key != prim.Key {
+			partKeys = append(partKeys, n.Key)
+		}
+	}
+	folds := make([]map[tgm.NodeID][]tgm.NodeID, len(partKeys))
+	for i := range folds {
+		folds[i] = make(map[tgm.NodeID][]tgm.NodeID)
+	}
+
+	// Single pass over the stream: retain batches for the final splice
+	// and fold rows and groups incrementally. Batches arrive in the
+	// eager relation's row order, so the folds accumulate exactly what
+	// the eager passes compute over the whole relation.
+	seen := graphrel.NewBitset(g.NumNodes())
+	var rowIDs []tgm.NodeID
+	var batches []*graphrel.Relation
+	total := 0
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			break
+		}
+		total += b.Len()
+		if opt.MaxRows > 0 && total > opt.MaxRows {
+			return nil, nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
+		}
+		batches = append(batches, b)
+		primCol := b.ColumnNamed(prim.Key)
+		if primCol == nil {
+			return nil, nil, fmt.Errorf("etable: stream has no attribute %q", prim.Key)
+		}
+		for _, id := range primCol {
+			if !seen.TestAndSet(id) {
+				rowIDs = append(rowIDs, id)
+			}
+		}
+		for i, k := range partKeys {
+			if err := graphrel.AppendGroupPairs(folds[i], b, prim.Key, k); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Finish the breakers: canonical row order and canonical groups.
+	sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
+	pr.rowIDs = rowIDs
+	for _, f := range folds {
+		if err := graphrel.SortDedupGroups(opt.Ctx, opt.Pool, opt.Parallelism, f); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Column layout, identical to PrepareOpts.
+	for _, a := range primType.Attrs {
+		pr.columns = append(pr.columns, Column{Kind: ColBase, Name: a.Name, Attr: a.Name})
+	}
+	primEdges := primaryEdgeTypes(p, g.Schema())
+	for i, k := range partKeys {
+		n := p.Node(k)
+		pr.columns = append(pr.columns, Column{
+			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
+			EdgeType: primEdges[n.Key], TargetType: n.Type,
+		})
+		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, groups: folds[i]})
+	}
+	shown := map[string]bool{}
+	for _, en := range primEdges {
+		if en != "" {
+			shown[en] = true
+		}
+	}
+	for _, et := range g.Schema().OutEdges(prim.Type) {
+		if shown[et.Name] {
+			continue
+		}
+		pr.columns = append(pr.columns, Column{
+			Kind: ColNeighbor, Name: et.Label, EdgeType: et.Name, TargetType: et.Target,
+		})
+		pr.neighbors = append(pr.neighbors, neighborCol{col: len(pr.columns) - 1, et: et})
+	}
+
+	matched, err := graphrel.ConcatAll(g, src.Attrs(), batches)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pr, matched, nil
+}

@@ -1,0 +1,356 @@
+package etable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graphrel"
+)
+
+// withSmallStreamBatches shrinks the streamed pipeline's batch size so
+// the test corpus spans many batches, restoring it on cleanup.
+func withSmallStreamBatches(t *testing.T, rows int) {
+	t.Helper()
+	old := streamBatchRows
+	streamBatchRows = rows
+	t.Cleanup(func() { streamBatchRows = old })
+}
+
+// assertSameRelations asserts exact row-for-row equality through the
+// exported accessors (the etable-level mirror of graphrel's identity
+// assertion).
+func assertSameRelations(t *testing.T, label string, got, want *graphrel.Relation) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, want %d", label, got.Len(), want.Len())
+	}
+	if len(got.Attrs) != len(want.Attrs) {
+		t.Fatalf("%s: %d attrs, want %d", label, len(got.Attrs), len(want.Attrs))
+	}
+	for ai := range want.Attrs {
+		if got.Attrs[ai] != want.Attrs[ai] {
+			t.Fatalf("%s: attr %d = %v, want %v", label, ai, got.Attrs[ai], want.Attrs[ai])
+		}
+		gc, wc := got.Column(ai), want.Column(ai)
+		for i := range wc {
+			if gc[i] != wc[i] {
+				t.Fatalf("%s: col %d row %d = %v, want %v", label, ai, i, gc[i], wc[i])
+			}
+		}
+	}
+}
+
+// TestStreamMatchEquivalence asserts MatchOpts in streaming mode is
+// row-identical to the eager mode on the paper's figure patterns, with
+// batch sizes small enough that the pipeline spans many batches, both
+// serial and pooled.
+func TestStreamMatchEquivalence(t *testing.T) {
+	tr := planFixture(t)
+	pool := exec.NewPool(4)
+	for name, p := range map[string]*Pattern{
+		"figure1": figure1PlanPattern(t, tr),
+		"figure7": figure7PlanPattern(t, tr),
+	} {
+		want, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: StreamOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			label string
+			batch int
+			opt   ExecOptions
+		}{
+			{"serial_small_batches", 7, ExecOptions{Stream: StreamOn}},
+			{"serial_morsel", 0, ExecOptions{Stream: StreamOn}},
+			{"pooled", 13, ExecOptions{Ctx: context.Background(), Pool: pool, Parallelism: 4, Stream: StreamOn}},
+		} {
+			withSmallStreamBatches(t, tc.batch)
+			got, err := MatchOpts(tr.Instance, p, tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRelations(t, name+"/"+tc.label, got, want)
+		}
+	}
+}
+
+// TestStreamMatchEquivalenceRandomized fuzzes the streamed match
+// against the eager one: random year thresholds vary the selectivity,
+// random batch sizes vary the pipeline's chunking, and random budgets
+// vary the fan-out — the result must stay row-identical throughout.
+func TestStreamMatchEquivalenceRandomized(t *testing.T) {
+	tr := planFixture(t)
+	pool := exec.NewPool(4)
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 8; trial++ {
+		year := 1995 + rng.Intn(20)
+		p := buildPattern(t, tr, "Papers",
+			opSelect(fmt.Sprintf("year > %d", year)),
+			opAdd(tr, "Paper_Authors"),
+			opAdd(tr, "Authors→Institutions"),
+		)
+		want, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: StreamOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		withSmallStreamBatches(t, 1+rng.Intn(64))
+		opt := ExecOptions{Stream: StreamOn}
+		if rng.Intn(2) == 0 {
+			opt.Ctx, opt.Pool, opt.Parallelism = context.Background(), pool, 2+rng.Intn(4)
+		}
+		got, err := MatchOpts(tr.Instance, p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRelations(t, fmt.Sprintf("trial=%d year>%d", trial, year), got, want)
+	}
+}
+
+// TestPrepareFromSourceEquivalence asserts the streamed presentation
+// fold produces a presentation and a materialized relation identical
+// to the eager PrepareOpts path — full renders compare cell for cell.
+func TestPrepareFromSourceEquivalence(t *testing.T) {
+	tr := planFixture(t)
+	pool := exec.NewPool(4)
+	withSmallStreamBatches(t, 11)
+	for name, p := range map[string]*Pattern{
+		"figure1": figure1PlanPattern(t, tr),
+		"figure7": figure7PlanPattern(t, tr),
+	} {
+		eagerMatched, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: StreamOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eagerPr, err := Prepare(tr.Instance, p, eagerMatched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eagerPr.Window(0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, budget := range []int{1, 4} {
+			opt := ExecOptions{Stream: StreamOn}
+			if budget > 1 {
+				opt.Ctx, opt.Pool, opt.Parallelism = context.Background(), pool, budget
+			}
+			src, err := MatchSource(tr.Instance, p, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pr, matched, err := PrepareFromSource(tr.Instance, p, src, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRelations(t, name+"/matched", matched, eagerMatched)
+			if pr.NumRows() != eagerPr.NumRows() {
+				t.Fatalf("%s: %d rows, want %d", name, pr.NumRows(), eagerPr.NumRows())
+			}
+			got, err := pr.Window(0, -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameResults(t, fmt.Sprintf("%s/budget=%d", name, budget), got, want)
+			// Windows agree too (first page, middle page, clamped tail).
+			for _, w := range [][2]int{{0, 5}, {3, 4}, {want.NumRows() - 2, 10}} {
+				gw, err := pr.Window(w[0], w[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				ww, err := eagerPr.Window(w[0], w[1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResults(t, fmt.Sprintf("%s/window=%v", name, w), gw, ww)
+			}
+		}
+	}
+}
+
+// TestExecutorStreamingPreparePinned asserts the executor's streamed
+// prepare path: the compute leader folds the presentation off the
+// stream, the cached relation is identical to the eager path's, the
+// pin lands, and a second prepare (cache hit) yields an identical
+// presentation without streaming.
+func TestExecutorStreamingPreparePinned(t *testing.T) {
+	tr := planFixture(t)
+	withSmallStreamBatches(t, 17)
+	p := figure7PlanPattern(t, tr)
+
+	eager := NewExecutor(tr.Instance)
+	wantPr, wantPin, err := eager.PrepareWithOpts(p, ExecOptions{Stream: StreamOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wantPin.Release()
+	want, err := wantPr.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewExecutor(tr.Instance)
+	pr, pin, err := e.PrepareWithOpts(p, ExecOptions{Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	got, err := pr.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "streamed-vs-eager", got, want)
+	if e.Cache().PinnedCount() != 1 {
+		t.Fatalf("pinned count = %d, want 1", e.Cache().PinnedCount())
+	}
+
+	// The cached (pinned) relation must be identical to the eager match.
+	rel, ok := e.Cache().Get(matchPrefix + Signature(p))
+	if !ok {
+		t.Fatal("streamed match not cached")
+	}
+	wantRel, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: StreamOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRelations(t, "cached", rel, wantRel)
+
+	// Cache hit: prepares eagerly from the cached relation, same output.
+	if misses := e.Misses(); misses == 0 {
+		t.Fatal("expected at least one miss")
+	}
+	pr2, pin2, err := e.PrepareWithOpts(p, ExecOptions{Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin2.Release()
+	got2, err := pr2.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "hit-vs-eager", got2, want)
+}
+
+// TestExecutorStreamingMatchCached asserts MatchWithOpts under
+// streaming caches the materialized relation and serves hits without
+// recomputation.
+func TestExecutorStreamingMatchCached(t *testing.T) {
+	tr := planFixture(t)
+	withSmallStreamBatches(t, 9)
+	p := figure1PlanPattern(t, tr)
+	e := NewExecutor(tr.Instance)
+	first, err := e.MatchWithOpts(p, ExecOptions{Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.MatchWithOpts(p, ExecOptions{Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("cache hit returned a different relation")
+	}
+	want, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: StreamOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRelations(t, "cached-stream-match", first, want)
+}
+
+// TestMaxRowsGuard asserts the MaxRows cap fails oversized
+// materializations with *graphrel.RowLimitError on both execution
+// modes, and admits results at or under the cap.
+func TestMaxRowsGuard(t *testing.T) {
+	tr := planFixture(t)
+	withSmallStreamBatches(t, 9)
+	p := buildPattern(t, tr, "Papers",
+		opAdd(tr, "Paper_Authors"),
+		opAdd(tr, "Authors→Institutions"),
+	)
+	full, err := MatchOpts(tr.Instance, p, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Len() < 10 {
+		t.Fatalf("fixture too small: %d match rows", full.Len())
+	}
+	for _, mode := range []StreamMode{StreamOff, StreamOn} {
+		_, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: mode, MaxRows: 5})
+		var rle *graphrel.RowLimitError
+		if !errors.As(err, &rle) || rle.Limit != 5 {
+			t.Fatalf("mode=%d: err = %v, want RowLimitError{5}", mode, err)
+		}
+		ok, err := MatchOpts(tr.Instance, p, ExecOptions{Stream: mode, MaxRows: full.Len()})
+		if err != nil {
+			t.Fatalf("mode=%d at-cap: %v", mode, err)
+		}
+		assertSameRelations(t, fmt.Sprintf("mode=%d at-cap", mode), ok, full)
+	}
+	// The streamed prepare fold enforces the cap too, and errors are
+	// never cached (a later uncapped prepare succeeds).
+	e := NewExecutor(tr.Instance)
+	_, _, err = e.PrepareWithOpts(p, ExecOptions{Stream: StreamOn, MaxRows: 5})
+	var rle *graphrel.RowLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("streamed prepare err = %v, want RowLimitError", err)
+	}
+	pr, pin, err := e.PrepareWithOpts(p, ExecOptions{Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pin.Release()
+	if pr.NumRows() == 0 {
+		t.Error("uncapped prepare after capped failure returned no rows")
+	}
+}
+
+// TestWantStreamGate pins the streaming decision: joinless patterns and
+// StreamOff never stream, StreamOn streams any join, and StreamAuto is
+// cost-gated by EstimatePattern against streamMinEstRows.
+func TestWantStreamGate(t *testing.T) {
+	tr := planFixture(t)
+	joinless := buildPattern(t, tr, "Papers", opSelect("year > 2000"))
+	joined := figure7PlanPattern(t, tr)
+	for _, tc := range []struct {
+		name string
+		p    *Pattern
+		mode StreamMode
+		want bool
+	}{
+		{"joinless_on", joinless, StreamOn, false},
+		{"joinless_auto", joinless, StreamAuto, false},
+		{"joined_on", joined, StreamOn, true},
+		{"joined_off", joined, StreamOff, false},
+	} {
+		opt := ExecOptions{Stream: tc.mode}
+		if got := opt.wantStream(tr.Instance, tc.p); got != tc.want {
+			t.Errorf("%s: wantStream = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Auto on this corpus follows the estimate against the gate.
+	est := EstimatePattern(tr.Instance, joined)
+	opt := ExecOptions{Stream: StreamAuto}
+	if got, want := opt.wantStream(tr.Instance, joined), est >= streamMinEstRows; got != want {
+		t.Errorf("auto: wantStream = %v, want %v (est %v)", got, want, est)
+	}
+}
+
+// TestStreamingCancellation asserts a canceled context surfaces
+// through the streamed match and the streamed prepare fold.
+func TestStreamingCancellation(t *testing.T) {
+	tr := planFixture(t)
+	withSmallStreamBatches(t, 9)
+	p := figure7PlanPattern(t, tr)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := ExecOptions{Ctx: ctx, Pool: exec.NewPool(2), Parallelism: 4, Stream: StreamOn}
+	if _, err := MatchOpts(tr.Instance, p, opt); !errors.Is(err, context.Canceled) {
+		t.Errorf("MatchOpts err = %v, want Canceled", err)
+	}
+	if _, _, err := NewExecutor(tr.Instance).PrepareWithOpts(p, opt); !errors.Is(err, context.Canceled) {
+		t.Errorf("PrepareWithOpts err = %v, want Canceled", err)
+	}
+}

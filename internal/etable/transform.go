@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graphrel"
 	"repro/internal/tgm"
@@ -241,6 +243,29 @@ func (pr *Presentation) WindowOpts(offset, limit int, opt ExecOptions) (*Result,
 	return pr.window(offset, limit, opt, transformChunkRows)
 }
 
+// windowStore is one window's recyclable backing: the shared cell
+// arena, the row headers, and the per-range entity-reference arenas.
+// Stores circulate through windowStorePool so steady-state paging —
+// the session's page-up/page-down loop — reuses the previous window's
+// allocations instead of growing the heap on every fetch.
+//
+// Recycling is strictly opt-in (Result.Recycle) and sole-owner: a
+// store returns to the pool only when the caller guarantees no
+// reference to the Result, its Rows, or any Cell survives. Callers
+// that never call Recycle get the pre-pooling behavior — the store is
+// garbage collected with the Result.
+type windowStore struct {
+	cells []Cell
+	rows  []Row
+	refs  [][]EntityRef
+	// recycled guards against double-Put: two Results can share one
+	// store (session.hideColumns copies the struct), and returning a
+	// store twice would hand the same arenas to two live windows.
+	recycled atomic.Bool
+}
+
+var windowStorePool = sync.Pool{New: func() any { return new(windowStore) }}
+
 // window is WindowOpts with an explicit fan-out chunk size, so tests
 // can exercise the parallel path (including windows straddling a final
 // partial chunk) on corpora far smaller than a real morsel.
@@ -260,29 +285,60 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 	n := end - start
 	res := &Result{
 		Pattern: pr.pattern, PrimaryType: pr.primType, Columns: pr.columns,
-		TotalRows: total, Offset: start, Rows: make([]Row, n),
+		TotalRows: total, Offset: start,
 	}
 	if n == 0 {
+		res.Rows = make([]Row, 0)
 		return res, ctxErr(opt.Ctx)
+	}
+	ws := windowStorePool.Get().(*windowStore)
+	ws.recycled.Store(false)
+	if cap(ws.rows) < n {
+		ws.rows = make([]Row, n)
+	} else {
+		ws.rows = ws.rows[:n]
 	}
 	// All cells of the window share one backing array; each range slices
 	// its own disjoint piece (full-capacity sub-slices, so no append can
 	// cross range boundaries).
-	cells := make([]Cell, n*len(pr.columns))
+	if need := n * len(pr.columns); cap(ws.cells) < need {
+		ws.cells = make([]Cell, need)
+	} else {
+		ws.cells = ws.cells[:need]
+	}
+	res.Rows, res.store = ws.rows, ws
+	cells := ws.cells
 	if opt.Pool == nil || opt.Parallelism <= 1 || n <= chunk {
 		if err := ctxErr(opt.Ctx); err != nil {
 			return nil, err
 		}
-		pr.transformRange(start, end, start, res.Rows, cells)
+		ws.ensureRanges(1)
+		ws.refs[0] = pr.transformRange(start, end, start, res.Rows, cells, ws.refs[0])
 		return res, nil
 	}
+	// Each range owns one recycled ref arena, indexed by range ordinal —
+	// disjoint slots, so the parallel ranges write without locks.
+	ws.ensureRanges((n + chunk - 1) / chunk)
 	if err := opt.Pool.MapRanges(opt.Ctx, n, chunk, opt.Parallelism, func(lo, hi int) error {
-		pr.transformRange(start+lo, start+hi, start, res.Rows, cells)
+		ri := lo / chunk
+		ws.refs[ri] = pr.transformRange(start+lo, start+hi, start, res.Rows, cells, ws.refs[ri])
 		return nil
 	}); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// ensureRanges sizes the per-range arena table, keeping already-grown
+// arenas in their slots.
+func (ws *windowStore) ensureRanges(n int) {
+	if cap(ws.refs) < n {
+		refs := make([][]EntityRef, n)
+		copy(refs, ws.refs)
+		ws.refs = refs
+		return
+	}
+	ws.refs = ws.refs[:n]
 }
 
 // transformRange is the row-range transform kernel (§5.4.2 restricted
@@ -291,13 +347,22 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 // Ranges touch disjoint row and cell windows, so concurrent calls on
 // distinct ranges need no synchronization — the same splice discipline
 // as graphrel's morsel kernels.
-func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cell) {
+//
+// arena is the range's entity-reference backing, recycled across
+// windows (windowStore): it is re-sliced to zero and grown only when
+// the range needs more capacity than any previous occupant. The
+// (possibly re-allocated) arena is returned for the caller to store.
+// Every cell of the range is assigned whole — recycled arenas carry
+// stale cells from earlier windows, and a partial field write would
+// leak them.
+func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cell, arena []EntityRef) []EntityRef {
 	ncols := len(pr.columns)
 	nattrs := len(pr.primType.Attrs)
 	g := pr.g
 
 	// Count the range's entity references first, then carve every cell's
-	// Refs from one arena: one allocation per range, not one per cell.
+	// Refs from one arena: at most one allocation per range, none once
+	// the recycled arena has grown to the window working set.
 	refTotal := 0
 	for i := lo; i < hi; i++ {
 		id := pr.rowIDs[i]
@@ -308,7 +373,11 @@ func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cel
 			refTotal += len(g.Neighbors(id, nc.et.Name))
 		}
 	}
-	arena := make([]EntityRef, 0, refTotal)
+	if cap(arena) < refTotal {
+		arena = make([]EntityRef, 0, refTotal)
+	} else {
+		arena = arena[:0]
+	}
 	intern := labelInterner{}
 	for i := lo; i < hi; i++ {
 		id := pr.rowIDs[i]
@@ -318,13 +387,18 @@ func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cel
 			cs[ai] = Cell{Value: n.Attrs[ai]}
 		}
 		for _, pc := range pr.parts {
-			arena, cs[pc.col].Refs = appendRefs(arena, g, intern, pc.groups[id])
+			var refs []EntityRef
+			arena, refs = appendRefs(arena, g, intern, pc.groups[id])
+			cs[pc.col] = Cell{Refs: refs}
 		}
 		for _, nc := range pr.neighbors {
-			arena, cs[nc.col].Refs = appendRefs(arena, g, intern, g.Neighbors(id, nc.et.Name))
+			var refs []EntityRef
+			arena, refs = appendRefs(arena, g, intern, g.Neighbors(id, nc.et.Name))
+			cs[nc.col] = Cell{Refs: refs}
 		}
 		rows[i-base] = Row{Node: id, Label: intern.label(n), Cells: cs}
 	}
+	return arena
 }
 
 // emptyRefs is the shared zero-length reference list: cells with no

@@ -2,6 +2,7 @@ package etable
 
 import (
 	"context"
+	"runtime/debug"
 	"testing"
 
 	"repro/internal/exec"
@@ -299,6 +300,97 @@ func TestLabelInterner(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("interned label allocated %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestWindowRecycleReuseAndEquivalence pins the window-arena recycling
+// satellite: Recycle returns a window's backing arrays to the pool, the
+// next materialization reuses them (asserted by backing-array identity,
+// with GC disabled so the pool cannot be cleared mid-test), and windows
+// built on recycled arenas — smaller than the previous occupant, and
+// through the parallel multi-range path — are cell-identical to fresh
+// ones (recycled arenas carry stale cells; transformRange must fully
+// assign every cell).
+func TestWindowRecycleReuseAndEquivalence(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	pr, full := windowFixture(t)
+	total := len(full.Rows)
+	if total < 4 {
+		t.Fatalf("fixture too small: %d rows", total)
+	}
+
+	// Largest window first, so every later window fits its capacity.
+	res, err := pr.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameWindow(t, "fresh full", res, sliceOf(full, 0, total))
+	firstRow := &res.Rows[0]
+	res.Recycle()
+	if res.Rows != nil || res.store != nil {
+		t.Fatal("Recycle must sever the result from its arenas")
+	}
+	res.Recycle() // idempotent: a second call must not double-Put
+
+	// A smaller window on the recycled store: identical cells, same
+	// backing array.
+	res2, err := pr.Window(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameWindow(t, "recycled smaller", res2, sliceOf(full, 1, 4))
+	if &res2.Rows[0] != firstRow {
+		t.Error("window did not reuse the recycled row arena")
+	}
+	res2.Recycle()
+
+	// The parallel multi-range path over a recycled store (chunk=3
+	// forces several ranges, growing the per-range arena table).
+	pool := exec.NewPool(4)
+	opt := ExecOptions{Ctx: context.Background(), Pool: pool, Parallelism: 4}
+	res3, err := pr.window(0, -1, opt, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameWindow(t, "recycled parallel", res3, sliceOf(full, 0, total))
+	res3.Recycle()
+
+	// Results without a store (hand-built, zero-row windows) no-op.
+	(&Result{}).Recycle()
+	empty, err := pr.Window(total+5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty.Recycle()
+}
+
+// TestWindowRecycleSteadyStateAllocs is the satellite's allocation
+// claim: a paging loop that recycles each window before fetching the
+// next allocates only O(1) bookkeeping per page (Result header, label
+// interner), never the O(window) cell/row/ref arenas — those come from
+// the pool.
+func TestWindowRecycleSteadyStateAllocs(t *testing.T) {
+	pr, full := windowFixture(t)
+	total := len(full.Rows)
+	// Warm the pool with a full-size window so the loop never grows.
+	warm, err := pr.Window(0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.Recycle()
+	off := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		res, err := pr.Window(off%total, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off++
+		res.Recycle()
+	})
+	// Fixed per-page bookkeeping, independent of the window size:
+	// the Result, the interner map, and pool internals.
+	if allocs > 6 {
+		t.Errorf("steady-state paging allocated %.1f objects/page, want <= 6", allocs)
 	}
 }
 

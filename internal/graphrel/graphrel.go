@@ -98,6 +98,18 @@ func (r *Relation) AttrIndex(name string) int {
 // Len returns the number of tuples.
 func (r *Relation) Len() int { return r.n }
 
+// SizeBytes estimates the relation's resident memory: 4 bytes per
+// stored ID (tgm.NodeID is an int32-backed dense ordinal) plus the
+// header. Columns shared with other relations or aliasing the instance
+// graph's node lists (Base, Retain, zero-copy windows) are counted as
+// if owned — the estimate answers "how much memory does this relation
+// address", which is the conservative number the server's memory
+// telemetry wants, not "how much would freeing it reclaim".
+func (r *Relation) SizeBytes() int64 {
+	const idBytes = 4
+	return int64(r.n)*int64(len(r.cols))*idBytes + int64(len(r.Attrs))*48
+}
+
 // Column returns the column of the attribute at ordinal ai. The returned
 // slice must not be modified.
 func (r *Relation) Column(ai int) []tgm.NodeID { return r.cols[ai] }

@@ -270,28 +270,10 @@ func GroupNeighborsPar(ctx context.Context, pool *exec.Pool, budget int, r *Rela
 		}
 	}
 
-	// Phase 3: sort+dedup every group, fanned out over the group list.
-	// Workers write into a slice aligned with keys — never into the map,
-	// whose internals are not safe for concurrent writes — and a serial
-	// pass stores the compacted groups back.
-	keys := make([]tgm.NodeID, 0, len(out))
-	for g := range out {
-		keys = append(keys, g)
-	}
-	vals := make([][]tgm.NodeID, len(keys))
-	for i, g := range keys {
-		vals[i] = out[g]
-	}
-	if err := pool.MapRanges(ctx, len(keys), 64, budget, func(lo, hi int) error {
-		for i := lo; i < hi; i++ {
-			vals[i] = sortDedup(vals[i])
-		}
-		return nil
-	}); err != nil {
+	// Phase 3: sort+dedup every group, fanned out over the group list
+	// (shared with the streaming fold's finishing pass).
+	if err := SortDedupGroups(ctx, pool, budget, out); err != nil {
 		return nil, err
-	}
-	for i, g := range keys {
-		out[g] = vals[i]
 	}
 	return out, nil
 }

@@ -1,0 +1,400 @@
+package graphrel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/tgm"
+)
+
+// countingSource wraps a RowSource and records how many batches were
+// pulled and whether Close propagated — the observability the
+// early-termination tests need.
+type countingSource struct {
+	src    RowSource
+	pulls  int
+	closed bool
+}
+
+func (c *countingSource) Graph() *tgm.InstanceGraph { return c.src.Graph() }
+func (c *countingSource) Attrs() []Attr             { return c.src.Attrs() }
+func (c *countingSource) Close()                    { c.closed = true; c.src.Close() }
+func (c *countingSource) Next() (*Relation, error) {
+	c.pulls++
+	return c.src.Next()
+}
+
+// streamPipeline composes select → join → retain over the A–B chain
+// graph as streams, mirroring eagerPipeline batch for batch.
+func streamPipeline(t *testing.T, ctx context.Context, pool *exec.Pool, budget int, as, bs *Relation, cond expr.Expr, batch int) RowSource {
+	t.Helper()
+	src := StreamRelationBatch(as, batch)
+	src, err := StreamSelect(ctx, pool, budget, src, "A", cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err = StreamJoin(ctx, pool, budget, src, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err = StreamRetain(src, "B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func eagerPipeline(t *testing.T, as, bs *Relation, cond expr.Expr) *Relation {
+	t.Helper()
+	sel, err := Select(as, "A", cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Join(sel, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := j.Retain("B", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestStreamEquivalenceRandomized is the streaming ≡ materializing
+// fuzz: random conditions, batch sizes, and budgets, with Materialize
+// of the streamed pipeline asserted row- and column-identical to the
+// eager kernels (not merely set-equal).
+func TestStreamEquivalenceRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(4)
+	ctx := context.Background()
+	as, err := Base(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Base(g, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 12; trial++ {
+		mod := 2 + rng.Intn(5)
+		cond := expr.MustParse(fmt.Sprintf("id %% %d = %d", mod, rng.Intn(mod)))
+		batch := 1 + rng.Intn(2*MorselRows)
+		budget := 1 + rng.Intn(6)
+		var p *exec.Pool
+		if rng.Intn(4) > 0 {
+			p = pool
+		}
+		want := eagerPipeline(t, as, bs, cond)
+		got, err := Materialize(streamPipeline(t, ctx, p, budget, as, bs, cond, batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalRelations(t,
+			fmt.Sprintf("trial=%d batch=%d budget=%d pooled=%v", trial, batch, budget, p != nil),
+			got, want)
+	}
+}
+
+// TestStreamBatchBounds asserts the streamed pipeline's memory
+// discipline: every batch a stage emits is bounded by what its inputs
+// can produce, and batches carry the advertised attribute list.
+func TestStreamBatchBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	src, err := StreamJoin(nil, nil, 1, StreamRelationBatch(as, 256), bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if len(src.Attrs()) != 2 || src.Attrs()[0].Name != "A" || src.Attrs()[1].Name != "B" {
+		t.Fatalf("join attrs = %v", src.Attrs())
+	}
+	for {
+		b, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() == 0 {
+			t.Fatal("stream emitted an empty batch")
+		}
+		if len(b.Attrs) != 2 {
+			t.Fatalf("batch attrs = %v", b.Attrs)
+		}
+	}
+}
+
+// TestStreamLimitEquivalence asserts StreamLimit(src, k) produces
+// exactly the first k rows of the unlimited stream, for limits below,
+// at, and beyond the full row count.
+func TestStreamLimitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	cond := expr.MustParse("id % 2 = 0")
+	full := eagerPipeline(t, as, bs, cond)
+	for _, k := range []int{0, 1, 7, 100, full.Len(), full.Len() + 99} {
+		src := streamPipeline(t, context.Background(), nil, 1, as, bs, cond, 512)
+		got, err := Materialize(StreamLimit(src, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantN := k
+		if wantN > full.Len() {
+			wantN = full.Len()
+		}
+		want := full.slice(0, wantN)
+		assertIdenticalRelations(t, fmt.Sprintf("limit=%d", k), got, want)
+	}
+}
+
+// TestStreamLimitStopsUpstream asserts the early-termination path: a
+// satisfied limit pulls no further upstream batches and propagates
+// Close, so LIMIT/window consumption does O(window) upstream work.
+func TestStreamLimitStopsUpstream(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	counter := &countingSource{src: StreamRelationBatch(as, 64)}
+	src, err := StreamJoin(nil, nil, 1, counter, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := StreamLimit(src, 10)
+	got, err := Materialize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 10 {
+		t.Fatalf("limited rows = %d, want 10", got.Len())
+	}
+	if !counter.closed {
+		t.Error("limit did not propagate Close upstream")
+	}
+	// The early A nodes have heavy fan-out (bigChainGraph skew), so 10
+	// join rows come out of the first few 64-row batches; pulling
+	// anywhere near all ~80 batches means production did not stop.
+	if maxPulls := 8; counter.pulls > maxPulls {
+		t.Errorf("upstream pulled %d batches for a 10-row window (want <= %d)", counter.pulls, maxPulls)
+	}
+}
+
+// TestStreamCancellation covers the mid-stream cancellation path: a
+// context canceled between pulls fails the next Next with ctx.Err(),
+// the error is sticky, and Close propagates upstream.
+func TestStreamCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(2)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	ctx, cancel := context.WithCancel(context.Background())
+	counter := &countingSource{src: StreamRelationBatch(as, 64)}
+	src, err := StreamJoin(ctx, pool, 4, counter, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The stage may hold already-computed batches from the first refill;
+	// drain them — cancellation is checked before the next upstream pull.
+	for {
+		b, err := src.Next()
+		if errors.Is(err, context.Canceled) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if b == nil {
+			t.Fatal("stream ended without surfacing cancellation")
+		}
+	}
+	if _, err := src.Next(); !errors.Is(err, context.Canceled) {
+		t.Errorf("error not sticky: %v", err)
+	}
+	if !counter.closed {
+		t.Error("cancellation did not propagate Close upstream")
+	}
+	// Materialize surfaces cancellation from a canceled-at-start stream.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	src2, err := StreamSelect(ctx2, pool, 4, StreamRelationBatch(as, 64), "A", expr.MustParse("id > 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Materialize(src2); !errors.Is(err, context.Canceled) {
+		t.Errorf("Materialize err = %v, want Canceled", err)
+	}
+}
+
+// TestStreamConstructionErrors mirrors the eager kernels' validation:
+// unknown attributes and edge types fail at construction, before any
+// batch is pulled.
+func TestStreamConstructionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	src := StreamRelation(as)
+	if _, err := StreamSelect(nil, nil, 1, src, "Nope", expr.MustParse("id = 1")); err == nil {
+		t.Error("StreamSelect accepted unknown attribute")
+	}
+	if _, err := StreamJoin(nil, nil, 1, src, bs, "Nope", "A", "B"); err == nil {
+		t.Error("StreamJoin accepted unknown edge type")
+	}
+	if _, err := StreamRetain(src, "Nope"); err == nil {
+		t.Error("StreamRetain accepted unknown attribute")
+	}
+	// Nil condition passes the source through unchanged.
+	same, err := StreamSelect(nil, nil, 1, src, "A", nil)
+	if err != nil || same != src {
+		t.Fatalf("nil cond: got %p (err %v), want %p", same, err, src)
+	}
+}
+
+// TestMaterializeEmptyAndMax covers Materialize of a stream that
+// produces nothing (well-formed empty relation, attrs preserved) and
+// the MaterializeMax row cap.
+func TestMaterializeEmptyAndMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+
+	empty, err := StreamSelect(nil, nil, 1, StreamRelation(as), "A", expr.MustParse("id < 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := Materialize(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Len() != 0 || len(er.Attrs) != 1 || er.Attrs[0].Name != "A" {
+		t.Fatalf("empty materialization: len=%d attrs=%v", er.Len(), er.Attrs)
+	}
+
+	join := func() RowSource {
+		src, err := StreamJoin(nil, nil, 1, StreamRelationBatch(as, 128), bs, "A-B", "A", "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return src
+	}
+	full, err := Materialize(join())
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter := &countingSource{src: StreamRelationBatch(as, 128)}
+	capped, err := StreamJoin(nil, nil, 1, counter, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = MaterializeMax(capped, 10)
+	var rle *RowLimitError
+	if !errors.As(err, &rle) || rle.Limit != 10 {
+		t.Fatalf("MaterializeMax err = %v, want RowLimitError{10}", err)
+	}
+	if !counter.closed {
+		t.Error("row cap did not terminate upstream")
+	}
+	ok, err := MaterializeMax(join(), full.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRelations(t, "at-cap", ok, full)
+}
+
+// TestGroupFoldEquivalence asserts the incremental grouping fold
+// (AppendGroupPairs batch by batch + SortDedupGroups) equals the eager
+// GroupNeighbors over the materialized relation — the pipeline-breaker
+// fold the streamed Prepare path relies on.
+func TestGroupFoldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	g := bigChainGraph(t, rng)
+	pool := exec.NewPool(4)
+	as, _ := Base(g, "A")
+	bs, _ := Base(g, "B")
+	joined, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GroupNeighbors(joined, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{1, 4} {
+		got := make(map[tgm.NodeID][]tgm.NodeID)
+		src := StreamRelationBatch(joined, 777)
+		for {
+			b, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if err := AppendGroupPairs(got, b, "A", "B"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := SortDedupGroups(context.Background(), pool, budget, got); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("budget=%d: %d groups, want %d", budget, len(got), len(want))
+		}
+		for id, w := range want {
+			gv := got[id]
+			if len(gv) != len(w) {
+				t.Fatalf("budget=%d group %d: %d values, want %d", budget, id, len(gv), len(w))
+			}
+			for i := range w {
+				if gv[i] != w[i] {
+					t.Fatalf("budget=%d group %d[%d] = %d, want %d", budget, id, i, gv[i], w[i])
+				}
+			}
+		}
+	}
+	if err := AppendGroupPairs(map[tgm.NodeID][]tgm.NodeID{}, joined, "Nope", "B"); err == nil {
+		t.Error("AppendGroupPairs accepted unknown attribute")
+	}
+}
+
+// TestConcatAllEdgeCases pins ConcatAll's contract: zero parts yield an
+// empty relation with the given attrs, one part is returned unchanged.
+func TestConcatAllEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := bigChainGraph(t, rng)
+	as, _ := Base(g, "A")
+	e, err := ConcatAll(g, as.Attrs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 || len(e.Attrs) != 1 {
+		t.Fatalf("empty ConcatAll: len=%d attrs=%v", e.Len(), e.Attrs)
+	}
+	one, err := ConcatAll(g, as.Attrs, []*Relation{as})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != as {
+		t.Fatalf("single-part ConcatAll copied: %p want %p", one, as)
+	}
+}

@@ -58,6 +58,7 @@ import (
 
 	"repro/internal/etable"
 	"repro/internal/exec"
+	"repro/internal/graphrel"
 	"repro/internal/ops"
 	"repro/internal/session"
 	"repro/internal/stats"
@@ -87,6 +88,12 @@ type Options struct {
 	// it per call with the ?parallelism= query parameter, still bounded
 	// by the pool.
 	Parallelism int
+	// MaxRows caps the rows any single request may materialize (0 =
+	// unbounded): a match growing past the cap aborts mid-execution and
+	// an unbounded read of a larger table is rejected up front, both as
+	// 413 result_too_large. Paging within the cap is unaffected — set it
+	// above PageSize.
+	MaxRows int
 	// PrivateCaches gives each session its own execution cache instead
 	// of the shared one. It exists as the ablation baseline for
 	// BenchmarkServerConcurrentSessions (the pre-refactor serving core
@@ -246,6 +253,7 @@ const (
 	codeStaleCursor     = "stale_cursor"      // 409: cursor from a different table state
 	codeBadBody         = "bad_body"          // 400: malformed request body
 	codeCanceled        = "request_canceled"  // 499: client went away mid-query
+	codeResultTooLarge  = "result_too_large"  // 413: result exceeds Options.MaxRows
 	codeInternal        = "internal"          // 500
 )
 
@@ -314,9 +322,16 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if !errors.As(err, &ae) {
 		var oe *ops.Error
+		var rl *graphrel.RowLimitError
 		switch {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			ae = apiErr(statusClientClosedRequest, codeCanceled, "request canceled: %v", err)
+		case errors.As(err, &rl):
+			// Checked before the ops mapping: a row-limit abort inside an
+			// op pipeline arrives wrapped in an *ops.Error, but the
+			// client-actionable signal is the cap, not the op index.
+			ae = apiErr(http.StatusRequestEntityTooLarge, codeResultTooLarge,
+				"result exceeds the server's %d-row limit; narrow the query or page with limit=", rl.Limit)
 		case errors.As(err, &oe):
 			status := http.StatusUnprocessableEntity
 			if oe.Code == ops.CodeInvalidOp {
@@ -389,8 +404,31 @@ type statsJSON struct {
 	// presentation memos (exempt from eviction while paged against);
 	// bounded by sessions × per-session memo size.
 	PinnedRelations int            `json:"pinnedRelations"`
+	Memory          memoryJSON     `json:"memory"`
 	Workers         workerJSON     `json:"workers"`
 	EdgeStats       []edgeStatJSON `json:"edgeStats"`
+}
+
+// memoryJSON is the memory telemetry block of /api/v1/stats: process
+// heap gauges (runtime.ReadMemStats) next to the execution cache's
+// estimated footprint, so operators can see how much of the heap is
+// result cache versus everything else, and how much of the cache is
+// pinned by live paging sessions (unevictable until those sessions
+// move on or expire).
+type memoryJSON struct {
+	// HeapAllocBytes is the process's live heap (runtime MemStats
+	// HeapAlloc).
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	// HeapInuseBytes is the heap memory held from the OS for live spans
+	// (runtime MemStats HeapInuse); the gap to HeapAllocBytes is
+	// fragmentation.
+	HeapInuseBytes uint64 `json:"heapInuseBytes"`
+	// CacheResidentBytes estimates the column bytes of every relation in
+	// the shared execution cache.
+	CacheResidentBytes int64 `json:"cacheResidentBytes"`
+	// PinnedRelationBytes estimates the subset of CacheResidentBytes
+	// held by pinned (session-addressed, unevictable) relations.
+	PinnedRelationBytes int64 `json:"pinnedRelationBytes"`
 }
 
 type workerJSON struct {
@@ -418,12 +456,21 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.sessions)
 	s.mu.RUnlock()
+	var rms runtime.MemStats
+	runtime.ReadMemStats(&rms)
+	cms := s.cache.MemStatsNow()
 	out := statsJSON{
 		Sessions:        n,
 		CacheEntries:    s.cache.Len(),
 		CacheHits:       s.cache.Hits(),
 		CacheMisses:     s.cache.Misses(),
 		PinnedRelations: s.cache.PinnedCount(),
+		Memory: memoryJSON{
+			HeapAllocBytes:      rms.HeapAlloc,
+			HeapInuseBytes:      rms.HeapInuse,
+			CacheResidentBytes:  cms.ResidentBytes,
+			PinnedRelationBytes: cms.PinnedBytes,
+		},
 		Workers: workerJSON{
 			Cap:                s.pool.Cap(),
 			InFlight:           s.pool.InFlight(),
@@ -560,6 +607,12 @@ func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *se
 	} else {
 		sess = session.NewWithExec(s.schema, s.graph, s.cache, s.pool, s.defaultBudget())
 	}
+	sess.SetMaxRows(s.opts.MaxRows)
+	// The server satisfies the recycling contract: every request on a
+	// session runs under its entry lock and stateOf copies the window
+	// into JSON structs before the lock is released, so no *etable.Result
+	// outlives the call that produced it.
+	sess.SetWindowRecycling(true)
 	if len(initial) > 0 {
 		if err := sess.ApplyPipelineCtx(ctx, initial); err != nil {
 			return 0, nil, err

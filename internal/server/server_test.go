@@ -640,3 +640,75 @@ func TestNegativeMaxSessions(t *testing.T) {
 		t.Fatal("session creation hung with MaxSessions < 0")
 	}
 }
+
+// TestMaxRowsResultTooLarge: with Options.MaxRows set, an unbounded
+// read of a table larger than the cap fails as 413 result_too_large
+// (a structured, client-actionable envelope), while paging within the
+// cap — the intended access pattern — keeps working.
+func TestMaxRowsResultTooLarge(t *testing.T) {
+	_, ts := newTestServerOpts(t, Options{MaxRows: 4})
+	id := createSession(t, ts)
+	if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Papers", "limit": 2}); code != http.StatusOK {
+		t.Fatalf("open: code=%d", code)
+	}
+
+	// The Figure 3 corpus has 6 papers; an unpaged read wants all 6 > 4.
+	var env struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	}
+	if code := getJSON(t, fmt.Sprintf("%s/api/v1/sessions/%d", ts.URL, id), &env); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("unpaged read: code=%d, want 413", code)
+	}
+	if env.Code != codeResultTooLarge || !strings.Contains(env.Message, "4") {
+		t.Fatalf("envelope = %+v", env)
+	}
+
+	// Paging within the cap succeeds, and so does an in-cap limit.
+	var st state
+	if code := getJSON(t, fmt.Sprintf("%s/api/v1/sessions/%d?offset=0&limit=3", ts.URL, id), &st); code != http.StatusOK {
+		t.Fatalf("paged read: code=%d", code)
+	}
+	if len(st.Rows) != 3 || st.TotalRows != 6 {
+		t.Fatalf("paged window: %d rows of %d", len(st.Rows), st.TotalRows)
+	}
+}
+
+// TestStatsMemoryTelemetry: /api/v1/stats carries the memory block —
+// live heap gauges plus the execution cache's estimated resident and
+// pinned bytes, the latter nonzero while a session pages against a
+// pinned relation.
+func TestStatsMemoryTelemetry(t *testing.T) {
+	ts := newTestServer(t)
+	id := createSession(t, ts)
+	// Opening and windowing pins the matched relation for the session.
+	if _, code := act(t, ts, id, map[string]any{"action": "open", "table": "Papers", "limit": 2}); code != http.StatusOK {
+		t.Fatalf("open: code=%d", code)
+	}
+	var st struct {
+		PinnedRelations int `json:"pinnedRelations"`
+		Memory          struct {
+			HeapAllocBytes      uint64 `json:"heapAllocBytes"`
+			HeapInuseBytes      uint64 `json:"heapInuseBytes"`
+			CacheResidentBytes  int64  `json:"cacheResidentBytes"`
+			PinnedRelationBytes int64  `json:"pinnedRelationBytes"`
+		} `json:"memory"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats: code=%d", code)
+	}
+	if st.Memory.HeapAllocBytes == 0 || st.Memory.HeapInuseBytes == 0 {
+		t.Errorf("heap gauges zero: %+v", st.Memory)
+	}
+	if st.Memory.CacheResidentBytes <= 0 {
+		t.Errorf("cacheResidentBytes = %d, want > 0 after a query", st.Memory.CacheResidentBytes)
+	}
+	if st.PinnedRelations < 1 || st.Memory.PinnedRelationBytes <= 0 {
+		t.Errorf("pinned: %d relations, %d bytes — want both positive while a session pages",
+			st.PinnedRelations, st.Memory.PinnedRelationBytes)
+	}
+	if st.Memory.PinnedRelationBytes > st.Memory.CacheResidentBytes {
+		t.Errorf("pinned bytes %d exceed resident bytes %d",
+			st.Memory.PinnedRelationBytes, st.Memory.CacheResidentBytes)
+	}
+}

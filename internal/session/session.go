@@ -52,6 +52,7 @@ import (
 	"repro/internal/etable"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/graphrel"
 	"repro/internal/ops"
 	"repro/internal/tgm"
 	"repro/internal/value"
@@ -115,6 +116,17 @@ type winKey struct {
 // release drops the entry's pin (idempotent).
 func (pe *presEntry) release() { pe.pin.Release() }
 
+// recycleAll returns every memoized window's arenas to the pool (see
+// Session.SetWindowRecycling) and empties the memo. Caller must hold
+// the session lock and must be discarding the entry or its windows.
+func (pe *presEntry) recycleAll() {
+	for _, res := range pe.windows {
+		res.Recycle()
+	}
+	clear(pe.windows)
+	pe.winOrder = pe.winOrder[:0]
+}
+
 // Session is one user's interactive exploration state.
 type Session struct {
 	schema *tgm.SchemaGraph
@@ -132,6 +144,17 @@ type Session struct {
 	// mu while executing never blocks on another session's work.
 	pool        *exec.Pool
 	parallelism int
+	// maxRows caps the rows any single request may materialize (0 =
+	// unbounded): the execution core aborts oversized matches mid-join
+	// (or mid-stream) with *graphrel.RowLimitError, and windowLocked
+	// rejects oversized window requests before transforming a cell.
+	maxRows int
+	// recycleWindows opts materialized windows into arena recycling
+	// (see SetWindowRecycling): evicted window-memo entries return
+	// their cell/row/ref arenas to the package pool instead of
+	// garbage-collecting them, so steady-state paging allocates
+	// (almost) nothing.
+	recycleWindows bool
 
 	// mu serializes all state-changing actions and snapshot reads on
 	// this session. Lock ordering: session.mu may be held while the
@@ -181,6 +204,41 @@ func NewWithExec(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, cache *etabl
 	}
 }
 
+// SetMaxRows caps the rows any single request on this session may
+// materialize (0 = unbounded, the default). Oversized matches fail
+// mid-execution with a *graphrel.RowLimitError — before the full
+// relation exists on the streaming path, after the offending join step
+// on the eager one — and oversized explicit window requests are
+// rejected before any cell is transformed. The cap guards the server
+// against a single pathological query (a high-fanout join chain, or an
+// unbounded read of a huge table) holding result-sized memory; paging
+// within the cap is unaffected. Call before serving requests.
+func (s *Session) SetMaxRows(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxRows = n
+}
+
+// SetWindowRecycling opts the session into window-arena recycling:
+// materialized row windows evicted from the session's window memo (and
+// windows dropped by Close or presentation-memo eviction) return their
+// backing arenas to a pool for the next window to reuse, so a client
+// paging steadily allocates near-zero bytes per page.
+//
+// The contract is strict: with recycling on, every *etable.Result the
+// session returns (WindowCtx, StateWindowCtx, ResultCtx, …) is valid
+// only until the caller's next call on this session — a later call may
+// recycle it and reuse its cells. Callers that serialize each result
+// before issuing the next call (the HTTP server renders each response
+// to JSON under its per-session request lock) satisfy this; callers
+// that retain Results across calls must leave recycling off (the
+// default, which preserves the prior fully-GC'd behavior).
+func (s *Session) SetWindowRecycling(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recycleWindows = on
+}
+
 // execOptions resolves the execution options for one request: the
 // request context (cancellation), the session's worker pool, and the
 // per-request budget (context override via exec.WithBudget, else the
@@ -190,6 +248,7 @@ func (s *Session) execOptions(ctx context.Context) etable.ExecOptions {
 		Ctx:         ctx,
 		Pool:        s.pool,
 		Parallelism: exec.BudgetFrom(ctx, s.parallelism),
+		MaxRows:     s.maxRows,
 	}
 }
 
@@ -802,6 +861,9 @@ func (s *Session) presentationLocked(ctx context.Context, cur Entry) (*presEntry
 	if len(s.memoOrder) >= memoEntries {
 		evict := s.memoOrder[0]
 		s.memo[evict].release()
+		if s.recycleWindows {
+			s.memo[evict].recycleAll()
+		}
 		delete(s.memo, evict)
 		s.memoOrder = s.memoOrder[1:]
 	}
@@ -821,6 +883,23 @@ func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.
 	if err != nil {
 		return nil, err
 	}
+	// The max-rows guard, window side: the match itself passed (or was
+	// computed under) the cap, but an unbounded read of a huge table
+	// would still materialize result-sized cells — reject it before
+	// transforming anything. Computed from the prepared presentation's
+	// row count, so the check is O(1).
+	if s.maxRows > 0 {
+		eff := pe.pres.NumRows() - offset
+		if eff < 0 {
+			eff = 0
+		}
+		if limit >= 0 && limit < eff {
+			eff = limit
+		}
+		if eff > s.maxRows {
+			return nil, &graphrel.RowLimitError{Limit: s.maxRows}
+		}
+	}
 	wkey := winKey{offset: offset, limit: limit, hidden: hiddenKey(cur.Hidden)}
 	if res, ok := pe.windows[wkey]; ok {
 		return res, nil
@@ -836,6 +915,12 @@ func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.
 		return res, nil // oversized partial window: serve, don't retain
 	}
 	if len(pe.winOrder) >= windowMemoEntries {
+		if s.recycleWindows {
+			// The evicted window's arenas feed the next materialization.
+			// Sole ownership holds under the recycling contract: any
+			// Result handed out by an earlier call is dead by now.
+			pe.windows[pe.winOrder[0]].Recycle()
+		}
 		delete(pe.windows, pe.winOrder[0])
 		pe.winOrder = pe.winOrder[1:]
 	}
@@ -916,6 +1001,9 @@ func (s *Session) Close() {
 	s.closed = true
 	for _, pe := range s.memo {
 		pe.release()
+		if s.recycleWindows {
+			pe.recycleAll()
+		}
 	}
 }
 

@@ -2,10 +2,12 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 
 	"repro/internal/etable"
+	"repro/internal/graphrel"
 	"repro/internal/testdb"
 )
 
@@ -190,6 +192,119 @@ func TestStateWindowCtx(t *testing.T) {
 	if len(st.History) != 2 || st.Cursor != 1 {
 		t.Fatalf("history %d entries, cursor %d", len(st.History), st.Cursor)
 	}
+}
+
+// TestSessionMaxRows pins the window side of the max-rows guard: an
+// unbounded read of a table larger than the cap fails up front with a
+// structured *graphrel.RowLimitError (before any cell is transformed),
+// while metadata reads and paging within the cap are unaffected.
+func TestSessionMaxRows(t *testing.T) {
+	s, _ := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	meta, err := s.WindowCtx(ctx, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := meta.Total()
+	if total < 2 {
+		t.Fatalf("fixture too small: %d rows", total)
+	}
+	s.SetMaxRows(total - 1)
+	var rl *graphrel.RowLimitError
+	if _, err := s.WindowCtx(ctx, 0, -1); !errors.As(err, &rl) || rl.Limit != total-1 {
+		t.Fatalf("unbounded read under cap %d: err = %v", total-1, err)
+	}
+	if _, err := s.WindowCtx(ctx, 0, total-1); err != nil {
+		t.Fatalf("read within cap: %v", err)
+	}
+	// An unbounded tail read is effectively small — allowed.
+	if res, err := s.WindowCtx(ctx, total-1, -1); err != nil || len(res.Rows) != 1 {
+		t.Fatalf("tail window: %v (%d rows)", err, len(res.Rows))
+	}
+	// Metadata-only reads never trip the cap, and the error surfaces
+	// through snapshots identically.
+	if _, err := s.WindowCtx(ctx, 0, 0); err != nil {
+		t.Fatalf("metadata read: %v", err)
+	}
+	if _, err := s.StateWindowCtx(ctx, 0, -1); !errors.As(err, &rl) {
+		t.Fatalf("snapshot: err = %v", err)
+	}
+	// Lifting the cap restores unbounded reads.
+	s.SetMaxRows(0)
+	if _, err := s.WindowCtx(ctx, 0, -1); err != nil {
+		t.Fatalf("uncapped read: %v", err)
+	}
+}
+
+// TestSessionWindowRecycling: with recycling on, paging through more
+// distinct windows than the memo holds (forcing evictions that feed
+// earlier windows' arenas into later materializations) still yields
+// windows identical to an untouched session's full render. Each result
+// is verified before the next session call, per the recycling contract.
+func TestSessionWindowRecycling(t *testing.T) {
+	base, _ := newSharedSession(t)
+	if err := base.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := base.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := full.NumRows()
+	if total < 2 {
+		t.Fatalf("fixture too small: %d rows", total)
+	}
+
+	s, _ := newSharedSession(t)
+	s.SetWindowRecycling(true)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	check := func(label string, res *etable.Result, start, end int) {
+		t.Helper()
+		if len(res.Rows) != end-start {
+			t.Fatalf("%s: %d rows, want %d", label, len(res.Rows), end-start)
+		}
+		for i, row := range res.Rows {
+			want := full.Rows[start+i]
+			if row.Node != want.Node || row.Label != want.Label {
+				t.Fatalf("%s row %d: %d/%q, want %d/%q", label, i, row.Node, row.Label, want.Node, want.Label)
+			}
+			for ci := range want.Cells {
+				if row.Cells[ci].Count() != want.Cells[ci].Count() {
+					t.Fatalf("%s row %d cell %d: ref count differs", label, i, ci)
+				}
+				if res.Columns[ci].Kind == etable.ColBase &&
+					row.Cells[ci].Value.Format() != want.Cells[ci].Value.Format() {
+					t.Fatalf("%s row %d cell %d: %q, want %q", label, i, ci,
+						row.Cells[ci].Value.Format(), want.Cells[ci].Value.Format())
+				}
+			}
+		}
+	}
+	// Varying limits make each window a distinct memo key, so rounds
+	// past windowMemoEntries evict — and recycle — the oldest windows.
+	for round := 0; round < 3; round++ {
+		for l := 1; l <= windowMemoEntries+4; l++ {
+			res, err := s.WindowCtx(ctx, 0, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(fmt.Sprintf("round %d limit %d", round, l), res, 0, min(l, total))
+		}
+	}
+	// Close recycles the remaining memoized windows; the session still
+	// serves correct (freshly materialized) reads afterwards.
+	s.Close()
+	res, err := s.WindowCtx(ctx, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("after close", res, 0, min(2, total))
 }
 
 // TestSortValidationWithoutRender: sort ops validate against the

@@ -77,25 +77,38 @@ if [ -n "$prev" ]; then
 	if command -v benchstat >/dev/null 2>&1; then
 		benchstat "$prevtxt" "$txt" || true
 	else
-		# Fallback: join on benchmark name, compare ns/op. The .txt
-		# artifacts remain benchstat-ready: `benchstat old.txt new.txt`.
-		# Files are told apart by FILENAME, not the FNR==NR idiom — an
-		# empty or name-less previous artifact would otherwise
-		# misclassify every new line as "old" and silently print no
-		# comparison at all. Benchmarks absent from the previous
-		# artifact are marked "new benchmark" instead of skipped.
+		# Fallback: join on benchmark name, compare ns/op, B/op, and
+		# allocs/op deltas. The .txt artifacts remain benchstat-ready:
+		# `benchstat old.txt new.txt`. Files are told apart by FILENAME,
+		# not the FNR==NR idiom — an empty or name-less previous artifact
+		# would otherwise misclassify every new line as "old" and
+		# silently print no comparison at all. Benchmarks absent from the
+		# previous artifact are marked "new benchmark" instead of
+		# skipped.
 		awk -v OLD="$prevtxt" '
+			function val(unit,   i) {
+				for (i = 2; i <= NF; i++) if ($i == unit) return $(i - 1)
+				return ""
+			}
+			function delta(o, n) {
+				if (o == "" || n == "") return "        -"
+				if (o == 0) return "        -"
+				return sprintf("%+8.1f%%", (n - o) * 100.0 / o)
+			}
 			!/^Benchmark/ { next }
 			{
-				v = ""
-				for (i = 2; i <= NF; i++) if ($i == "ns/op") v = $(i - 1)
-				if (v == "") next
-				if (FILENAME == OLD) { old[$1] = v; next }
-				if ($1 in old) {
-					printf "%-60s %14.0f -> %14.0f ns/op  %+.1f%%\n",
-						$1, old[$1], v, (v - old[$1]) * 100.0 / old[$1]
+				ns = val("ns/op"); bb = val("B/op"); al = val("allocs/op")
+				if (ns == "") next
+				if (FILENAME == OLD) {
+					oldns[$1] = ns; oldb[$1] = bb; olda[$1] = al
+					next
+				}
+				if ($1 in oldns) {
+					printf "%-60s ns/op %s  B/op %s  allocs/op %s\n",
+						$1, delta(oldns[$1], ns), delta(oldb[$1], bb), delta(olda[$1], al)
 				} else {
-					printf "%-60s %14s -> %14.0f ns/op  (new benchmark)\n", $1, "-", v
+					printf "%-60s (new benchmark: %.0f ns/op, %s B/op, %s allocs/op)\n",
+						$1, ns, (bb == "" ? "-" : bb), (al == "" ? "-" : al)
 				}
 			}
 		' "$prevtxt" "$txt"
