@@ -864,3 +864,161 @@ func BenchmarkStreamingWindowRecycle(b *testing.B) {
 		}
 	})
 }
+
+// corpusAt memoizes translated corpora by paper count for the
+// planner-tier benchmarks, which sweep corpus sizes.
+var (
+	corpusMu sync.Mutex
+	corpusBy = map[int]*translate.Result{}
+)
+
+func corpusAt(b *testing.B, papers int) *translate.Result {
+	b.Helper()
+	corpusMu.Lock()
+	defer corpusMu.Unlock()
+	if tr, ok := corpusBy[papers]; ok {
+		return tr
+	}
+	db, err := dataset.Generate(dataset.Config{Papers: papers, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpusBy[papers] = tr
+	return tr
+}
+
+// BenchmarkPlanCache measures the plan cache at both granularities.
+//
+// The plan/* arms time plan resolution itself — what the cache
+// actually accelerates: a fresh build runs estimation, join ordering,
+// and predicate compilation; a warm hit is a signature lookup. The
+// acceptance bar (PERFORMANCE.md §8) is plan/warm ≥ 2× faster than
+// plan/every-time, with plan/cold (every lookup missing) ≈ every-time,
+// so the cache never taxes first-touch queries.
+//
+// The match/* arms time the same three regimes end-to-end through
+// MatchOpts on a small corpus — the interactive case where planning
+// overhead is proportionally largest — showing what the cache is worth
+// when execution cost is included.
+func BenchmarkPlanCache(b *testing.B) {
+	tr := corpusAt(b, 300)
+	p := figure7Pattern(b, tr)
+
+	// coldVariants: more distinct signatures than the 256-entry plan
+	// cache holds, so cycling them defeats the LRU and every resolution
+	// is a miss + build + insert + eviction.
+	coldVariants := func(b *testing.B) []*etable.Pattern {
+		b.Helper()
+		base, err := etable.Initiate(tr.Schema, "Papers")
+		if err != nil {
+			b.Fatal(err)
+		}
+		variants := make([]*etable.Pattern, 300)
+		for i := range variants {
+			v, err := etable.Select(base, fmt.Sprintf("year > %d", 1600+i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if v, err = etable.Add(tr.Schema, v, "Paper_Authors"); err != nil {
+				b.Fatal(err)
+			}
+			variants[i] = v
+		}
+		return variants
+	}
+
+	b.Run("plan/every-time", func(b *testing.B) {
+		opt := etable.ExecOptions{NoPlanCache: true, Planner: etable.PlannerCost}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.PlanForOpts(tr.Instance, p, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan/cold", func(b *testing.B) {
+		variants := coldVariants(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.PlanForOpts(tr.Instance, variants[i%len(variants)], etable.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan/warm", func(b *testing.B) {
+		if _, err := etable.PlanFor(tr.Instance, p); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.PlanFor(tr.Instance, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("match/plan-every-time", func(b *testing.B) {
+		opt := etable.ExecOptions{NoPlanCache: true}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.MatchOpts(tr.Instance, p, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("match/cold", func(b *testing.B) {
+		variants := coldVariants(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.MatchOpts(tr.Instance, variants[i%len(variants)], etable.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("match/warm", func(b *testing.B) {
+		if _, err := etable.MatchOpts(tr.Instance, p, etable.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := etable.MatchOpts(tr.Instance, p, etable.ExecOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_AdaptivePlanner runs the Figure 7 join chain under
+// both join-ordering policies across corpus sizes, with the plan cache
+// disabled so every iteration pays its policy's full planning cost —
+// the measurement behind the adaptive planner's corpus-size threshold
+// (PERFORMANCE.md §8). Greedy orders by raw instance counts alone;
+// cost runs the statistics-backed fanout × selectivity model.
+func BenchmarkAblation_AdaptivePlanner(b *testing.B) {
+	for _, papers := range []int{300, 1200, 4000} {
+		tr := corpusAt(b, papers)
+		p := figure7Pattern(b, tr)
+		nodes := tr.Instance.NumNodes()
+		for _, mode := range []etable.PlannerMode{etable.PlannerGreedy, etable.PlannerCost} {
+			b.Run(fmt.Sprintf("papers=%d/nodes=%d/%s", papers, nodes, mode), func(b *testing.B) {
+				opt := etable.ExecOptions{Planner: mode, NoPlanCache: true}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := etable.MatchOpts(tr.Instance, p, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

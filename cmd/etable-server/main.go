@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/etable"
 	"repro/internal/server"
 	"repro/internal/translate"
 )
@@ -28,7 +29,13 @@ func main() {
 	maxWorkers := flag.Int("max-workers", 0, "server-wide worker cap for intra-query parallelism (0 = GOMAXPROCS, negative = serial)")
 	parallelism := flag.Int("parallelism", 0, "default per-request parallelism budget (0 = min(4, GOMAXPROCS); requests may override with ?parallelism=)")
 	maxRows := flag.Int("max-rows", 0, "maximum rows one request may materialize (0 = unbounded; oversized results fail with 413 result_too_large)")
+	plannerFlag := flag.String("planner", "auto", "join-ordering policy: auto (adaptive by corpus size), greedy, or cost")
 	flag.Parse()
+
+	planner, err := etable.ParsePlannerMode(*plannerFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	log.Printf("generating %d-paper corpus…", *papers)
 	db, err := dataset.Generate(dataset.Config{Papers: *papers, Seed: *seed})
@@ -53,9 +60,10 @@ func main() {
 		MaxWorkers:   *maxWorkers,
 		Parallelism:  *parallelism,
 		MaxRows:      *maxRows,
+		Planner:      planner,
 	})
-	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d, max rows %d)\n",
-		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism, *maxRows)
+	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d, max rows %d, planner %s)\n",
+		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism, *maxRows, planner)
 	fmt.Printf("API: /api/v1 (declarative ops; see docs/API.md) — legacy /api/* routes are deprecated aliases\n")
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

@@ -104,6 +104,24 @@
 // PERFORMANCE.md §5 records the scaling measurements
 // (BenchmarkParallelScaling).
 //
+// # Adaptive planning
+//
+// Every execution entry point — eager, streaming, parallel, and the
+// estimator — resolves its strategy through one function,
+// etable.PlanFor: a per-frozen-graph, signature-keyed cache of fully
+// prepared plans (compiled predicates, start relation, ordered join
+// steps with cardinality estimates, parallel/streaming gate
+// decisions). Pattern signatures are memoized on the immutable
+// Pattern, so a warm lookup is a pointer load plus one map probe.
+// The planner is adaptive: below a corpus-size threshold it uses
+// greedy no-statistics ordering, above it the statistics-backed cost
+// model (ExecOptions.Planner forces either). Executions record actual
+// per-step cardinalities; when observed/estimated error exceeds a
+// bound, the cached plan is re-planned from the measured sizes.
+// /api/v1/stats exposes hits/misses/evictions, the greedy/cost split,
+// and feedback replans; PERFORMANCE.md §8 records the cache effect
+// and the greedy-vs-cost ablation that justifies the threshold.
+//
 // # Windowed presentation
 //
 // The format transformation (§5.4.2) is prepared and windowed rather
@@ -118,13 +136,16 @@
 // equivalence-tested under -race.
 //
 // Pinning semantics: the session layer prepares one Presentation per
-// presentation state (pattern, sort, hidden columns) and pins the
-// matched relation in the shared execution cache (etable.Cache.Pin via
-// Executor.PrepareWithOpts). A pinned relation is exempt from LRU
-// eviction, so every page of a result addresses the same relation — a
-// page fetch costs O(window), never a re-match or a full re-render.
-// Sorting happens on the presentation's row order (no cells), so
-// sort-then-page equals full-render-then-slice by construction.
+// pattern and pins the matched relation in the shared execution cache
+// (etable.Cache.Pin via Executor.PrepareWithOpts). A pinned relation
+// is exempt from LRU eviction, so every page of a result addresses the
+// same relation — a page fetch costs O(window), never a re-match or a
+// full re-render. Sort variants of one pattern share that single
+// prepared presentation: Presentation.SortedView reorders only the row
+// IDs (O(rows·log rows)) while sharing the column layout and neighbor
+// groupings, so toggling sort direction never re-prepares. Sorting
+// happens on the row order (no cells), so sort-then-page equals
+// full-render-then-slice by construction.
 //
 // Cursor invalidation: HTTP cursors fingerprint the presentation state
 // they were issued against; any op that changes the table invalidates

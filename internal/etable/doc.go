@@ -29,6 +29,37 @@
 // preserved by materializing lazily: the first full consumption splices
 // the retained batches into the one relation that gets cached.
 //
+// # Adaptive planning
+//
+// Both execution modes, the parallel kernels, and EstimatePattern
+// consume the same prepared plan, resolved through PlanFor: a
+// per-frozen-graph LRU cache keyed by the memoized pattern signature.
+// A cached Plan carries everything planning produces — compiled node
+// predicates, the start relation key, the ordered join steps with
+// cardinality estimates, and the streaming/parallel gate inputs — so a
+// repeat pattern (every page fetch, every history revert, every
+// session running the same query) skips planning entirely; a warm
+// lookup costs a pointer load and one map probe (BenchmarkPlanCache).
+//
+// The ordering policy is adaptive (resolvePlannerMode): below
+// adaptiveStatsMinNodes the greedy no-statistics ordering is used —
+// the measured ablation (PERFORMANCE.md §8) shows the cost model and
+// greedy ordering within noise of each other on small corpora, so the
+// cheaper policy wins — and above it the statistics-backed cost model,
+// where skewed fan-out can compound across multi-hop joins.
+// ExecOptions.Planner forces either policy; ExecOptions.NoPlanCache
+// bypasses the cache (with PlannerAuto it reproduces the legacy
+// plan-every-time path exactly, with a forced mode it builds a fresh
+// uncached plan under that policy — the ablation's measurement arm).
+//
+// Plans are corrected by runtime feedback: executions record actual
+// per-step output cardinalities, and when the worst observed/estimated
+// ratio exceeds feedbackReplanRatio the cached entry is re-planned
+// from the measured sizes (same join order → estimates are calibrated
+// in place). PlannerStatsFor exposes hits, misses, evictions, the
+// greedy/cost split, and feedback replans; the server surfaces them at
+// /api/v1/stats.
+//
 // # Windowing and recycling
 //
 // Presentation windows (Presentation.Window) draw their row/cell/ref

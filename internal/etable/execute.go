@@ -42,6 +42,19 @@ type ExecOptions struct {
 	// batch by batch (terminating upstream production early); the eager
 	// path checks after each join step. Errors are never cached.
 	MaxRows int
+	// Planner selects the join-ordering policy: PlannerAuto (the zero
+	// value) adapts to the corpus size, PlannerGreedy and PlannerCost
+	// force one arm. Forced modes cache under their own keys, so
+	// ablation runs never dislodge the adaptive plans.
+	Planner PlannerMode
+	// NoPlanCache bypasses the plan cache: every execution plans from
+	// scratch. Under PlannerAuto it runs the exact pre-plan-cache code
+	// path (each decision point re-deriving its own estimates — the
+	// plan-every-time baseline for BenchmarkPlanCache and the
+	// equivalence fuzz); under a forced Planner mode it builds a fresh
+	// uncached plan per call in that mode (the per-policy planning-cost
+	// arm of BenchmarkAblation_AdaptivePlanner).
+	NoPlanCache bool
 }
 
 // parallelMinEstRows is the serial-fallback gate: when the pattern's
@@ -51,13 +64,43 @@ type ExecOptions struct {
 const parallelMinEstRows = 2 * graphrel.MorselRows
 
 // effective resolves the options against the pattern's estimated size:
-// parallelism collapses to 1 for queries too small to profit.
+// parallelism collapses to 1 for queries too small to profit. The
+// estimate comes from the plan cache (EstimatePattern); the planned
+// execution paths use effectiveFor instead, which reads the already
+// resolved plan.
 func (o ExecOptions) effective(g *tgm.InstanceGraph, p *Pattern) ExecOptions {
 	if o.Pool == nil || o.Parallelism <= 1 {
 		o.Parallelism = 1
 		return o
 	}
 	if EstimatePattern(g, p) < parallelMinEstRows {
+		o.Parallelism = 1
+	}
+	return o
+}
+
+// effectiveFor is effective against an already resolved plan: no
+// estimation runs, the gate reads the plan's peak estimate.
+func (o ExecOptions) effectiveFor(pl *Plan) ExecOptions {
+	if o.Pool == nil || o.Parallelism <= 1 {
+		o.Parallelism = 1
+		return o
+	}
+	if pl.estPeak < parallelMinEstRows {
+		o.Parallelism = 1
+	}
+	return o
+}
+
+// effectiveFresh is effective with the estimate recomputed from
+// scratch — the NoPlanCache baseline's gate, paying exactly what every
+// execution paid before the plan cache existed.
+func (o ExecOptions) effectiveFresh(g *tgm.InstanceGraph, p *Pattern) ExecOptions {
+	if o.Pool == nil || o.Parallelism <= 1 {
+		o.Parallelism = 1
+		return o
+	}
+	if estimatePatternFresh(g, p) < parallelMinEstRows {
 		o.Parallelism = 1
 	}
 	return o
@@ -116,15 +159,30 @@ func Match(g *tgm.InstanceGraph, p *Pattern) (*graphrel.Relation, error) {
 // the options select it (see StreamMode) — same tuples either way, the
 // streamed pipeline is materialized on return.
 func MatchOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
-	opt = opt.effective(g, p)
-	if opt.wantStream(g, p) {
-		src, err := matchSource(g, p, opt, baseRelation(g, opt))
+	if opt.NoPlanCache && opt.Planner == PlannerAuto {
+		opt = opt.effectiveFresh(g, p)
+		if opt.wantStreamFresh(g, p) {
+			src, err := matchSource(g, p, opt, baseRelation(g, opt))
+			if err != nil {
+				return nil, err
+			}
+			return materializeMax(src, opt.MaxRows)
+		}
+		return matchColumnsOpts(g, p, opt)
+	}
+	pl, err := planFor(g, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.effectiveFor(pl)
+	if opt.wantStreamFor(pl, p) {
+		src, err := matchSourcePlanned(g, p, pl, opt, pl.baseRelation(g, opt))
 		if err != nil {
 			return nil, err
 		}
 		return materializeMax(src, opt.MaxRows)
 	}
-	return matchColumnsOpts(g, p, opt)
+	return matchColumnsPlanned(g, p, pl, opt)
 }
 
 // MatchColumns is Match with projection pushdown: when keep is
@@ -133,9 +191,54 @@ func MatchOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (*graphrel.Rel
 // returned. With no keep arguments every pattern node's column is
 // retained.
 func MatchColumns(g *tgm.InstanceGraph, p *Pattern, keep ...string) (*graphrel.Relation, error) {
-	return matchColumnsOpts(g, p, ExecOptions{}, keep...)
+	pl, err := planFor(g, p, ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return matchColumnsPlanned(g, p, pl, ExecOptions{}, keep...)
 }
 
+// matchColumnsPlanned is the planned eager match body: bases selected
+// through the plan's compiled predicates, joins in the plan's order,
+// actual step cardinalities fed back to the plan cache (planObserve).
+func matchColumnsPlanned(g *tgm.InstanceGraph, p *Pattern, pl *Plan, opt ExecOptions, keep ...string) (*graphrel.Relation, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if p.PrimaryNode() == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	bases, sizes, err := selectedBases(p, pl.baseRelation(g, opt))
+	if err != nil {
+		return nil, err
+	}
+	var needed map[string]bool
+	if len(keep) > 0 {
+		needed = make(map[string]bool, len(keep))
+		for _, k := range keep {
+			if p.Node(k) == nil {
+				return nil, fmt.Errorf("etable: projected key %q is not in the pattern", k)
+			}
+			needed[k] = true
+		}
+	}
+	matched, actuals, err := matchStepsObserved(bases, pl.startKey, pl.steps, needed, opt)
+	if err != nil {
+		return nil, err
+	}
+	planObserve(g, p, pl, sizes, actuals)
+	if needed != nil {
+		// Restore the caller's column order (pushdown keeps join order).
+		return matched.Retain(keep...)
+	}
+	return matched, nil
+}
+
+// matchColumnsOpts is the fresh-planning eager match body: bases, then
+// a cost plan over their exact sizes, then the joins. It remains the
+// NoPlanCache baseline (and MatchNaive's shape).
 func matchColumnsOpts(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions, keep ...string) (*graphrel.Relation, error) {
 	if opt.Ctx != nil {
 		// Check once up front so even trivial patterns (no conditions,

@@ -79,8 +79,20 @@ func nodeSignature(n *PatternNode) string {
 // semantics: the node set (with conditions) and edge set, order-
 // insensitively. Patterns with equal signatures match the same tuples up
 // to attribute order; the primary type is excluded because it only
-// affects the transformation step.
+// affects the transformation step. The result is memoized on the
+// pattern — operators return immutable patterns, so the canonical form
+// is computed at most once per pattern and repeat lookups (the plan
+// cache's warm path, relation-cache keys) are a pointer load.
 func Signature(p *Pattern) string {
+	if s := p.sig.Load(); s != nil {
+		return *s
+	}
+	s := computeSignature(p)
+	p.sig.Store(&s)
+	return s
+}
+
+func computeSignature(p *Pattern) string {
 	nodes := make([]string, len(p.Nodes))
 	for i := range p.Nodes {
 		nodes[i] = nodeSignature(&p.Nodes[i])
@@ -174,24 +186,42 @@ func (e *Executor) MatchWithOpts(p *Pattern, opt ExecOptions) (*graphrel.Relatio
 // materialized relation.
 func (e *Executor) matchCompute(p *Pattern, opt ExecOptions) func() (*graphrel.Relation, error) {
 	return func() (*graphrel.Relation, error) {
-		// Resolving the options (EstimatePattern runs a statistics-only
-		// plan, as does the streaming gate) happens inside the compute
-		// path only — cache hits, the common case, pay nothing for
-		// either decision.
-		opt := opt.effective(e.g, p)
-		if opt.wantStream(e.g, p) {
-			src, err := matchSource(e.g, p, opt, e.base(opt))
+		// Plan resolution (estimates, compiled predicates, join order,
+		// mode gates) happens inside the compute path only — cache
+		// hits, the common case, pay nothing. The plan itself comes
+		// from the per-graph plan cache, so even repeated misses
+		// (distinct primaries over one signature, evicted relations)
+		// plan once.
+		if opt.NoPlanCache && opt.Planner == PlannerAuto {
+			o := opt.effectiveFresh(e.g, p)
+			if o.wantStreamFresh(e.g, p) {
+				src, err := matchSource(e.g, p, o, e.base(o))
+				if err != nil {
+					return nil, err
+				}
+				return materializeMax(src, o.MaxRows)
+			}
+			return e.matchEager(p, o)
+		}
+		pl, err := planFor(e.g, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		o := opt.effectiveFor(pl)
+		if o.wantStreamFor(pl, p) {
+			src, err := matchSourcePlanned(e.g, p, pl, o, e.base(o))
 			if err != nil {
 				return nil, err
 			}
-			return materializeMax(src, opt.MaxRows)
+			return materializeMax(src, o.MaxRows)
 		}
-		return e.matchEager(p, opt)
+		return e.matchEagerPlanned(p, pl, o)
 	}
 }
 
-// matchEager is the materializing match body: cached bases, planned
-// join order, eager join steps.
+// matchEager is the fresh-planning materializing match body: cached
+// bases, a cost plan over their exact sizes, eager join steps (the
+// NoPlanCache baseline).
 func (e *Executor) matchEager(p *Pattern, opt ExecOptions) (*graphrel.Relation, error) {
 	bases, sizes, err := selectedBases(p, e.base(opt))
 	if err != nil {
@@ -202,6 +232,22 @@ func (e *Executor) matchEager(p *Pattern, opt ExecOptions) (*graphrel.Relation, 
 		return nil, err
 	}
 	return matchSteps(bases, start, steps, nil, opt)
+}
+
+// matchEagerPlanned is the planned materializing match body: cached
+// bases, the prepared plan's join order, and the executed step
+// cardinalities fed back to the plan cache.
+func (e *Executor) matchEagerPlanned(p *Pattern, pl *Plan, opt ExecOptions) (*graphrel.Relation, error) {
+	bases, sizes, err := selectedBases(p, e.base(opt))
+	if err != nil {
+		return nil, err
+	}
+	matched, actuals, err := matchStepsObserved(bases, pl.startKey, pl.steps, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	planObserve(e.g, p, pl, sizes, actuals)
+	return matched, nil
 }
 
 // MatchPinnedWithOpts is MatchWithOpts plus a Pin on the cached matched
@@ -257,20 +303,40 @@ func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, 
 	// not at all.
 	var streamed *Presentation
 	compute := func() (*graphrel.Relation, error) {
-		opt := opt.effective(e.g, p)
-		if opt.wantStream(e.g, p) {
-			src, err := matchSource(e.g, p, opt, e.base(opt))
+		if opt.NoPlanCache && opt.Planner == PlannerAuto {
+			o := opt.effectiveFresh(e.g, p)
+			if o.wantStreamFresh(e.g, p) {
+				src, err := matchSource(e.g, p, o, e.base(o))
+				if err != nil {
+					return nil, err
+				}
+				pres, rel, err := PrepareFromSource(e.g, p, src, o)
+				if err != nil {
+					return nil, err
+				}
+				streamed = pres
+				return rel, nil
+			}
+			return e.matchEager(p, o)
+		}
+		pl, err := planFor(e.g, p, opt)
+		if err != nil {
+			return nil, err
+		}
+		o := opt.effectiveFor(pl)
+		if o.wantStreamFor(pl, p) {
+			src, err := matchSourcePlanned(e.g, p, pl, o, e.base(o))
 			if err != nil {
 				return nil, err
 			}
-			pres, rel, err := PrepareFromSource(e.g, p, src, opt)
+			pres, rel, err := PrepareFromSource(e.g, p, src, o)
 			if err != nil {
 				return nil, err
 			}
 			streamed = pres
 			return rel, nil
 		}
-		return e.matchEager(p, opt)
+		return e.matchEagerPlanned(p, pl, o)
 	}
 	for {
 		streamed = nil

@@ -3,6 +3,7 @@ package etable
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/tgm"
@@ -37,6 +38,13 @@ type Pattern struct {
 	Primary string
 	Nodes   []PatternNode
 	Edges   []PatternEdge
+
+	// sig memoizes Signature. It is only ever set after the pattern has
+	// been fully built (operators and the SQL bridge mutate their private
+	// copy, then hand it off), so a stored value can never go stale.
+	// Concurrent first calls may both compute it; they store identical
+	// strings, so last-write-wins is harmless.
+	sig atomic.Pointer[string]
 }
 
 // Clone returns a deep-enough copy (conditions are immutable and shared).

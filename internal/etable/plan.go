@@ -118,6 +118,56 @@ func planJoinsSized(g *tgm.InstanceGraph, p *Pattern, sizes map[string]float64) 
 	return startKey, steps, nil
 }
 
+// greedyJoins is the statistics-free ordering policy: start at the
+// node with the smallest raw instance count and always extend to the
+// frontier node with the smallest raw count, ignoring edge fan-out,
+// NDV, and condition selectivity entirely. On small or low-skew
+// corpora this matches the cost-based order often enough that the
+// model's machinery doesn't pay for itself (PERFORMANCE.md §8); the
+// adaptive planner picks it below adaptiveStatsMinNodes. The emitted
+// steps still carry fanout-model estimates (computed along the chosen
+// order from estSizes) so the execution gates and the feedback loop
+// see numbers comparable to a cost-ordered plan's.
+func greedyJoins(g *tgm.InstanceGraph, p *Pattern, estSizes map[string]float64) (startKey string, steps []JoinStep, err error) {
+	st := stats.For(g)
+	raw := make(map[string]float64, len(p.Nodes))
+	for i := range p.Nodes {
+		n := &p.Nodes[i]
+		raw[n.Key] = float64(len(g.NodesOfType(n.Type)))
+		if startKey == "" || raw[n.Key] < raw[startKey] {
+			startKey = n.Key
+		}
+	}
+	joined := map[string]bool{startKey: true}
+	est := estSizes[startKey]
+	for len(joined) < len(p.Nodes) {
+		found := false
+		var bestStep JoinStep
+		var bestSize float64
+		for _, e := range p.Edges {
+			anchorKey, newKey, edgeName, ok := orientEdge(g.Schema(), e, joined)
+			if !ok {
+				continue
+			}
+			if !found || raw[newKey] < bestSize {
+				found = true
+				bestSize = raw[newKey]
+				bestStep = JoinStep{AnchorKey: anchorKey, NewKey: newKey, EdgeName: edgeName,
+					EstIn: est, EstOut: est * st.Fanout(edgeName) * selFrac(st, p, newKey, estSizes)}
+			}
+		}
+		if !found {
+			return "", nil, errDisconnected
+		}
+		steps = append(steps, bestStep)
+		joined[bestStep.NewKey] = true
+		if est = bestStep.EstOut; est < 1 {
+			est = 1
+		}
+	}
+	return startKey, steps, nil
+}
+
 // declaredSteps reproduces the pre-planner join order: start at the
 // primary node and take pattern edges in declaration order as they
 // become connected. It is kept as the equivalence baseline the planner
@@ -153,18 +203,29 @@ func declaredSteps(schema *tgm.SchemaGraph, p *Pattern) (startKey string, steps 
 // nor in needed are dropped right after each join (projection pushdown;
 // Retain shares columns, so dropping is zero-copy).
 func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []JoinStep, needed map[string]bool, opt ExecOptions) (*graphrel.Relation, error) {
+	rel, _, err := matchStepsObserved(bases, startKey, steps, needed, opt)
+	return rel, err
+}
+
+// matchStepsObserved is matchSteps plus the feedback loop's input: the
+// actual output cardinality of every join step, recorded as it
+// executes (free — the relations know their length). planObserve
+// compares them against the plan's estimates.
+func matchStepsObserved(bases map[string]*graphrel.Relation, startKey string, steps []JoinStep, needed map[string]bool, opt ExecOptions) (*graphrel.Relation, []int, error) {
 	cur := bases[startKey]
+	actuals := make([]int, 0, len(steps))
 	for si, st := range steps {
 		var err error
 		if cur, err = graphrel.JoinPar(opt.Ctx, opt.Pool, opt.Parallelism, cur, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		actuals = append(actuals, cur.Len())
 		// The MaxRows guard, on the eager path: checked after each step,
 		// so a pathological join fails before later steps amplify it
 		// further (the streaming path enforces the same cap batch by
 		// batch, before the relation ever exists in full).
 		if opt.MaxRows > 0 && cur.Len() > opt.MaxRows {
-			return nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
+			return nil, nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
 		}
 		if needed == nil {
 			continue
@@ -177,11 +238,11 @@ func matchSteps(bases map[string]*graphrel.Relation, startKey string, steps []Jo
 		}
 		if len(keep) < len(cur.Attrs) {
 			if cur, err = cur.Retain(keep...); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	return cur, nil
+	return cur, actuals, nil
 }
 
 func anchorsRemaining(name string, steps []JoinStep) bool {
@@ -201,7 +262,21 @@ func anchorsRemaining(name string, steps []JoinStep) bool {
 // couple of morsels never pays the fan-out overhead, which keeps tiny
 // interactive queries (the common case in a browsing session) on the
 // fast serial path.
+//
+// The estimate is served from the plan cache (PlanFor): it is the same
+// number the cached plan's gates use, computed once per signature, not
+// a second planning pass.
 func EstimatePattern(g *tgm.InstanceGraph, p *Pattern) float64 {
+	if pl, err := PlanFor(g, p); err == nil {
+		return pl.estPeak
+	}
+	return estimatePatternFresh(g, p)
+}
+
+// estimatePatternFresh recomputes the peak-scan estimate from scratch
+// on every call: the fallback for unplannable patterns and the
+// plan-every-time baseline the NoPlanCache ablation path runs.
+func estimatePatternFresh(g *tgm.InstanceGraph, p *Pattern) float64 {
 	st := stats.For(g)
 	peak := 0.0
 	estSizes := make(map[string]float64, len(p.Nodes))

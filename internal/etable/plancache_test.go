@@ -1,0 +1,245 @@
+package etable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/exec"
+	"repro/internal/tgm"
+	"repro/internal/translate"
+)
+
+// randomPattern builds a random but valid pattern by walking the
+// schema from a random starting type: each step Adds a random out-edge
+// of the current primary and sometimes Selects a random condition on
+// the node it landed on. The walk skips steps the operators reject
+// (duplicate node keys), so every emitted pattern is executable.
+func randomPattern(t *testing.T, rng *rand.Rand, schema *tgm.SchemaGraph) *Pattern {
+	t.Helper()
+	conds := map[string][]string{
+		"Papers":       {"year > 2000", "year > 1990", "title like '%a%'"},
+		"Conferences":  {"acronym = 'SIGMOD'", "acronym like '%S%'"},
+		"Institutions": {"country like '%Korea%'", "country like '%a%'"},
+		"Authors":      {"name like '%a%'"},
+		"keyword":      {"keyword like '%user%'", "keyword like '%a%'"},
+	}
+	starts := []string{"Papers", "Authors", "Conferences"}
+	p, err := Initiate(schema, starts[rng.Intn(len(starts))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for steps := rng.Intn(4); steps > 0; steps-- {
+		prim := p.PrimaryNode()
+		outs := schema.OutEdges(prim.Type)
+		if len(outs) == 0 {
+			break
+		}
+		np, err := Add(schema, p, outs[rng.Intn(len(outs))].Name)
+		if err != nil {
+			continue // key collision; try the next step
+		}
+		p = np
+		if pool := conds[p.PrimaryNode().Type]; len(pool) > 0 && rng.Intn(2) == 0 {
+			if np, err := Select(p, pool[rng.Intn(len(pool))]); err == nil {
+				p = np
+			}
+		}
+		if rng.Intn(3) == 0 {
+			if np, err := Shift(p, p.Nodes[rng.Intn(len(p.Nodes))].Key); err == nil {
+				p = np
+			}
+		}
+	}
+	return p
+}
+
+// TestPlanCacheEquivalenceFuzz executes randomized patterns under every
+// combination of plan source (cached plan vs NoPlanCache fresh
+// planning, plus both forced ordering policies) and execution mode
+// (eager, streaming, morsel-parallel) and asserts the matched tuple
+// sets are identical. The CI race shard runs this under -race, so the
+// concurrent plan-cache publication paths are exercised too.
+func TestPlanCacheEquivalenceFuzz(t *testing.T) {
+	// A small private corpus: random walks compose unfiltered many-way
+	// joins whose results grow multiplicatively with corpus size, and
+	// the race shard runs this test under the detector's ~10× slowdown.
+	db, err := dataset.Generate(dataset.Config{Papers: 120, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := tr.Instance
+	rng := rand.New(rand.NewSource(42))
+	pool := exec.NewPool(4)
+	arms := []struct {
+		name string
+		opt  ExecOptions
+	}{
+		{"cached", ExecOptions{}},
+		{"cached-stream", ExecOptions{Stream: StreamOn}},
+		{"cached-parallel", ExecOptions{Pool: pool, Parallelism: 4}},
+		{"fresh-stream", ExecOptions{NoPlanCache: true, Stream: StreamOn}},
+		{"fresh-greedy", ExecOptions{NoPlanCache: true, Planner: PlannerGreedy}},
+		{"fresh-cost", ExecOptions{NoPlanCache: true, Planner: PlannerCost}},
+		{"cached-greedy", ExecOptions{Planner: PlannerGreedy}},
+		{"cached-cost", ExecOptions{Planner: PlannerCost, Pool: pool, Parallelism: 4}},
+	}
+	for i := 0; i < 25; i++ {
+		p := randomPattern(t, rng, tr.Schema)
+		ref, err := MatchOpts(g, p, ExecOptions{NoPlanCache: true, Stream: StreamOff})
+		if err != nil {
+			t.Fatalf("pattern %d (%s): baseline: %v", i, p, err)
+		}
+		want := canonMatch(ref)
+		for _, arm := range arms {
+			got, err := MatchOpts(g, p, arm.opt)
+			if err != nil {
+				t.Fatalf("pattern %d (%s) arm %s: %v", i, p, arm.name, err)
+			}
+			if !reflect.DeepEqual(canonMatch(got), want) {
+				t.Fatalf("pattern %d (%s) arm %s: tuple set diverges from fresh-planning baseline", i, p, arm.name)
+			}
+		}
+	}
+	if ps := PlannerStatsFor(g); ps.Hits == 0 || ps.Misses == 0 {
+		t.Fatalf("fuzz exercised no plan cache traffic: %+v", ps)
+	}
+}
+
+// TestPlanCacheFeedbackReplan seeds the cache with a plan whose
+// estimates are wildly wrong, executes through it, and asserts the
+// feedback loop replaced the entry — and that execution through the
+// corrupted plan, and every execution after the replacement, still
+// matches fresh planning.
+func TestPlanCacheFeedbackReplan(t *testing.T) {
+	tr := planFixture(t)
+	g := tr.Instance
+	p := figure7PlanPattern(t, tr)
+
+	good, err := buildPlan(g, p, PlannerCost, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Plan{sig: good.sig, mode: good.mode, startKey: good.startKey,
+		steps:   append([]JoinStep(nil), good.steps...),
+		estPeak: good.estPeak, preds: good.preds, cached: true}
+	for i := range bad.steps {
+		bad.steps[i].EstOut = bad.steps[i].EstOut*1e6 + 1e6
+	}
+	pc := planCacheFor(g)
+	key := planKey(bad.mode, bad.sig)
+	pc.put(key, bad)
+	before := pc.replans.Load()
+
+	ref, err := MatchOpts(g, p, ExecOptions{NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MatchOpts(g, p, ExecOptions{Planner: PlannerCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonMatch(got), canonMatch(ref)) {
+		t.Fatal("execution through the corrupted plan diverges")
+	}
+	if pc.replans.Load() == before {
+		t.Fatal("feedback loop did not replace a plan with 1e6× estimation error")
+	}
+	repl, ok := pc.get(key)
+	if !ok {
+		t.Fatal("replanned entry missing from the cache")
+	}
+	if repl == bad {
+		t.Fatal("cache still serves the corrupted plan object")
+	}
+	if r := stepErrRatio(repl.steps, actualsOf(g, p, repl, t)); r > feedbackReplanRatio {
+		t.Fatalf("replanned estimates still off by %.1f× (> %v)", r, feedbackReplanRatio)
+	}
+	got2, err := MatchOpts(g, p, ExecOptions{Planner: PlannerCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonMatch(got2), canonMatch(ref)) {
+		t.Fatal("execution after feedback replan diverges")
+	}
+}
+
+// actualsOf executes pl's join order and returns the per-step actual
+// cardinalities (the feedback loop's input), for asserting calibration.
+func actualsOf(g *tgm.InstanceGraph, p *Pattern, pl *Plan, t *testing.T) []int {
+	t.Helper()
+	bases, _, err := selectedBases(p, pl.baseRelation(g, ExecOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, actuals, err := matchStepsObserved(bases, pl.startKey, pl.steps, nil, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return actuals
+}
+
+// TestPlanCachePerGraphIsolation: plans are keyed to the graph object
+// that built them. A second graph — even one translated from an
+// identical corpus — starts with an empty cache and zero counters, and
+// executing on it never touches the first graph's entries.
+func TestPlanCachePerGraphIsolation(t *testing.T) {
+	tr1 := planFixture(t)
+	tr2 := planFixture(t)
+	if tr1.Instance == tr2.Instance {
+		t.Fatal("fixtures share an instance graph")
+	}
+	p1 := figure1PlanPattern(t, tr1)
+	if _, err := MatchOpts(tr1.Instance, p1, ExecOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if ps := PlannerStatsFor(tr2.Instance); ps.Entries != 0 || ps.Hits != 0 || ps.Misses != 0 {
+		t.Fatalf("untouched graph reports planner traffic: %+v", ps)
+	}
+	s1 := PlannerStatsFor(tr1.Instance)
+
+	p2 := figure1PlanPattern(t, tr2)
+	ref, err := MatchOpts(tr2.Instance, p2, ExecOptions{NoPlanCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MatchOpts(tr2.Instance, p2, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(canonMatch(got), canonMatch(ref)) {
+		t.Fatal("second graph's cached execution diverges from fresh planning")
+	}
+	if s1b := PlannerStatsFor(tr1.Instance); s1b.Misses != s1.Misses || s1b.Entries != s1.Entries {
+		t.Fatalf("executing on the second graph changed the first graph's cache: %+v -> %+v", s1, s1b)
+	}
+}
+
+// TestEstimatePatternMatchesFresh: the cache-served estimate is the
+// same number the fresh computation produces, in every planner mode —
+// the invariant that keeps the stream/parallel gates mode-independent.
+func TestEstimatePatternMatchesFresh(t *testing.T) {
+	tr := planFixture(t)
+	for _, p := range []*Pattern{figure1PlanPattern(t, tr), figure7PlanPattern(t, tr)} {
+		want := estimatePatternFresh(tr.Instance, p)
+		if got := EstimatePattern(tr.Instance, p); got != want {
+			t.Fatalf("%s: cached estimate %v, fresh %v", p, got, want)
+		}
+		for _, mode := range []PlannerMode{PlannerGreedy, PlannerCost} {
+			pl, err := planFor(tr.Instance, p, ExecOptions{Planner: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pl.estPeak != want {
+				t.Fatalf("%s: %v-mode plan estimate %v, fresh %v", p, mode, pl.estPeak, want)
+			}
+		}
+	}
+}

@@ -60,7 +60,9 @@ const streamMinEstRows = 4 * graphrel.MorselRows
 
 // wantStream decides the execution mode for one compute. It is
 // consulted only inside cache-miss compute closures — cache hits never
-// pay for the estimate.
+// pay for the estimate (which itself now comes from the plan cache;
+// the planned paths use wantStreamFor to read the already resolved
+// plan directly).
 func (o ExecOptions) wantStream(g *tgm.InstanceGraph, p *Pattern) bool {
 	if len(p.Edges) == 0 {
 		return false
@@ -72,6 +74,35 @@ func (o ExecOptions) wantStream(g *tgm.InstanceGraph, p *Pattern) bool {
 		return true
 	}
 	return EstimatePattern(g, p) >= streamMinEstRows
+}
+
+// wantStreamFor is wantStream against an already resolved plan.
+func (o ExecOptions) wantStreamFor(pl *Plan, p *Pattern) bool {
+	if len(p.Edges) == 0 {
+		return false
+	}
+	switch o.Stream {
+	case StreamOff:
+		return false
+	case StreamOn:
+		return true
+	}
+	return pl.estPeak >= streamMinEstRows
+}
+
+// wantStreamFresh is wantStream with the estimate recomputed from
+// scratch — the NoPlanCache baseline's gate.
+func (o ExecOptions) wantStreamFresh(g *tgm.InstanceGraph, p *Pattern) bool {
+	if len(p.Edges) == 0 {
+		return false
+	}
+	switch o.Stream {
+	case StreamOff:
+		return false
+	case StreamOn:
+		return true
+	}
+	return estimatePatternFresh(g, p) >= streamMinEstRows
 }
 
 // streamBatchRows overrides the streamed pipeline's batch size; 0 uses
@@ -89,12 +120,20 @@ var streamBatchRows = 0
 // driving-side work that window needs. The caller must Close the
 // source (Materialize and PrepareFromSource do so themselves).
 func MatchSource(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions) (graphrel.RowSource, error) {
-	opt = opt.effective(g, p)
-	return matchSource(g, p, opt, baseRelation(g, opt))
+	if opt.NoPlanCache && opt.Planner == PlannerAuto {
+		opt = opt.effectiveFresh(g, p)
+		return matchSource(g, p, opt, baseRelation(g, opt))
+	}
+	pl, err := planFor(g, p, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt = opt.effectiveFor(pl)
+	return matchSourcePlanned(g, p, pl, opt, pl.baseRelation(g, opt))
 }
 
-// matchSource is MatchSource parameterized by the base-relation
-// builder, so the executor's cached bases slot in (Executor.base).
+// matchSource is MatchSource with fresh planning, parameterized by the
+// base-relation builder: the NoPlanCache baseline's streamed path.
 func matchSource(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions, base func(*PatternNode) (*graphrel.Relation, error)) (graphrel.RowSource, error) {
 	if opt.Ctx != nil {
 		if err := opt.Ctx.Err(); err != nil {
@@ -112,8 +151,36 @@ func matchSource(g *tgm.InstanceGraph, p *Pattern, opt ExecOptions, base func(*P
 	if err != nil {
 		return nil, err
 	}
+	return composeStream(bases, start, steps, opt)
+}
+
+// matchSourcePlanned composes the streamed pipeline from a prepared
+// plan, parameterized by the base-relation builder so the executor's
+// cached bases slot in (Executor.base). The streaming path never
+// materializes intermediates, so it contributes nothing to the
+// feedback loop.
+func matchSourcePlanned(g *tgm.InstanceGraph, p *Pattern, pl *Plan, opt ExecOptions, base func(*PatternNode) (*graphrel.Relation, error)) (graphrel.RowSource, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if p.PrimaryNode() == nil {
+		return nil, fmt.Errorf("etable: pattern has no primary node")
+	}
+	bases, _, err := selectedBases(p, base)
+	if err != nil {
+		return nil, err
+	}
+	return composeStream(bases, pl.startKey, pl.steps, opt)
+}
+
+// composeStream chains the join plan as StreamJoin stages over the
+// driving base's batch stream — the shared tail of both source paths.
+func composeStream(bases map[string]*graphrel.Relation, start string, steps []JoinStep, opt ExecOptions) (graphrel.RowSource, error) {
 	src := graphrel.StreamRelationBatch(bases[start], streamBatchRows)
 	for _, st := range steps {
+		var err error
 		src, err = graphrel.StreamJoin(opt.Ctx, opt.Pool, opt.Parallelism, src, bases[st.NewKey], st.EdgeName, st.AnchorKey, st.NewKey)
 		if err != nil {
 			return nil, err

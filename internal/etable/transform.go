@@ -221,6 +221,24 @@ func (pr *Presentation) Sort(spec SortSpec) error {
 	return nil
 }
 
+// SortedView returns a presentation of the same prepared state in the
+// order spec dictates, leaving the receiver untouched. The view shares
+// the receiver's columns, per-column groupings, and neighbor layout —
+// the expensive products of Prepare — and owns only a freshly copied,
+// re-sorted row-ID slice, so every sort variant of one pattern costs
+// O(rows·log rows) on top of a single Prepare. Views and their base
+// may Window concurrently (each orders its own rowIDs; the shared
+// groupings are read-only), but Sort on any one of them must not race
+// that presentation's own Window calls.
+func (pr *Presentation) SortedView(spec SortSpec) (*Presentation, error) {
+	cp := *pr
+	cp.rowIDs = append([]tgm.NodeID(nil), pr.rowIDs...)
+	if err := cp.Sort(spec); err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
 // transformChunkRows is the row-range size Window fans out in; it
 // matches the matching kernels' morsel size, so a window smaller than
 // one morsel never pays fan-out overhead.

@@ -2,6 +2,7 @@ package etable
 
 import (
 	"context"
+	"reflect"
 	"runtime/debug"
 	"testing"
 
@@ -414,5 +415,59 @@ func TestPresentationCancellation(t *testing.T) {
 	}
 	if _, err := pr.WindowOpts(0, -1, ExecOptions{Ctx: ctx}); err == nil {
 		t.Error("canceled Window: want error")
+	}
+}
+
+// TestSortedViewSharesPreparedState: SortedView is an O(rows) reorder
+// over the base presentation's prepared state — the columns, grouping
+// maps, and neighbor layout are shared by identity, only the row-ID
+// order is private — and building one never mutates the base.
+func TestSortedViewSharesPreparedState(t *testing.T) {
+	tr := planFixture(t)
+	p := figure1PlanPattern(t, tr)
+	matched, err := Match(tr.Instance, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := Prepare(tr.Instance, p, matched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseOrder := append([]tgm.NodeID(nil), pres.rowIDs...)
+
+	v, err := pres.SortedView(SortSpec{Attr: "year", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pres.rowIDs, baseOrder) {
+		t.Fatal("SortedView reordered the base presentation's rows")
+	}
+	if len(v.parts) != len(pres.parts) {
+		t.Fatalf("view has %d participating columns, base %d", len(v.parts), len(pres.parts))
+	}
+	for i := range v.parts {
+		vm := reflect.ValueOf(v.parts[i].groups).Pointer()
+		bm := reflect.ValueOf(pres.parts[i].groups).Pointer()
+		if vm != bm {
+			t.Fatalf("participating column %d: view rebuilt the grouping map instead of sharing it", i)
+		}
+	}
+	if len(v.columns) != len(pres.columns) || len(v.neighbors) != len(pres.neighbors) {
+		t.Fatal("view's column layout differs from the base's")
+	}
+	if len(v.rowIDs) != len(baseOrder) {
+		t.Fatalf("view has %d rows, base %d", len(v.rowIDs), len(baseOrder))
+	}
+
+	// The view renders exactly what sorting a fresh presentation renders.
+	want, err := Prepare(tr.Instance, p, matched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Sort(SortSpec{Attr: "year", Desc: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v.rowIDs, want.rowIDs) {
+		t.Fatal("view's row order differs from an in-place Sort")
 	}
 }

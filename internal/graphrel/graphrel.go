@@ -238,6 +238,21 @@ func Select(r *Relation, attrName string, cond expr.Expr) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	return SelectPred(r, attrName, pred)
+}
+
+// SelectPred is Select with an already-compiled predicate: callers that
+// cache compiled conditions across executions (the etable plan cache)
+// skip the per-call Compile. pred must have been compiled against the
+// named attribute's node type; a nil pred returns r unchanged.
+func SelectPred(r *Relation, attrName string, pred expr.Pred) (*Relation, error) {
+	if pred == nil {
+		return r, nil
+	}
+	ai := r.AttrIndex(attrName)
+	if ai < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
+	}
 	keep, err := selectRange(r, r.cols[ai], pred, 0, r.n)
 	if err != nil {
 		return nil, err

@@ -46,13 +46,6 @@ func SelectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, at
 	if cond == nil {
 		return r, nil
 	}
-	if pool == nil || budget <= 1 || r.n <= MorselRows {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
-		return Select(r, attrName, cond)
-	}
-	bounds := morselBounds(r.n, MorselRows)
 	ai := r.AttrIndex(attrName)
 	if ai < 0 {
 		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
@@ -60,6 +53,26 @@ func SelectPar(ctx context.Context, pool *exec.Pool, budget int, r *Relation, at
 	pred, err := expr.Compile(cond, r.Attrs[ai].Type)
 	if err != nil {
 		return nil, err
+	}
+	return SelectParPred(ctx, pool, budget, r, attrName, pred)
+}
+
+// SelectParPred is SelectPar with an already-compiled predicate (see
+// SelectPred). A nil pred returns r unchanged.
+func SelectParPred(ctx context.Context, pool *exec.Pool, budget int, r *Relation, attrName string, pred expr.Pred) (*Relation, error) {
+	if pred == nil {
+		return r, nil
+	}
+	if pool == nil || budget <= 1 || r.n <= MorselRows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return SelectPred(r, attrName, pred)
+	}
+	bounds := morselBounds(r.n, MorselRows)
+	ai := r.AttrIndex(attrName)
+	if ai < 0 {
+		return nil, fmt.Errorf("graphrel: no attribute %q", attrName)
 	}
 	col := r.cols[ai]
 

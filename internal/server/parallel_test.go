@@ -157,3 +157,62 @@ func TestCreateSessionParallelismValidation(t *testing.T) {
 		t.Fatalf("create with parallelism=2: status %d rows %d", code, created.TotalRows)
 	}
 }
+
+// TestStatsPlannerBlock asserts /api/v1/stats carries the plan-cache
+// telemetry: after two sessions run the same query, the block reports
+// the mode, at least one miss (the first plan build) and one hit (the
+// second session reusing it), and the adaptive threshold. Private
+// result caches force the second session to actually execute — with
+// the shared relation cache it would hit the result and never consult
+// a plan (plan lookups live inside the compute closures).
+func TestStatsPlannerBlock(t *testing.T) {
+	tr, err := testdb.Figure3Translation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithOptions(tr.Schema, tr.Instance, Options{PrivateCaches: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for i := 0; i < 2; i++ {
+		id := createSession(t, ts)
+		url := fmt.Sprintf("%s/api/v1/sessions/%d/ops", ts.URL, id)
+		var out json.RawMessage
+		if code := postJSON(t, url, map[string]any{"op": "open", "table": "Papers"}, &out); code != http.StatusOK {
+			t.Fatalf("open status %d", code)
+		}
+		if code := postJSON(t, url, map[string]any{"op": "filter", "cond": "year > 2000"}, &out); code != http.StatusOK {
+			t.Fatalf("filter status %d", code)
+		}
+	}
+	var st struct {
+		Planner struct {
+			Mode                   string `json:"mode"`
+			Hits                   int64  `json:"hits"`
+			Misses                 int64  `json:"misses"`
+			Entries                int    `json:"entries"`
+			GreedyPlans            int64  `json:"greedyPlans"`
+			CostPlans              int64  `json:"costPlans"`
+			FeedbackReplans        int64  `json:"feedbackReplans"`
+			AdaptiveThresholdNodes int    `json:"adaptiveThresholdNodes"`
+		} `json:"planner"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	p := st.Planner
+	if p.Mode != "auto" {
+		t.Errorf("planner mode %q, want auto", p.Mode)
+	}
+	if p.Misses == 0 || p.Entries == 0 {
+		t.Errorf("no plans were built: %+v", p)
+	}
+	if p.Hits == 0 {
+		t.Errorf("second session did not reuse a cached plan: %+v", p)
+	}
+	if p.GreedyPlans+p.CostPlans == 0 {
+		t.Errorf("no ordering policy recorded: %+v", p)
+	}
+	if p.AdaptiveThresholdNodes <= 0 {
+		t.Errorf("adaptive threshold %d, want > 0", p.AdaptiveThresholdNodes)
+	}
+}

@@ -94,6 +94,11 @@ type Options struct {
 	// 413 result_too_large. Paging within the cap is unaffected — set it
 	// above PageSize.
 	MaxRows int
+	// Planner forces the join-ordering policy for every session's
+	// queries: etable.PlannerGreedy or etable.PlannerCost override the
+	// adaptive default (etable.PlannerAuto, which picks by corpus
+	// size). An ablation knob; production servers leave it at auto.
+	Planner etable.PlannerMode
 	// PrivateCaches gives each session its own execution cache instead
 	// of the shared one. It exists as the ablation baseline for
 	// BenchmarkServerConcurrentSessions (the pre-refactor serving core
@@ -406,7 +411,35 @@ type statsJSON struct {
 	PinnedRelations int            `json:"pinnedRelations"`
 	Memory          memoryJSON     `json:"memory"`
 	Workers         workerJSON     `json:"workers"`
+	Planner         plannerJSON    `json:"planner"`
 	EdgeStats       []edgeStatJSON `json:"edgeStats"`
+}
+
+// plannerJSON is the plan-cache telemetry block of /api/v1/stats: how
+// often queries reuse a prepared plan (hits vs misses), how the
+// adaptive planner split its decisions (greedy vs cost-model plans),
+// and how often the runtime feedback loop replaced a cached plan whose
+// estimates diverged from observed cardinalities.
+type plannerJSON struct {
+	// Mode is the server-wide planner policy ("auto" unless forced for
+	// ablation).
+	Mode string `json:"mode"`
+	// Hits and Misses count plan-cache lookups; Entries is the current
+	// cache population, Evictions the LRU casualties.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Entries   int   `json:"entries"`
+	Evictions int64 `json:"evictions"`
+	// GreedyPlans and CostPlans count plans built under each ordering
+	// policy (after adaptive resolution).
+	GreedyPlans int64 `json:"greedyPlans"`
+	CostPlans   int64 `json:"costPlans"`
+	// FeedbackReplans counts cached plans replaced (or recalibrated)
+	// because observed join cardinalities diverged from the estimates.
+	FeedbackReplans int64 `json:"feedbackReplans"`
+	// AdaptiveThresholdNodes is the corpus size at which PlannerAuto
+	// switches from greedy to cost-model ordering.
+	AdaptiveThresholdNodes int `json:"adaptiveThresholdNodes"`
 }
 
 // memoryJSON is the memory telemetry block of /api/v1/stats: process
@@ -476,6 +509,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			InFlight:           s.pool.InFlight(),
 			DefaultParallelism: s.defaultBudget(),
 		},
+	}
+	ps := etable.PlannerStatsFor(s.graph)
+	out.Planner = plannerJSON{
+		Mode:                   s.opts.Planner.String(),
+		Hits:                   ps.Hits,
+		Misses:                 ps.Misses,
+		Entries:                ps.Entries,
+		Evictions:              ps.Evictions,
+		GreedyPlans:            ps.GreedyPlans,
+		CostPlans:              ps.CostPlans,
+		FeedbackReplans:        ps.Replans,
+		AdaptiveThresholdNodes: ps.AdaptiveThreshold,
 	}
 	st := stats.For(s.graph)
 	names := make([]string, 0, len(st.Edges))
@@ -608,6 +653,7 @@ func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *se
 		sess = session.NewWithExec(s.schema, s.graph, s.cache, s.pool, s.defaultBudget())
 	}
 	sess.SetMaxRows(s.opts.MaxRows)
+	sess.SetPlanner(s.opts.Planner)
 	// The server satisfies the recycling contract: every request on a
 	// session runs under its entry lock and stateOf copies the window
 	// into JSON structs before the lock is released, so no *etable.Result

@@ -95,26 +95,64 @@ const windowMemoEntries = 8
 // which is still O(window).
 const windowMemoRowCap = 4096
 
-// presEntry is one memoized presentation state: the prepared (and
-// sorted) presentation, the pin holding its matched relation in the
-// shared cache, and the bounded window memo. windows values have
-// hidden columns already applied — they are exactly what readers get —
-// so the window key carries the hidden set alongside the row range.
+// presEntry is one memoized presentation state: the prepared base
+// presentation (canonical ID-ascending row order, never sorted in
+// place), the pin holding its matched relation in the shared cache,
+// the bounded memo of sorted views over that base, and the bounded
+// window memo. Sort variants are etable.SortedView shallow copies —
+// they share the base's columns, groupings, and neighbor layout and
+// own only their row order — so switching sorts re-prepares nothing
+// and pins nothing new. windows values have hidden columns already
+// applied — they are exactly what readers get — so the window key
+// carries the hidden set and sort alongside the row range.
 type presEntry struct {
-	pres     *etable.Presentation
-	pin      *etable.Pin
-	windows  map[winKey]*etable.Result
-	winOrder []winKey
+	base      *etable.Presentation
+	pin       *etable.Pin
+	sorted    map[string]*etable.Presentation
+	sortOrder []string
+	windows   map[winKey]*etable.Result
+	winOrder  []winKey
 }
+
+// sortMemoEntries bounds the sorted views kept per presentation. A
+// view is O(rows) row IDs (everything else is shared with the base),
+// so the bound is about row-ID slices, not prepared state.
+const sortMemoEntries = 8
 
 // winKey identifies one materialized window of a presentation.
 type winKey struct {
 	offset, limit int
 	hidden        string // hiddenKey of the entry's hidden-column set
+	sort          string // sortKey of the entry's sort spec ("" = base order)
 }
 
 // release drops the entry's pin (idempotent).
 func (pe *presEntry) release() { pe.pin.Release() }
+
+// variant returns the presentation ordered per the entry's sort spec:
+// the shared base when unsorted, otherwise a memoized SortedView over
+// it (built on first use, bounded FIFO). All variants share one
+// prepared presentation and one pin; only row order differs.
+func (pe *presEntry) variant(e Entry) (*etable.Presentation, error) {
+	if e.Sort == nil {
+		return pe.base, nil
+	}
+	sk := sortKey(e.Sort)
+	if v, ok := pe.sorted[sk]; ok {
+		return v, nil
+	}
+	v, err := pe.base.SortedView(*e.Sort)
+	if err != nil {
+		return nil, err
+	}
+	if len(pe.sortOrder) >= sortMemoEntries {
+		delete(pe.sorted, pe.sortOrder[0])
+		pe.sortOrder = pe.sortOrder[1:]
+	}
+	pe.sorted[sk] = v
+	pe.sortOrder = append(pe.sortOrder, sk)
+	return v, nil
+}
 
 // recycleAll returns every memoized window's arenas to the pool (see
 // Session.SetWindowRecycling) and empties the memo. Caller must hold
@@ -149,6 +187,10 @@ type Session struct {
 	// (or mid-stream) with *graphrel.RowLimitError, and windowLocked
 	// rejects oversized window requests before transforming a cell.
 	maxRows int
+	// planner forces the join-ordering policy for this session's
+	// queries (etable.PlannerAuto, the zero value, is the adaptive
+	// default; see SetPlanner).
+	planner etable.PlannerMode
 	// recycleWindows opts materialized windows into arena recycling
 	// (see SetWindowRecycling): evicted window-memo entries return
 	// their cell/row/ref arenas to the package pool instead of
@@ -163,9 +205,9 @@ type Session struct {
 	history []Entry
 	cursor  int // index into history of the current state; -1 = empty
 
-	// memo caches prepared presentations keyed by presentation
-	// signature (pattern, sort — hiding is per window), bounded FIFO;
-	// evicted entries release their cache pin.
+	// memo caches prepared presentations keyed by pattern alone
+	// (sorting is a memoized view per entry, hiding is per window),
+	// bounded FIFO; evicted entries release their cache pin.
 	memo      map[string]*presEntry
 	memoOrder []string
 	// closed marks a session evicted by its server: its pins are
@@ -219,6 +261,16 @@ func (s *Session) SetMaxRows(n int) {
 	s.maxRows = n
 }
 
+// SetPlanner forces the join-ordering policy for this session's
+// queries: etable.PlannerGreedy or etable.PlannerCost override the
+// adaptive default (etable.PlannerAuto, which picks by corpus size).
+// An ablation knob — production sessions leave it at auto.
+func (s *Session) SetPlanner(m etable.PlannerMode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.planner = m
+}
+
 // SetWindowRecycling opts the session into window-arena recycling:
 // materialized row windows evicted from the session's window memo (and
 // windows dropped by Close or presentation-memo eviction) return their
@@ -249,6 +301,7 @@ func (s *Session) execOptions(ctx context.Context) etable.ExecOptions {
 		Pool:        s.pool,
 		Parallelism: exec.BudgetFrom(ctx, s.parallelism),
 		MaxRows:     s.maxRows,
+		Planner:     s.planner,
 	}
 }
 
@@ -589,7 +642,7 @@ func (s *Session) applyLocked(ctx context.Context, c ops.Compiled) error {
 		// One resolver: the presentation that will execute the sort.
 		// Visibility is a separate, trivial rule — hidden columns are
 		// not sort targets (base column names equal their attr names).
-		if err := pe.pres.ValidateSort(spec); err != nil {
+		if err := pe.base.ValidateSort(spec); err != nil {
 			return err
 		}
 		if name := cmp.Or(spec.Attr, spec.Column); cur.Hidden[name] {
@@ -784,20 +837,26 @@ func (s *Session) ReplayCtx(ctx context.Context, log Log) error {
 }
 
 // presentationKey identifies a prepared presentation: the pattern
-// (String covers nodes, conditions, primary, and edges) and the sort
-// spec. The hidden column set is deliberately NOT part of the key — a
-// Presentation is independent of hiding (hideColumns applies per
-// materialized window), so hide/show toggles reuse the prepared row
-// order and groupings instead of re-preparing and re-pinning an
-// identical presentation; hiding differentiates windows via winKey.
+// alone (String covers nodes, conditions, primary, and edges).
+// Neither sort nor hiding is part of the key — a Presentation's
+// prepared state (distinct rows, groupings, column layout) is
+// independent of both. Sort variants are memoized per entry as
+// SortedView row orders over the one shared base (presEntry.variant),
+// and hideColumns applies per materialized window; both differentiate
+// windows via winKey. The result: one Prepare, one pin, and one set of
+// groupings per pattern across every sort/hide combination a session
+// toggles through.
 func presentationKey(e Entry) string {
-	var b strings.Builder
-	b.WriteString(e.Pattern.String())
-	b.WriteByte(0)
-	if e.Sort != nil {
-		fmt.Fprintf(&b, "%s\x01%s\x01%v", e.Sort.Attr, e.Sort.Column, e.Sort.Desc)
+	return e.Pattern.String()
+}
+
+// sortKey canonicalizes a sort spec for the sorted-view and window
+// memo keys.
+func sortKey(sp *etable.SortSpec) string {
+	if sp == nil {
+		return ""
 	}
-	return b.String()
+	return fmt.Sprintf("%s\x01%s\x01%v", sp.Attr, sp.Column, sp.Desc)
 }
 
 // hiddenKey canonicalizes a hidden-column set for the window memo key.
@@ -845,13 +904,9 @@ func (s *Session) presentationLocked(ctx context.Context, cur Entry) (*presEntry
 	if err != nil {
 		return nil, err
 	}
-	if cur.Sort != nil {
-		if err := pres.Sort(*cur.Sort); err != nil {
-			pin.Release()
-			return nil, err
-		}
-	}
-	pe := &presEntry{pres: pres, pin: pin, windows: make(map[winKey]*etable.Result)}
+	pe := &presEntry{base: pres, pin: pin,
+		sorted:  make(map[string]*etable.Presentation),
+		windows: make(map[winKey]*etable.Result)}
 	if s.closed {
 		// A request racing the server's eviction of this session must
 		// not leave a pin nobody will release; the presentation itself
@@ -883,13 +938,17 @@ func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.
 	if err != nil {
 		return nil, err
 	}
+	pres, err := pe.variant(cur)
+	if err != nil {
+		return nil, err
+	}
 	// The max-rows guard, window side: the match itself passed (or was
 	// computed under) the cap, but an unbounded read of a huge table
 	// would still materialize result-sized cells — reject it before
 	// transforming anything. Computed from the prepared presentation's
 	// row count, so the check is O(1).
 	if s.maxRows > 0 {
-		eff := pe.pres.NumRows() - offset
+		eff := pres.NumRows() - offset
 		if eff < 0 {
 			eff = 0
 		}
@@ -900,11 +959,12 @@ func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.
 			return nil, &graphrel.RowLimitError{Limit: s.maxRows}
 		}
 	}
-	wkey := winKey{offset: offset, limit: limit, hidden: hiddenKey(cur.Hidden)}
+	wkey := winKey{offset: offset, limit: limit,
+		hidden: hiddenKey(cur.Hidden), sort: sortKey(cur.Sort)}
 	if res, ok := pe.windows[wkey]; ok {
 		return res, nil
 	}
-	res, err := pe.pres.WindowOpts(offset, limit, s.execOptions(ctx))
+	res, err := pres.WindowOpts(offset, limit, s.execOptions(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -942,7 +1002,7 @@ func (s *Session) visibleColumnsLocked(ctx context.Context) ([]etable.Column, er
 	if err != nil {
 		return nil, err
 	}
-	return visibleColumns(pe.pres.Columns(), cur.Hidden), nil
+	return visibleColumns(pe.base.Columns(), cur.Hidden), nil
 }
 
 // visibleColumns filters hidden columns out of a column layout.

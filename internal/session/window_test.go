@@ -325,3 +325,67 @@ func TestSortValidationWithoutRender(t *testing.T) {
 		t.Errorf("sorting by a visible column failed: %v", err)
 	}
 }
+
+// TestSortVariantsShareOnePreparedPresentation: sorting is a view over
+// the memoized base presentation, not a new presentation state — a
+// session toggling through many sort orders of one pattern holds ONE
+// memo entry and ONE cache pin, and each variant's windows render the
+// right order.
+func TestSortVariantsShareOnePreparedPresentation(t *testing.T) {
+	s, cache := newSharedSession(t)
+	if err := s.Open("Papers"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	base, err := s.WindowCtx(ctx, 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := base.NumRows()
+
+	specs := []etable.SortSpec{
+		{Attr: "year"},
+		{Attr: "year", Desc: true},
+		{Attr: "title"},
+		{Attr: "title", Desc: true},
+	}
+	for _, spec := range specs {
+		if err := s.SortBy(spec); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.WindowCtx(ctx, 0, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumRows() != total {
+			t.Fatalf("sort %+v: %d rows, want %d", spec, res.NumRows(), total)
+		}
+		if err := res.ValidateSort(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.memo); got != 1 {
+		t.Fatalf("%d memo entries across %d sort variants, want 1 (sorts must share the prepared presentation)", got, len(specs))
+	}
+	if got := cache.PinnedCount(); got != 1 {
+		t.Fatalf("PinnedCount = %d across sort variants, want 1", got)
+	}
+	for _, pe := range s.memo {
+		if got := len(pe.sorted); got != len(specs) {
+			t.Fatalf("%d memoized sorted views, want %d", got, len(specs))
+		}
+	}
+	// Reverting through every sorted state (and the unsorted open) hits
+	// the memoized views: still one entry, one pin.
+	for i := len(specs); i >= 0; i-- {
+		if err := s.Revert(i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.WindowCtx(ctx, 0, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cache.PinnedCount(); got != 1 {
+		t.Fatalf("PinnedCount after reverts = %d, want 1", got)
+	}
+}

@@ -33,6 +33,18 @@ stamp="$(date +%Y-%m-%d)"
 out="BENCH_${stamp}.json"
 txt="BENCH_${stamp}.txt"
 
+# Environment stamp: benchmark numbers are meaningless without the
+# parallelism envelope they ran under, so both artifacts record the
+# effective GOMAXPROCS (the env override if set, else every CPU — the
+# Go runtime's own default), the machine's CPU count, and the
+# toolchain. In the .txt they are benchstat configuration lines
+# (`key: value`), so benchstat refuses to blend runs from different
+# envelopes; in the .json they are one leading metadata object ahead
+# of the `go test -json` event stream.
+numcpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo unknown)"
+gomaxprocs="${GOMAXPROCS:-$numcpu}"
+goversion="$(go version | awk '{print $3}')"
+
 # extract_bench turns a `go test -json` event stream into the plain
 # benchmark text benchstat consumes. The stream emits a result line as
 # two Output events — "BenchmarkX \t" then "N\tV ns/op…" — so a name
@@ -53,9 +65,15 @@ extract_bench() {
 prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -n 1 || true)"
 
 status=0
-go test -run '^$' -bench "$pattern" -benchmem -json . >"$out" || status=$?
+printf '{"BenchEnv":{"gomaxprocs":"%s","numcpu":"%s","go":"%s"}}\n' \
+	"$gomaxprocs" "$numcpu" "$goversion" >"$out"
+go test -run '^$' -bench "$pattern" -benchmem -json . >>"$out" || status=$?
 
-extract_bench "$out" >"$txt"
+{
+	printf 'gomaxprocs: %s\nnumcpu: %s\ngo-version: %s\n' \
+		"$gomaxprocs" "$numcpu" "$goversion"
+	extract_bench "$out"
+} >"$txt"
 grep -o '"Output":"[^"]*"' "$out" |
 	sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' |
 	grep -E '^Benchmark|ns/op|^(goos|goarch|pkg|cpu):|^(PASS|FAIL|ok)' |
