@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/graphrel"
 	"repro/internal/relational"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 	"repro/internal/sqlexec"
 	"repro/internal/storage"
 	"repro/internal/study"
@@ -601,7 +603,7 @@ func BenchmarkParallelScaling(b *testing.B) {
 //     order, groupings) and each fetch transforms only the requested
 //     10 rows. Cost scales with the window.
 //   - page_windowed_cold: a cold fetch through TransformWindow (prepare
-//     + window in one call) — what the first page after an op costs.
+//   - window in one call) — what the first page after an op costs.
 //
 // The acceptance target is >= 2x latency and allocs/op between the
 // first two arms; PERFORMANCE.md §6 records the measured numbers.
@@ -1019,6 +1021,61 @@ func BenchmarkAblation_AdaptivePlanner(b *testing.B) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// BenchmarkBootTranslate is the cold-boot baseline: what etable-server
+// pays at its 5k-paper default before it can answer the first request —
+// generate the corpus, then run the Appendix A translation. Compare
+// BenchmarkSnapshotLoad, which boots the same TGDB from an .etsnap file
+// (PERFORMANCE.md §9).
+func BenchmarkBootTranslate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		db, err := dataset.Generate(dataset.Config{Papers: 5000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := translate.Translate(db, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad boots the same 5k-paper TGDB from a snapshot
+// file: decode, rebuild the frozen graph, attach the persisted planner
+// statistics. The delta to BenchmarkBootTranslate is the whole point of
+// the persistence tier — a restart pays a disk read, not a re-run of
+// generation plus translation.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	db, err := dataset.Generate(dataset.Config{Papers: 5000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{
+		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.etsnap")
+	n, err := snapshot.SaveFile(path, tr.Instance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := snapshot.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if snap.Graph.NumNodes() != tr.Instance.NumNodes() {
+			b.Fatal("loaded graph has wrong node count")
 		}
 	}
 }

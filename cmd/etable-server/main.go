@@ -1,7 +1,11 @@
 // Command etable-server boots the three-tier ETable system (§6.2): it
-// generates the academic corpus, translates it to a TGDB, and serves the
+// obtains a TGDB — generating and translating the academic corpus, or
+// loading a pre-translated .etsnap snapshot from disk — and serves the
 // interactive web interface of Figure 9 plus the JSON API to any number
-// of concurrent sessions over one shared execution cache.
+// of concurrent sessions. Repeated -dataset name=path flags register
+// additional snapshot-backed datasets, each lazily loaded on its first
+// request and served under /api/v1/datasets/{name}/ with its own
+// execution cache.
 package main
 
 import (
@@ -9,20 +13,43 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/etable"
+	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/snapshot"
 	"repro/internal/translate"
 )
+
+// datasetFlag accumulates repeated -dataset name=path values.
+type datasetFlag struct {
+	names, paths []string
+}
+
+func (f *datasetFlag) String() string { return strings.Join(f.names, ",") }
+
+func (f *datasetFlag) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	f.names = append(f.names, name)
+	f.paths = append(f.paths, path)
+	return nil
+}
 
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	papers := flag.Int("papers", 5000, "papers in the generated corpus")
 	seed := flag.Int64("seed", 1, "generator seed")
-	cacheEntries := flag.Int("cache", 1024, "shared execution cache capacity (relations)")
+	snapPath := flag.String("snapshot", "", "boot the default dataset from this .etsnap file instead of generating a corpus")
+	var extra datasetFlag
+	flag.Var(&extra, "dataset", "register a named snapshot dataset as name=path (repeatable; lazily loaded on first request)")
+	cacheEntries := flag.Int("cache", 1024, "per-dataset execution cache capacity (relations)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (negative disables)")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum live sessions (LRU-evicted beyond)")
 	pageSize := flag.Int("page-size", 0, "default result rows per response (0 = all; clients may page with offset/limit)")
@@ -37,22 +64,52 @@ func main() {
 		log.Fatal(err)
 	}
 
-	log.Printf("generating %d-paper corpus…", *papers)
-	db, err := dataset.Generate(dataset.Config{Papers: *papers, Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
+	reg := registry.New(registry.Options{CacheEntries: *cacheEntries})
+	switch {
+	case *snapPath != "":
+		// Boot the default dataset from disk: no generation, no
+		// translation — the snapshot was both.
+		start := time.Now()
+		snap, err := snapshot.Load(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := reg.AddGraph("default", snap.Schema, snap.Graph); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %s in %s: %d nodes, %d edges (%d bytes)",
+			*snapPath, time.Since(start).Round(time.Millisecond),
+			snap.Info.Nodes, snap.Info.Edges, snap.Info.Bytes)
+	case len(extra.names) > 0:
+		// Only -dataset flags: the first named dataset is the default;
+		// nothing loads until traffic arrives.
+	default:
+		log.Printf("generating %d-paper corpus…", *papers)
+		db, err := dataset.Generate(dataset.Config{Papers: *papers, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Print("translating to TGDB…")
+		tr, err := translate.Translate(db, translate.Options{
+			CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		stats := tr.Instance.ComputeStats()
+		log.Printf("TGDB ready: %d nodes, %d edges (frozen: %v)", stats.Nodes, stats.Edges, tr.Instance.Frozen())
+		if _, err := reg.AddGraph("default", tr.Schema, tr.Instance); err != nil {
+			log.Fatal(err)
+		}
 	}
-	log.Print("translating to TGDB…")
-	tr, err := translate.Translate(db, translate.Options{
-		CategoricalAttrs: []string{"Papers.year", "Institutions.country"},
-	})
-	if err != nil {
-		log.Fatal(err)
+	for i, name := range extra.names {
+		if _, err := reg.AddSnapshot(name, extra.paths[i]); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered dataset %q from %s (lazy)", name, extra.paths[i])
 	}
-	stats := tr.Instance.ComputeStats()
-	log.Printf("TGDB ready: %d nodes, %d edges (frozen: %v)", stats.Nodes, stats.Edges, tr.Instance.Frozen())
 
-	srv := server.NewWithOptions(tr.Schema, tr.Instance, server.Options{
+	srv := server.NewFromRegistry(reg, server.Options{
 		CacheEntries: *cacheEntries,
 		SessionTTL:   *sessionTTL,
 		MaxSessions:  *maxSessions,

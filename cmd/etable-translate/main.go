@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/render"
+	"repro/internal/snapshot"
 	"repro/internal/translate"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	show := flag.String("show", "categories",
 		"what to print: categories (Table 1), graph (Figure 4), instances (Figure 5), schema (Figure 3), all")
+	out := flag.String("o", "", "write the translated TGDB to this .etsnap snapshot file (serve it with etable-server -snapshot)")
 	flag.Parse()
 
 	db, err := dataset.Generate(dataset.Config{Papers: *papers, Seed: *seed})
@@ -33,6 +35,15 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *out != "" {
+		n, err := snapshot.SaveFile(*out, tr.Instance)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := tr.Instance.ComputeStats()
+		log.Printf("wrote %s: %d bytes (%d nodes, %d edges)", *out, n, st.Nodes, st.Edges)
 	}
 
 	w := os.Stdout

@@ -163,4 +163,24 @@
 // (graphrel.Bitset), and non-string labels are interned per range so N
 // rows referencing one node share one rendered string. PERFORMANCE.md
 // §6 records the page-fetch measurements (BenchmarkFigure7Pipeline).
+//
+// # Persistence and datasets
+//
+// internal/snapshot serializes a frozen TGDB — schema, node columns,
+// both adjacency directions, and the planner statistics — into a
+// versioned columnar file (.etsnap) with per-section CRC-32C
+// checksums; Load rebuilds a frozen graph that serves byte-identical
+// query results without re-running translation (corrupt or
+// version-skewed files fail with typed errors, never panics; see
+// docs/SNAPSHOT.md for the format). internal/registry names many such
+// datasets in one server process: each owns its own execution cache,
+// plan cache, and statistics, lazy snapshot datasets load on first
+// request (singleflight), and sessions bind to one dataset at
+// creation. The HTTP surface grows /api/v1/datasets (list/inspect) and
+// /api/v1/datasets/{name}/sessions/... routing, with the legacy
+// unscoped routes serving the registry's default dataset unchanged.
+// etable-translate -o writes a snapshot; etable-server -snapshot
+// boots from one (3.8× faster than regenerate+translate at the
+// 5k-paper default, PERFORMANCE.md §9) and repeatable -dataset
+// name=path flags register more.
 package repro

@@ -1,0 +1,225 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/etable"
+	"repro/internal/snapshot"
+	"repro/internal/translate"
+)
+
+// buildCorpus translates a small corpus.
+func buildCorpus(t testing.TB, papers int, seed int64) *translate.Result {
+	t.Helper()
+	db, err := dataset.Generate(dataset.Config{Papers: papers, Authors: papers / 2, Institutions: 20, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := translate.Translate(db, translate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// writeSnapshot saves a corpus to a temp .etsnap file.
+func writeSnapshot(t testing.TB, tr *translate.Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ds.etsnap")
+	if _, err := snapshot.SaveFile(path, tr.Instance); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRegistration(t *testing.T) {
+	tr := buildCorpus(t, 50, 1)
+	r := New(Options{})
+
+	if r.Default() != nil {
+		t.Fatal("empty registry has a default")
+	}
+	if _, err := r.AddGraph("", tr.Schema, tr.Instance); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := r.AddSnapshot("x", ""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+
+	a, err := r.AddGraph("alpha", tr.Schema, tr.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddGraph("alpha", tr.Schema, tr.Instance); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	b, err := r.AddSnapshot("beta", writeSnapshot(t, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First added is the default until overridden.
+	if r.Default() != a {
+		t.Fatal("first dataset is not the default")
+	}
+	if err := r.SetDefault("beta"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Default() != b {
+		t.Fatal("SetDefault did not take")
+	}
+	if err := r.SetDefault("nope"); err == nil {
+		t.Fatal("SetDefault accepted an unknown name")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Names() = %v", names)
+	}
+
+	// Eager datasets are loaded from the start, with no load metrics.
+	if !a.Loaded() || a.Graph() != tr.Instance || a.Schema() != tr.Schema {
+		t.Fatal("eager dataset not resident")
+	}
+	if bytes, dur := a.LoadMetrics(); bytes != 0 || dur != 0 {
+		t.Fatal("eager dataset has snapshot load metrics")
+	}
+	// Lazy datasets are not.
+	if b.Loaded() || b.Graph() != nil {
+		t.Fatal("lazy dataset resident before Ensure")
+	}
+}
+
+// TestLazyLoadSingleflight hammers Ensure from many goroutines; all
+// must succeed and observe one identical graph. Run under -race.
+func TestLazyLoadSingleflight(t *testing.T) {
+	tr := buildCorpus(t, 60, 2)
+	r := New(Options{})
+	ds, err := r.AddSnapshot("lazy", writeSnapshot(t, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	var wg sync.WaitGroup
+	graphs := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := ds.Ensure(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = ds.Graph()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("goroutine %d observed a different graph", i)
+		}
+	}
+	if !ds.Loaded() {
+		t.Fatal("not loaded after Ensure")
+	}
+	if bytes, dur := ds.LoadMetrics(); bytes <= 0 || dur <= 0 {
+		t.Fatalf("load metrics (%d bytes, %v) not recorded", bytes, dur)
+	}
+	if ds.Graph().NumNodes() != tr.Instance.NumNodes() {
+		t.Fatal("loaded graph has wrong node count")
+	}
+}
+
+// TestFailedLoadRetries: a failed load is delivered to that attempt's
+// callers but is not sticky — once the file is fixed, the next Ensure
+// succeeds. The path is a symlink so the test can swap the target.
+func TestFailedLoadRetries(t *testing.T) {
+	tr := buildCorpus(t, 40, 3)
+	dir := t.TempDir()
+	good := writeSnapshot(t, tr)
+	bad := filepath.Join(dir, "bad.etsnap")
+	if err := os.WriteFile(bad, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(dir, "current.etsnap")
+	if err := os.Symlink(bad, link); err != nil {
+		t.Skipf("symlink unavailable: %v", err)
+	}
+
+	r := New(Options{})
+	ds, err := r.AddSnapshot("flaky", link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ensure(context.Background()); !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("Ensure on bad file = %v, want ErrBadMagic", err)
+	}
+	if ds.Loaded() {
+		t.Fatal("failed load marked dataset loaded")
+	}
+
+	if err := os.Remove(link); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(good, link); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Ensure(context.Background()); err != nil {
+		t.Fatalf("Ensure after fix: %v", err)
+	}
+	if !ds.Loaded() {
+		t.Fatal("dataset not loaded after successful retry")
+	}
+}
+
+// TestDatasetIsolation: queries on one dataset leave the other's
+// execution cache, plan cache, and stats untouched.
+func TestDatasetIsolation(t *testing.T) {
+	trA := buildCorpus(t, 80, 10)
+	trB := buildCorpus(t, 80, 11)
+	r := New(Options{CacheEntries: 64})
+	a, err := r.AddGraph("a", trA.Schema, trA.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.AddGraph("b", trB.Schema, trB.Instance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cache() == b.Cache() {
+		t.Fatal("datasets share an execution cache")
+	}
+
+	// Run the same pattern twice against dataset a through its cache.
+	p, err := etable.Initiate(trA.Schema, "Papers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = etable.Add(trA.Schema, p, "Paper_Authors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := etable.ExecuteOpts(a.Graph(), p, etable.ExecOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Dataset a's planner saw traffic; dataset b's saw none.
+	if etable.PlannerStatsFor(a.Graph()).Misses == 0 {
+		t.Fatal("dataset a plan cache saw no traffic")
+	}
+	bst := etable.PlannerStatsFor(b.Graph())
+	if bst.Hits != 0 || bst.Misses != 0 {
+		t.Fatalf("dataset b plan cache polluted: %+v", bst)
+	}
+	if b.Cache().Hits() != 0 || b.Cache().Misses() != 0 {
+		t.Fatal("dataset b execution cache polluted")
+	}
+}

@@ -8,12 +8,18 @@
 //
 // # Concurrency architecture
 //
-// The server is built for many simultaneous users over one immutable
-// TGDB (the ROADMAP's "heavy traffic" target):
+// The server is built for many simultaneous users over immutable
+// TGDBs (the ROADMAP's "heavy traffic" target). Since the persistence
+// tier landed it serves many datasets from one process: a
+// registry.Registry names each dataset, sessions bind to one dataset at
+// creation, and /api/v1/datasets/{name}/... scopes every session route.
+// The legacy unscoped routes keep working against the registry's
+// default dataset.
 //
-//   - One etable.Cache is shared by every session, so N users executing
-//     the same pattern signature compute it once (sharded LRU +
-//     singleflight; see internal/etable).
+//   - One etable.Cache per dataset is shared by every session bound to
+//     it, so N users executing the same pattern signature compute it
+//     once (sharded LRU + singleflight; see internal/etable), while two
+//     datasets can never evict each other's entries.
 //   - The session map is guarded by an RWMutex taken only to look up or
 //     create entries; request work runs under a per-session entry lock
 //     (which also makes an action and its response snapshot atomic), so
@@ -60,6 +66,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graphrel"
 	"repro/internal/ops"
+	"repro/internal/registry"
 	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/tgm"
@@ -127,24 +134,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// sessionEntry pairs a session with its last-use time (unix nanos,
-// atomic so touches need no lock).
+// sessionEntry pairs a session with the dataset it is bound to and its
+// last-use time (unix nanos, atomic so touches need no lock).
 type sessionEntry struct {
 	// mu serializes request handling on this session, making each
 	// action and its rendered response snapshot atomic — two tabs on
 	// one session cannot interleave between an action and the state it
 	// returns. Requests on different sessions run in parallel.
-	mu       sync.Mutex
-	sess     *session.Session
+	mu   sync.Mutex
+	sess *session.Session
+	// ds is the dataset the session was created against; every
+	// dataset-scoped route on this session must name it (sessions never
+	// migrate between datasets).
+	ds       *registry.Dataset
 	lastUsed atomic.Int64
 }
 
 // Server is the HTTP application server.
 type Server struct {
-	schema *tgm.SchemaGraph
-	graph  *tgm.InstanceGraph
-	opts   Options
-	cache  *etable.Cache
+	// reg names the served datasets; the "default" one backs the legacy
+	// unscoped routes.
+	reg  *registry.Registry
+	opts Options
 	// pool is the server-wide worker pool for intra-query parallelism,
 	// shared by every session (nil when MaxWorkers < 0). Its capacity is
 	// the hard bound on helper goroutines across all in-flight queries.
@@ -172,14 +183,28 @@ func New(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph) *Server {
 	return NewWithOptions(schema, graph, Options{})
 }
 
-// NewWithOptions creates a server over a TGDB.
+// NewWithOptions creates a single-dataset server over an in-memory
+// TGDB: the graph is wrapped as the eager "default" dataset of a fresh
+// registry. The pre-registry boot path, and still the common one.
 func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Options) *Server {
+	reg := registry.New(registry.Options{CacheEntries: opts.CacheEntries})
+	if _, err := reg.AddGraph("default", schema, graph); err != nil {
+		// Only nil inputs can fail here; surface them as the programmer
+		// error they are rather than serving a broken registry.
+		panic(err)
+	}
+	return NewFromRegistry(reg, opts)
+}
+
+// NewFromRegistry creates a server over a dataset registry. The
+// registry's default dataset backs the legacy unscoped routes; every
+// dataset is reachable under /api/v1/datasets/{name}/. Lazy datasets
+// stay on disk until their first request.
+func NewFromRegistry(reg *registry.Registry, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		schema:   schema,
-		graph:    graph,
+		reg:      reg,
 		opts:     opts,
-		cache:    etable.NewCache(opts.CacheEntries),
 		logf:     log.Printf,
 		now:      time.Now,
 		sessions: make(map[int64]*sessionEntry),
@@ -198,6 +223,17 @@ func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Opti
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/ops", s.handleV1Ops)
 	s.mux.HandleFunc("GET /api/v1/sessions/{id}/history", s.handleV1History)
 	s.mux.HandleFunc("POST /api/v1/sessions/{id}/replay", s.handleV1Replay)
+	// Dataset-scoped surface: the same session protocol under an
+	// explicit dataset. The handlers are shared — {ds} in the path
+	// scopes them; its absence resolves the default dataset.
+	s.mux.HandleFunc("GET /api/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /api/v1/datasets/{ds}", s.handleDatasetInfo)
+	s.mux.HandleFunc("GET /api/v1/datasets/{ds}/schema", s.handleSchema)
+	s.mux.HandleFunc("POST /api/v1/datasets/{ds}/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/v1/datasets/{ds}/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("POST /api/v1/datasets/{ds}/sessions/{id}/ops", s.handleV1Ops)
+	s.mux.HandleFunc("GET /api/v1/datasets/{ds}/sessions/{id}/history", s.handleV1History)
+	s.mux.HandleFunc("POST /api/v1/datasets/{ds}/sessions/{id}/replay", s.handleV1Replay)
 	// Legacy unversioned routes, kept as deprecated aliases. They share
 	// the op-protocol core; new clients should use /api/v1.
 	s.mux.HandleFunc("GET /api/schema", s.deprecated(s.handleSchema))
@@ -206,6 +242,35 @@ func NewWithOptions(schema *tgm.SchemaGraph, graph *tgm.InstanceGraph, opts Opti
 	s.mux.HandleFunc("GET /api/session/{id}", s.deprecated(s.handleGetSession))
 	s.mux.HandleFunc("POST /api/session/{id}/action", s.deprecated(s.handleAction))
 	return s
+}
+
+// datasetFor resolves the dataset a request addresses — the {ds} path
+// segment when present, else the registry default — and makes it
+// resident (lazy datasets load here, singleflight, on their first
+// request). 404 dataset_not_found for an unknown name; a failed load is
+// 503 dataset_load_failed (the next request retries it).
+func (s *Server) datasetFor(ctx context.Context, r *http.Request) (*registry.Dataset, error) {
+	name := r.PathValue("ds")
+	var ds *registry.Dataset
+	if name == "" {
+		if ds = s.reg.Default(); ds == nil {
+			return nil, apiErr(http.StatusNotFound, codeDatasetNotFound, "no datasets registered")
+		}
+	} else {
+		var ok bool
+		if ds, ok = s.reg.Get(name); !ok {
+			return nil, apiErr(http.StatusNotFound, codeDatasetNotFound, "no dataset %q", name)
+		}
+	}
+	if err := ds.Ensure(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		s.logf("server: loading dataset %q: %v", ds.Name(), err)
+		return nil, apiErr(http.StatusServiceUnavailable, codeDatasetLoadFailed,
+			"dataset %q failed to load", ds.Name())
+	}
+	return ds, nil
 }
 
 // deprecated marks a legacy route's responses with a Deprecation header
@@ -218,8 +283,17 @@ func (s *Server) deprecated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Cache returns the shared execution cache (for stats and tests).
-func (s *Server) Cache() *etable.Cache { return s.cache }
+// Cache returns the default dataset's execution cache (for stats and
+// tests). Scoped datasets have their own; see Registry().
+func (s *Server) Cache() *etable.Cache {
+	if ds := s.reg.Default(); ds != nil {
+		return ds.Cache()
+	}
+	return nil
+}
+
+// Registry returns the dataset registry the server serves from.
+func (s *Server) Registry() *registry.Registry { return s.reg }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -260,6 +334,9 @@ const (
 	codeCanceled        = "request_canceled"  // 499: client went away mid-query
 	codeResultTooLarge  = "result_too_large"  // 413: result exceeds Options.MaxRows
 	codeInternal        = "internal"          // 500
+
+	codeDatasetNotFound   = "dataset_not_found"   // 404: unknown dataset name
+	codeDatasetLoadFailed = "dataset_load_failed" // 503: snapshot load failed (retryable)
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client
@@ -377,19 +454,25 @@ type edgeTypeJSON struct {
 	Kind   string `json:"kind"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	ds, err := s.datasetFor(r.Context(), r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	schema, graph := ds.Schema(), ds.Graph()
 	out := schemaJSON{}
-	for _, nt := range s.schema.NodeTypes() {
+	for _, nt := range schema.NodeTypes() {
 		attrs := make([]string, len(nt.Attrs))
 		for i, a := range nt.Attrs {
 			attrs[i] = a.Name
 		}
 		out.NodeTypes = append(out.NodeTypes, nodeTypeJSON{
 			Name: nt.Name, Kind: nt.Kind.String(), Label: nt.Label, Attrs: attrs,
-			Count: len(s.graph.NodesOfType(nt.Name)),
+			Count: len(graph.NodesOfType(nt.Name)),
 		})
 	}
-	for _, et := range s.schema.EdgeTypes() {
+	for _, et := range schema.EdgeTypes() {
 		out.EdgeTypes = append(out.EdgeTypes, edgeTypeJSON{
 			Name: et.Name, Label: et.Label, Source: et.Source, Target: et.Target,
 			Kind: et.Kind.String(),
@@ -413,6 +496,38 @@ type statsJSON struct {
 	Workers         workerJSON     `json:"workers"`
 	Planner         plannerJSON    `json:"planner"`
 	EdgeStats       []edgeStatJSON `json:"edgeStats"`
+	// Datasets reports every registered dataset, loaded or not. The
+	// top-level cache/planner/edge fields describe the default dataset
+	// (the pre-registry shape, kept for compatibility).
+	Datasets []datasetStatsJSON `json:"datasets"`
+}
+
+// datasetStatsJSON is one dataset's entry in the /api/v1/stats
+// "datasets" block: residency, snapshot load cost, and the dataset's
+// own cache and planner telemetry — per dataset because caches are.
+type datasetStatsJSON struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default"`
+	// Loaded is false for a lazy dataset no request has touched yet;
+	// everything below it is zero until the first load.
+	Loaded bool `json:"loaded"`
+	// SnapshotBytes and LoadMs record the boot-from-disk cost (zero for
+	// datasets born in memory).
+	SnapshotBytes int64   `json:"snapshotBytes,omitempty"`
+	LoadMs        float64 `json:"loadMs,omitempty"`
+	Sessions      int     `json:"sessions"`
+	Nodes         int     `json:"nodes,omitempty"`
+	Edges         int     `json:"edges,omitempty"`
+	// Execution-cache telemetry, scoped to this dataset's cache.
+	CacheEntries        int   `json:"cacheEntries"`
+	CacheHits           int64 `json:"cacheHits"`
+	CacheMisses         int64 `json:"cacheMisses"`
+	PinnedRelations     int   `json:"pinnedRelations"`
+	CacheResidentBytes  int64 `json:"cacheResidentBytes"`
+	PinnedRelationBytes int64 `json:"pinnedRelationBytes"`
+	// Plan-cache telemetry, scoped to this dataset's graph.
+	PlanCacheHits   int64 `json:"planCacheHits"`
+	PlanCacheMisses int64 `json:"planCacheMisses"`
 }
 
 // plannerJSON is the plan-cache telemetry block of /api/v1/stats: how
@@ -486,54 +601,101 @@ type edgeStatJSON struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	// Per-dataset session counts in one pass under the read lock.
 	s.mu.RLock()
 	n := len(s.sessions)
+	perDS := make(map[*registry.Dataset]int)
+	for _, e := range s.sessions {
+		perDS[e.ds]++
+	}
 	s.mu.RUnlock()
 	var rms runtime.MemStats
 	runtime.ReadMemStats(&rms)
-	cms := s.cache.MemStatsNow()
 	out := statsJSON{
-		Sessions:        n,
-		CacheEntries:    s.cache.Len(),
-		CacheHits:       s.cache.Hits(),
-		CacheMisses:     s.cache.Misses(),
-		PinnedRelations: s.cache.PinnedCount(),
-		Memory: memoryJSON{
-			HeapAllocBytes:      rms.HeapAlloc,
-			HeapInuseBytes:      rms.HeapInuse,
-			CacheResidentBytes:  cms.ResidentBytes,
-			PinnedRelationBytes: cms.PinnedBytes,
-		},
+		Sessions: n,
 		Workers: workerJSON{
 			Cap:                s.pool.Cap(),
 			InFlight:           s.pool.InFlight(),
 			DefaultParallelism: s.defaultBudget(),
 		},
+		Memory: memoryJSON{
+			HeapAllocBytes: rms.HeapAlloc,
+			HeapInuseBytes: rms.HeapInuse,
+		},
+		Planner:  plannerJSON{Mode: s.opts.Planner.String()},
+		Datasets: []datasetStatsJSON{},
 	}
-	ps := etable.PlannerStatsFor(s.graph)
-	out.Planner = plannerJSON{
-		Mode:                   s.opts.Planner.String(),
-		Hits:                   ps.Hits,
-		Misses:                 ps.Misses,
-		Entries:                ps.Entries,
-		Evictions:              ps.Evictions,
-		GreedyPlans:            ps.GreedyPlans,
-		CostPlans:              ps.CostPlans,
-		FeedbackReplans:        ps.Replans,
-		AdaptiveThresholdNodes: ps.AdaptiveThreshold,
+	def := s.reg.Default()
+	// Top-level cache/planner/edge blocks keep their pre-registry
+	// meaning: they describe the default dataset (when it is resident).
+	if def != nil {
+		cache := def.Cache()
+		cms := cache.MemStatsNow()
+		out.CacheEntries = cache.Len()
+		out.CacheHits = cache.Hits()
+		out.CacheMisses = cache.Misses()
+		out.PinnedRelations = cache.PinnedCount()
+		out.Memory.CacheResidentBytes = cms.ResidentBytes
+		out.Memory.PinnedRelationBytes = cms.PinnedBytes
 	}
-	st := stats.For(s.graph)
-	names := make([]string, 0, len(st.Edges))
-	for name := range st.Edges {
-		names = append(names, name)
+	if def != nil && def.Loaded() {
+		ps := etable.PlannerStatsFor(def.Graph())
+		out.Planner = plannerJSON{
+			Mode:                   s.opts.Planner.String(),
+			Hits:                   ps.Hits,
+			Misses:                 ps.Misses,
+			Entries:                ps.Entries,
+			Evictions:              ps.Evictions,
+			GreedyPlans:            ps.GreedyPlans,
+			CostPlans:              ps.CostPlans,
+			FeedbackReplans:        ps.Replans,
+			AdaptiveThresholdNodes: ps.AdaptiveThreshold,
+		}
+		st := stats.For(def.Graph())
+		names := make([]string, 0, len(st.Edges))
+		for name := range st.Edges {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			es := st.Edges[name]
+			out.EdgeStats = append(out.EdgeStats, edgeStatJSON{
+				Edge: name, Count: es.Count, Fanout: es.Fanout,
+				MaxOutDegree: es.MaxOutDegree, P90OutDegree: es.DegreeQuantile(0.9),
+			})
+		}
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		es := st.Edges[name]
-		out.EdgeStats = append(out.EdgeStats, edgeStatJSON{
-			Edge: name, Count: es.Count, Fanout: es.Fanout,
-			MaxOutDegree: es.MaxOutDegree, P90OutDegree: es.DegreeQuantile(0.9),
-		})
+	for _, name := range s.reg.Names() {
+		ds, ok := s.reg.Get(name)
+		if !ok {
+			continue
+		}
+		d := datasetStatsJSON{
+			Name:     name,
+			Default:  ds == def,
+			Loaded:   ds.Loaded(),
+			Sessions: perDS[ds],
+		}
+		bytes, dur := ds.LoadMetrics()
+		d.SnapshotBytes = bytes
+		d.LoadMs = float64(dur.Microseconds()) / 1e3
+		cache := ds.Cache()
+		cms := cache.MemStatsNow()
+		d.CacheEntries = cache.Len()
+		d.CacheHits = cache.Hits()
+		d.CacheMisses = cache.Misses()
+		d.PinnedRelations = cache.PinnedCount()
+		d.CacheResidentBytes = cms.ResidentBytes
+		d.PinnedRelationBytes = cms.PinnedBytes
+		if d.Loaded {
+			g := ds.Graph()
+			d.Nodes = g.NumNodes()
+			d.Edges = g.NumEdges()
+			ps := etable.PlannerStatsFor(g)
+			d.PlanCacheHits = ps.Hits
+			d.PlanCacheMisses = ps.Misses
+		}
+		out.Datasets = append(out.Datasets, d)
 	}
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -628,10 +790,10 @@ type createSessionBody struct {
 	Ops ops.Pipeline `json:"ops"`
 }
 
-// createSession builds a session, applies any initial ops from the
-// request body, and registers it. If the initial ops fail, no session is
-// created. Returns the new id and entry.
-func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *sessionEntry, error) {
+// createSession builds a session bound to ds, applies any initial ops
+// from the request body, and registers it. If the initial ops fail, no
+// session is created. Returns the new id and entry.
+func (s *Server) createSession(ctx context.Context, r *http.Request, ds *registry.Dataset) (int64, *sessionEntry, error) {
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		return 0, nil, apiErr(http.StatusBadRequest, codeBadBody, "reading body: %v", err)
@@ -648,9 +810,9 @@ func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *se
 	if s.opts.PrivateCaches {
 		// Ablation baseline: private cache, serial execution — the
 		// pre-refactor serving core.
-		sess = session.New(s.schema, s.graph)
+		sess = session.New(ds.Schema(), ds.Graph())
 	} else {
-		sess = session.NewWithExec(s.schema, s.graph, s.cache, s.pool, s.defaultBudget())
+		sess = session.NewWithExec(ds.Schema(), ds.Graph(), ds.Cache(), s.pool, s.defaultBudget())
 	}
 	sess.SetMaxRows(s.opts.MaxRows)
 	sess.SetPlanner(s.opts.Planner)
@@ -664,7 +826,7 @@ func (s *Server) createSession(ctx context.Context, r *http.Request) (int64, *se
 			return 0, nil, err
 		}
 	}
-	e := &sessionEntry{sess: sess}
+	e := &sessionEntry{sess: sess, ds: ds}
 	e.lastUsed.Store(s.now().UnixNano())
 	s.mu.Lock()
 	evicted := s.evictLocked()
@@ -690,7 +852,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	id, e, err := s.createSession(ctx, r)
+	ds, err := s.datasetFor(ctx, r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	id, e, err := s.createSession(ctx, r, ds)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -709,11 +876,19 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 // entry resolves the {id} path segment: 400 for a non-numeric id, 404
 // for an id that was never allocated, 410 for one that existed but has
 // been evicted (TTL or LRU) — so clients can tell "retry with a new
-// session" from "you have the wrong URL".
+// session" from "you have the wrong URL". On dataset-scoped routes the
+// session must be bound to the named dataset: a live session reached
+// through the wrong dataset's URL is a 404 (the session does not exist
+// *there*), which keeps dataset namespaces disjoint.
 func (s *Server) entry(r *http.Request) (*sessionEntry, int64, error) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
 		return nil, 0, apiErr(http.StatusBadRequest, codeBadSessionID, "bad session id %q", r.PathValue("id"))
+	}
+	if name := r.PathValue("ds"); name != "" {
+		if _, ok := s.reg.Get(name); !ok {
+			return nil, 0, apiErr(http.StatusNotFound, codeDatasetNotFound, "no dataset %q", name)
+		}
 	}
 	s.maybeSweep()
 	s.mu.RLock()
@@ -732,6 +907,10 @@ func (s *Server) entry(r *http.Request) (*sessionEntry, int64, error) {
 				"session %d expired or was evicted; export/replay or create a new one", id)
 		}
 		return nil, 0, apiErr(http.StatusNotFound, codeSessionNotFound, "no session %d", id)
+	}
+	if name := r.PathValue("ds"); name != "" && e.ds.Name() != name {
+		return nil, 0, apiErr(http.StatusNotFound, codeSessionNotFound,
+			"no session %d in dataset %q", id, name)
 	}
 	return e, id, nil
 }

@@ -1,0 +1,448 @@
+package snapshot
+
+// Section decoders. Every read is bounds-checked through dec — a
+// truncated or hostile payload surfaces as a *CorruptError naming the
+// section, never a panic or a runaway allocation (element counts are
+// validated against the bytes that remain to encode them).
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/tgm"
+	"repro/internal/value"
+)
+
+// meta carries the META section's cross-check counts.
+type meta struct {
+	nodes, edges         int
+	nodeTypes, edgeTypes int
+}
+
+// dec is a bounds-checked reader over one section's payload.
+type dec struct {
+	buf []byte
+	off int
+	sec string
+}
+
+func (d *dec) remaining() int { return len(d.buf) - d.off }
+
+func (d *dec) u() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, corrupt(d.sec, "truncated or malformed varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) i() (int64, error) {
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, corrupt(d.sec, "truncated or malformed varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *dec) b() (byte, error) {
+	if d.remaining() < 1 {
+		return 0, corrupt(d.sec, "truncated at offset %d", d.off)
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *dec) f64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, corrupt(d.sec, "truncated float at offset %d", d.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+func (d *dec) str() (string, error) {
+	n, err := d.u()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", corrupt(d.sec, "string length %d exceeds remaining %d bytes", n, d.remaining())
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// count reads an element count and rejects values no remaining payload
+// could encode (each element is at least one byte), so a corrupt count
+// cannot drive a giant allocation.
+func (d *dec) count(what string) (int, error) {
+	v, err := d.u()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(d.remaining()) {
+		return 0, corrupt(d.sec, "%s count %d exceeds remaining %d bytes", what, v, d.remaining())
+	}
+	return int(v), nil
+}
+
+// done rejects trailing bytes after a fully decoded section.
+func (d *dec) done() error {
+	if d.remaining() != 0 {
+		return corrupt(d.sec, "%d trailing bytes after payload", d.remaining())
+	}
+	return nil
+}
+
+func decodeMeta(buf []byte) (meta, error) {
+	d := &dec{buf: buf, sec: secMeta}
+	var m meta
+	for _, dst := range []*int{&m.nodes, &m.edges, &m.nodeTypes, &m.edgeTypes} {
+		v, err := d.u()
+		if err != nil {
+			return m, err
+		}
+		if v > math.MaxInt32 {
+			return m, corrupt(secMeta, "implausible count %d", v)
+		}
+		*dst = int(v)
+	}
+	return m, d.done()
+}
+
+// decodeSchema rebuilds the schema graph and returns the edge types in
+// their serialized order (the order EDGE and STAT follow).
+func decodeSchema(buf []byte, m meta) (*tgm.SchemaGraph, []*tgm.EdgeType, error) {
+	d := &dec{buf: buf, sec: secSchema}
+	s := tgm.NewSchemaGraph()
+	nNT, err := d.count("node type")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nNT != m.nodeTypes {
+		return nil, nil, corrupt(secSchema, "node type count %d does not match META %d", nNT, m.nodeTypes)
+	}
+	for i := 0; i < nNT; i++ {
+		var nt tgm.NodeType
+		if nt.Name, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if nt.Label, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if nt.Key, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		kind, err := d.b()
+		if err != nil {
+			return nil, nil, err
+		}
+		nt.Kind = tgm.NodeTypeKind(kind)
+		if nt.SourceTable, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		nAttrs, err := d.count("attribute")
+		if err != nil {
+			return nil, nil, err
+		}
+		nt.Attrs = make([]tgm.Attr, nAttrs)
+		for ai := range nt.Attrs {
+			if nt.Attrs[ai].Name, err = d.str(); err != nil {
+				return nil, nil, err
+			}
+			ak, err := d.b()
+			if err != nil {
+				return nil, nil, err
+			}
+			nt.Attrs[ai].Type = value.Kind(ak)
+		}
+		if _, err := s.AddNodeType(nt); err != nil {
+			return nil, nil, corrupt(secSchema, "node type %d: %v", i, err)
+		}
+	}
+	nET, err := d.count("edge type")
+	if err != nil {
+		return nil, nil, err
+	}
+	if nET != m.edgeTypes {
+		return nil, nil, corrupt(secSchema, "edge type count %d does not match META %d", nET, m.edgeTypes)
+	}
+	order := make([]*tgm.EdgeType, 0, nET)
+	for i := 0; i < nET; i++ {
+		var et tgm.EdgeType
+		if et.Name, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if et.Source, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if et.Target, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if et.Label, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		kind, err := d.b()
+		if err != nil {
+			return nil, nil, err
+		}
+		et.Kind = tgm.EdgeTypeKind(kind)
+		if et.Reverse, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		if et.SourceTable, err = d.str(); err != nil {
+			return nil, nil, err
+		}
+		added, err := s.AddEdgeType(et)
+		if err != nil {
+			return nil, nil, corrupt(secSchema, "edge type %d: %v", i, err)
+		}
+		order = append(order, added)
+	}
+	return s, order, d.done()
+}
+
+// decodeNodes rebuilds every node, preserving global IDs: each type's
+// ID list fixes which type owns each dense ID, and nodes are re-added
+// in ascending global ID order so insertion reassigns the same IDs.
+func decodeNodes(buf []byte, schema *tgm.SchemaGraph, m meta) (*tgm.InstanceGraph, error) {
+	d := &dec{buf: buf, sec: secNodes}
+	nts := schema.NodeTypes()
+	owner := make([]int32, m.nodes)
+	for i := range owner {
+		owner[i] = -1
+	}
+	// vals[type][attr][row], aligned with each type's ID list.
+	vals := make([][][]value.V, len(nts))
+	claimed := 0
+	for ti, nt := range nts {
+		n, err := d.count("node")
+		if err != nil {
+			return nil, err
+		}
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			delta, err := d.u()
+			if err != nil {
+				return nil, err
+			}
+			id := delta
+			if i > 0 {
+				if delta == 0 {
+					return nil, corrupt(secNodes, "type %q: non-ascending node ID", nt.Name)
+				}
+				id = prev + delta
+			}
+			if id >= uint64(m.nodes) {
+				return nil, corrupt(secNodes, "type %q: node ID %d out of range [0,%d)", nt.Name, id, m.nodes)
+			}
+			if owner[id] != -1 {
+				return nil, corrupt(secNodes, "node ID %d claimed by two types", id)
+			}
+			owner[id] = int32(ti)
+			prev = id
+		}
+		claimed += n
+		cols := make([][]value.V, len(nt.Attrs))
+		for ai := range nt.Attrs {
+			col := make([]value.V, n)
+			// Tag array, then payloads.
+			if d.remaining() < n {
+				return nil, corrupt(secNodes, "type %q attr %q: truncated tag array", nt.Name, nt.Attrs[ai].Name)
+			}
+			tags := d.buf[d.off : d.off+n]
+			d.off += n
+			for i := 0; i < n; i++ {
+				v, err := decodeValuePayload(d, value.Kind(tags[i]))
+				if err != nil {
+					return nil, err
+				}
+				col[i] = v
+			}
+			cols[ai] = col
+		}
+		vals[ti] = cols
+	}
+	if claimed != m.nodes {
+		return nil, corrupt(secNodes, "%d node IDs assigned, META says %d", claimed, m.nodes)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	g := tgm.NewInstanceGraph(schema)
+	cursor := make([]int, len(nts))
+	var scratch []value.V
+	for gid := 0; gid < m.nodes; gid++ {
+		ti := owner[gid]
+		nt := nts[ti]
+		row := cursor[ti]
+		cursor[ti]++
+		scratch = scratch[:0]
+		for ai := range nt.Attrs {
+			scratch = append(scratch, vals[ti][ai][row])
+		}
+		id, err := g.AddNode(nt.Name, scratch)
+		if err != nil {
+			return nil, corrupt(secNodes, "re-adding node %d: %v", gid, err)
+		}
+		if int(id) != gid {
+			return nil, corrupt(secNodes, "node %d re-added as %d", gid, id)
+		}
+	}
+	return g, nil
+}
+
+// decodeValuePayload reads one value of the tagged kind.
+func decodeValuePayload(d *dec, k value.Kind) (value.V, error) {
+	switch k {
+	case value.KindNull:
+		return value.Null, nil
+	case value.KindInt:
+		v, err := d.i()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Int(v), nil
+	case value.KindFloat:
+		v, err := d.f64()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Float(v), nil
+	case value.KindString:
+		v, err := d.str()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Str(v), nil
+	case value.KindBool:
+		v, err := d.b()
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Bool(v != 0), nil
+	default:
+		return value.Null, corrupt(d.sec, "unknown value kind %d", k)
+	}
+}
+
+// decodeEdges rebuilds every adjacency list through AddDirectedEdge —
+// one direction at a time, in stored order, so Neighbors returns
+// exactly the serialized sequences.
+func decodeEdges(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType, m meta) error {
+	d := &dec{buf: buf, sec: secEdges}
+	nET, err := d.count("edge type")
+	if err != nil {
+		return err
+	}
+	if nET != len(order) {
+		return corrupt(secEdges, "edge type count %d does not match schema %d", nET, len(order))
+	}
+	for _, et := range order {
+		name, err := d.str()
+		if err != nil {
+			return err
+		}
+		if name != et.Name {
+			return corrupt(secEdges, "edge type order mismatch: got %q, want %q", name, et.Name)
+		}
+		nSrc, err := d.count("source")
+		if err != nil {
+			return err
+		}
+		prevSrc := uint64(0)
+		for i := 0; i < nSrc; i++ {
+			src, err := d.u()
+			if err != nil {
+				return err
+			}
+			if src >= uint64(m.nodes) {
+				return corrupt(secEdges, "edge type %q: source %d out of range", name, src)
+			}
+			if i > 0 && src <= prevSrc {
+				return corrupt(secEdges, "edge type %q: sources not ascending", name)
+			}
+			prevSrc = src
+			degree, err := d.count("target")
+			if err != nil {
+				return err
+			}
+			if degree == 0 {
+				return corrupt(secEdges, "edge type %q: source %d with zero targets", name, src)
+			}
+			for t := 0; t < degree; t++ {
+				dst, err := d.u()
+				if err != nil {
+					return err
+				}
+				if dst >= uint64(m.nodes) {
+					return corrupt(secEdges, "edge type %q: target %d out of range", name, dst)
+				}
+				if err := g.AddDirectedEdge(name, tgm.NodeID(src), tgm.NodeID(dst)); err != nil {
+					return corrupt(secEdges, "re-adding edge: %v", err)
+				}
+			}
+		}
+	}
+	return d.done()
+}
+
+// decodeStats rebuilds the planner statistics and attaches them to the
+// (already frozen) graph, so stats.For never recollects after a load.
+func decodeStats(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType) error {
+	d := &dec{buf: buf, sec: secStats}
+	sg := &stats.Graph{
+		Nodes: make(map[string]stats.NodeStats),
+		Edges: make(map[string]stats.EdgeStats),
+	}
+	for _, nt := range g.Schema().NodeTypes() {
+		cnt, err := d.u()
+		if err != nil {
+			return err
+		}
+		ns := stats.NodeStats{Count: int(cnt), NDV: make(map[string]int, len(nt.Attrs))}
+		for _, a := range nt.Attrs {
+			ndv, err := d.u()
+			if err != nil {
+				return err
+			}
+			ns.NDV[a.Name] = int(ndv)
+		}
+		sg.Nodes[nt.Name] = ns
+	}
+	for _, et := range order {
+		var es stats.EdgeStats
+		fields := []*int{&es.Count, &es.Sources, &es.SourcesWithOut, &es.MaxOutDegree}
+		for _, f := range fields {
+			v, err := d.u()
+			if err != nil {
+				return err
+			}
+			*f = int(v)
+		}
+		fan, err := d.f64()
+		if err != nil {
+			return err
+		}
+		es.Fanout = fan
+		for i := range es.Hist {
+			h, err := d.u()
+			if err != nil {
+				return err
+			}
+			es.Hist[i] = int(h)
+		}
+		sg.Edges[et.Name] = es
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	stats.Attach(g, sg)
+	return nil
+}

@@ -1,0 +1,43 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadMagic reports that a file is not a snapshot at all: it is too
+// short for a header or its first eight bytes are not the .etsnap
+// magic. Distinct from *CorruptError so a caller probing "is this one
+// of ours?" (a registry scanning a directory, a CLI given the wrong
+// path) can tell "wrong file" from "our file, damaged".
+var ErrBadMagic = errors.New("snapshot: bad magic (not an .etsnap file)")
+
+// VersionError reports a snapshot written by a different format
+// version. Readers refuse unknown versions outright — decoding a
+// future (or corrupted-version) layout by guesswork would produce a
+// silently wrong graph, which is strictly worse than an error.
+type VersionError struct {
+	Got, Want uint32
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snapshot: format version %d, this reader supports version %d", e.Got, e.Want)
+}
+
+// CorruptError reports a snapshot whose bytes do not decode: a failed
+// checksum, a truncated or out-of-range section, an impossible count,
+// or a reference to an entity that does not exist. Section names which
+// part of the file failed ("header" for the section table itself).
+type CorruptError struct {
+	Section string
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("snapshot: corrupt %s section: %s", e.Section, e.Reason)
+}
+
+// corrupt builds a *CorruptError.
+func corrupt(section, format string, args ...any) error {
+	return &CorruptError{Section: section, Reason: fmt.Sprintf(format, args...)}
+}

@@ -180,6 +180,24 @@ func For(g *tgm.InstanceGraph) *Graph {
 	return s
 }
 
+// Attach publishes precomputed statistics for a frozen graph so later
+// For calls return them without a collection pass. It exists for
+// restore paths (internal/snapshot) that persisted the statistics next
+// to the graph: booting from a snapshot must not pay the O(nodes×attrs
+// + edges) Collect cost translation already paid. If statistics were
+// already published (a concurrent For raced ahead), the first published
+// value wins and is returned; for an unfrozen graph s is returned
+// unpublished, mirroring For's caching rule.
+func Attach(g *tgm.InstanceGraph, s *Graph) *Graph {
+	if g == nil || s == nil {
+		return s
+	}
+	if g.Frozen() {
+		return g.SetStatsCache(s).(*Graph)
+	}
+	return s
+}
+
 // Fanout returns the expected neighbors-per-source of an edge type,
 // 0 for unknown edge types or empty source types (never NaN).
 func (s *Graph) Fanout(edgeType string) float64 {

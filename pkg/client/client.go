@@ -59,7 +59,11 @@ func (e *APIError) IsGone() bool { return e.Status == http.StatusGone }
 
 // Client is an /api/v1 client. It is safe for concurrent use.
 type Client struct {
-	base    string
+	base string
+	// prefix is the API root every session/schema path hangs off:
+	// "/api/v1" for the default dataset, "/api/v1/datasets/{name}" for
+	// a Dataset-scoped client.
+	prefix  string
 	hc      *http.Client
 	retries int
 	backoff time.Duration
@@ -84,6 +88,7 @@ func WithRetries(n int, backoff time.Duration) Option {
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base:    strings.TrimRight(baseURL, "/"),
+		prefix:  "/api/v1",
 		hc:      http.DefaultClient,
 		retries: 2,
 		backoff: 100 * time.Millisecond,
@@ -92,6 +97,17 @@ func New(baseURL string, opts ...Option) *Client {
 		o(c)
 	}
 	return c
+}
+
+// Dataset returns a client scoped to one named dataset on a
+// multi-dataset server: its sessions, schema, and ops all route through
+// /api/v1/datasets/{name}/. The receiver is unchanged; scoped and
+// unscoped clients share the same connection pool and options. Global
+// endpoints (Stats, Datasets) are identical through either.
+func (c *Client) Dataset(name string) *Client {
+	scoped := *c
+	scoped.prefix = "/api/v1/datasets/" + url.PathEscape(name)
+	return &scoped
 }
 
 // do issues one request and decodes the JSON response into out (unless
@@ -216,10 +232,39 @@ type Stats struct {
 	PinnedRelations int `json:"pinnedRelations"`
 }
 
-// Schema fetches the TGDB schema.
+// DatasetInfo is one dataset in the GET /api/v1/datasets payload.
+type DatasetInfo struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default"`
+	// Loaded is false for a lazy snapshot dataset no request has
+	// touched; the first session on it pays the load.
+	Loaded bool `json:"loaded"`
+	// Source is "memory" or "snapshot".
+	Source        string  `json:"source"`
+	SnapshotBytes int64   `json:"snapshotBytes"`
+	LoadMs        float64 `json:"loadMs"`
+	Nodes         int     `json:"nodes"`
+	Edges         int     `json:"edges"`
+	Sessions      int     `json:"sessions"`
+}
+
+// Datasets lists the server's registered datasets. Scope a client to
+// one of them with Dataset(name).
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out struct {
+		Datasets []DatasetInfo `json:"datasets"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/api/v1/datasets", true, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Datasets, nil
+}
+
+// Schema fetches the TGDB schema (the scoped dataset's schema on a
+// Dataset client).
 func (c *Client) Schema(ctx context.Context) (*Schema, error) {
 	var out Schema
-	if err := c.do(ctx, http.MethodGet, "/api/v1/schema", true, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, c.prefix+"/schema", true, nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -324,7 +369,7 @@ func (c *Client) NewSession(ctx context.Context, initial ...Op) (*Session, *Stat
 		body = map[string]any{"ops": initial}
 	}
 	var st State
-	if err := c.do(ctx, http.MethodPost, "/api/v1/sessions", false, body, &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, c.prefix+"/sessions", false, body, &st); err != nil {
 		return nil, nil, err
 	}
 	return &Session{c: c, id: st.ID}, &st, nil
@@ -376,7 +421,7 @@ func (p Page) query() string {
 // defaults).
 func (s *Session) State(ctx context.Context, page Page) (*State, error) {
 	var st State
-	path := fmt.Sprintf("/api/v1/sessions/%d%s", s.id, page.query())
+	path := fmt.Sprintf("%s/sessions/%d%s", s.c.prefix, s.id, page.query())
 	if err := s.c.do(ctx, http.MethodGet, path, true, nil, &st); err != nil {
 		return nil, err
 	}
@@ -406,7 +451,7 @@ func (s *Session) DoPaged(ctx context.Context, page Page, ops ...Op) (*State, er
 		body = ops[0]
 	}
 	var st State
-	path := fmt.Sprintf("/api/v1/sessions/%d/ops%s", s.id, page.query())
+	path := fmt.Sprintf("%s/sessions/%d/ops%s", s.c.prefix, s.id, page.query())
 	if err := s.c.do(ctx, http.MethodPost, path, false, body, &st); err != nil {
 		return nil, err
 	}
@@ -416,7 +461,7 @@ func (s *Session) DoPaged(ctx context.Context, page Page, ops ...Op) (*State, er
 // History fetches the session's history and replayable operation log.
 func (s *Session) History(ctx context.Context) (*History, error) {
 	var h History
-	if err := s.c.do(ctx, http.MethodGet, fmt.Sprintf("/api/v1/sessions/%d/history", s.id), true, nil, &h); err != nil {
+	if err := s.c.do(ctx, http.MethodGet, fmt.Sprintf("%s/sessions/%d/history", s.c.prefix, s.id), true, nil, &h); err != nil {
 		return nil, err
 	}
 	return &h, nil
@@ -426,7 +471,7 @@ func (s *Session) History(ctx context.Context) (*History, error) {
 // deterministically reproducing the state it was exported from.
 func (s *Session) Replay(ctx context.Context, log Log) (*State, error) {
 	var st State
-	if err := s.c.do(ctx, http.MethodPost, fmt.Sprintf("/api/v1/sessions/%d/replay", s.id), true, log, &st); err != nil {
+	if err := s.c.do(ctx, http.MethodPost, fmt.Sprintf("%s/sessions/%d/replay", s.c.prefix, s.id), true, log, &st); err != nil {
 		return nil, err
 	}
 	return &st, nil
