@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -47,8 +48,10 @@ func main() {
 	papers := flag.Int("papers", 5000, "papers in the generated corpus")
 	seed := flag.Int64("seed", 1, "generator seed")
 	snapPath := flag.String("snapshot", "", "boot the default dataset from this .etsnap file instead of generating a corpus")
+	lazy := flag.Bool("lazy", false, "load snapshots out-of-core: boot decodes only the skeleton, attribute columns fault in on demand through a bounded buffer pool")
+	pagerSections := flag.Int("pager-sections", 0, "resident column-section budget per lazy dataset (0 = default; only with -lazy)")
 	var extra datasetFlag
-	flag.Var(&extra, "dataset", "register a named snapshot dataset as name=path (repeatable; lazily loaded on first request)")
+	flag.Var(&extra, "dataset", "register a named snapshot dataset as name=path (repeatable; loaded on first request)")
 	cacheEntries := flag.Int("cache", 1024, "per-dataset execution cache capacity (relations)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this (negative disables)")
 	maxSessions := flag.Int("max-sessions", 1024, "maximum live sessions (LRU-evicted beyond)")
@@ -65,7 +68,22 @@ func main() {
 	}
 
 	reg := registry.New(registry.Options{CacheEntries: *cacheEntries})
+	snapOpt := registry.SnapshotOptions{Lazy: *lazy, PoolSections: *pagerSections}
 	switch {
+	case *snapPath != "" && *lazy:
+		// Out-of-core boot: decode only the skeleton now; columns fault
+		// in on demand through the bounded pager.
+		start := time.Now()
+		ds, err := reg.AddSnapshotOpts("default", *snapPath, snapOpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.Ensure(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		g := ds.Graph()
+		log.Printf("opened %s out-of-core in %s: %d nodes, %d edges (columns page in on demand)",
+			*snapPath, time.Since(start).Round(time.Millisecond), g.NumNodes(), g.NumEdges())
 	case *snapPath != "":
 		// Boot the default dataset from disk: no generation, no
 		// translation — the snapshot was both.
@@ -103,10 +121,14 @@ func main() {
 		}
 	}
 	for i, name := range extra.names {
-		if _, err := reg.AddSnapshot(name, extra.paths[i]); err != nil {
+		if _, err := reg.AddSnapshotOpts(name, extra.paths[i], snapOpt); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("registered dataset %q from %s (lazy)", name, extra.paths[i])
+		mode := "deferred"
+		if *lazy {
+			mode = "deferred, out-of-core"
+		}
+		log.Printf("registered dataset %q from %s (%s)", name, extra.paths[i], mode)
 	}
 
 	srv := server.NewFromRegistry(reg, server.Options{

@@ -183,4 +183,27 @@
 // boots from one (3.8× faster than regenerate+translate at the
 // 5k-paper default, PERFORMANCE.md §9) and repeatable -dataset
 // name=path flags register more.
+//
+// # Out-of-core snapshots
+//
+// The snapshot tier also loads without materializing: snapshot.LazyLoad
+// (etable-server -lazy) opens an .etsnap file by validating the header,
+// section table, and skeleton sections only — O(section table), not
+// O(corpus) — leaving every attribute column as an unresolved handle
+// and every edge type's CSR arrays as a deferred conversion. Columns
+// fault in through internal/pager, a bounded buffer pool (budget
+// -pager-sections, default 64) with CRC verification on first fault,
+// LRU eviction of unpinned sections, singleflight fault collapsing, and
+// pin/unpin tied to the window-materialization discipline, so
+// steady-state memory is the skeleton plus the pool budget regardless
+// of corpus size. Damaged columns surface as typed *CorruptError values
+// from the faulting query — never a panic, never poisoning the pool
+// (repairing the file heals the next fault in place). The registry
+// chooses eager or lazy boot per dataset (registry.SnapshotOptions),
+// GET /api/v1/datasets describes snapshot files from their headers
+// alone (fileBytes, fileSections), and /api/v1/stats exports per-
+// dataset pager telemetry. PERFORMANCE.md §10 records the boot-latency
+// and cold-window measurements (BenchmarkLazyBoot,
+// BenchmarkColdWindowFault); a lazy-vs-eager fuzz and a GOMEMLIMIT
+// smoke job in CI hold the equivalence and memory-bound claims.
 package repro

@@ -1,0 +1,6 @@
+//go:build !race
+
+package etable
+
+// raceDetectorEnabled: see race_enabled_test.go.
+const raceDetectorEnabled = false

@@ -305,6 +305,9 @@ func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource,
 		pr.neighbors = append(pr.neighbors, neighborCol{col: len(pr.columns) - 1, et: et})
 	}
 
+	if err := pr.finishPrepare(); err != nil {
+		return nil, nil, err
+	}
 	matched, err := graphrel.ConcatAll(g, src.Attrs(), batches)
 	if err != nil {
 		return nil, nil, err

@@ -54,6 +54,72 @@ type Presentation struct {
 	rowIDs    []tgm.NodeID // current row order; ID-ascending until Sort
 	parts     []partCol
 	neighbors []neighborCol
+	// labelTypes names every node type whose label a window can render
+	// (the primary type plus all reference-column target types); it is
+	// the exact set of label columns a window must pin on an
+	// out-of-core graph.
+	labelTypes []string
+	// view caches the resolved columns for memory-resident graphs, set
+	// once at Prepare so windows pay no column resolution at all. For
+	// out-of-core graphs it stays nil and every window pins its own
+	// view (see pinColumns), keeping steady-state residency bounded by
+	// the pager budget instead of by presentation lifetime.
+	view *colView
+}
+
+// colView is the set of resolved attribute columns one window reads:
+// the primary type's base columns (indexed [attr][row]) and the label
+// column of every type the window's entity references can point at.
+type colView struct {
+	base   [][]value.V
+	labels map[string][]value.V
+}
+
+// pinColumns resolves (and, on out-of-core graphs, pins) every column a
+// window materialization reads. The release must be called exactly once
+// after the window's rows are written; on memory-resident graphs both
+// the pins and the release are no-ops and the cached Prepare-time view
+// is returned. A column fault failure — e.g. a *snapshot.CorruptError
+// on a damaged section — aborts the window before any row is rendered.
+func (pr *Presentation) pinColumns() (*colView, func(), error) {
+	if pr.view != nil {
+		return pr.view, func() {}, nil
+	}
+	g := pr.g
+	view := &colView{
+		base:   make([][]value.V, len(pr.primType.Attrs)),
+		labels: make(map[string][]value.V, len(pr.labelTypes)),
+	}
+	var releases []func()
+	releaseAll := func() {
+		for _, r := range releases {
+			r()
+		}
+	}
+	for ai := range pr.primType.Attrs {
+		col, rel, err := g.PinAttrColumn(pr.primType.Name, ai)
+		if err != nil {
+			releaseAll()
+			return nil, nil, err
+		}
+		releases = append(releases, rel)
+		view.base[ai] = col
+	}
+	view.labels[pr.primType.Name] = view.base[pr.primType.LabelIndex()]
+	for _, tn := range pr.labelTypes {
+		if _, ok := view.labels[tn]; ok {
+			continue
+		}
+		nt := g.Schema().NodeType(tn)
+		col, rel, err := g.PinAttrColumn(tn, nt.LabelIndex())
+		if err != nil {
+			releaseAll()
+			return nil, nil, err
+		}
+		releases = append(releases, rel)
+		view.labels[tn] = col
+	}
+	return view, releaseAll, nil
 }
 
 // partCol is one participating node column (A_t) with its precomputed
@@ -145,7 +211,36 @@ func PrepareOpts(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, o
 		})
 		pr.neighbors = append(pr.neighbors, neighborCol{col: len(pr.columns) - 1, et: et})
 	}
+
+	if err := pr.finishPrepare(); err != nil {
+		return nil, err
+	}
 	return pr, nil
+}
+
+// finishPrepare completes a presentation whose columns are laid out:
+// it records which label columns windows will need and, on
+// memory-resident graphs, resolves the whole column view now so the
+// per-window hot path does no column lookups at all. Both prepare
+// paths (PrepareOpts and PrepareFromSource) end here.
+func (pr *Presentation) finishPrepare() error {
+	seen := map[string]bool{pr.primType.Name: true}
+	pr.labelTypes = append(pr.labelTypes, pr.primType.Name)
+	for i := range pr.columns {
+		c := &pr.columns[i]
+		if (c.Kind == ColParticipating || c.Kind == ColNeighbor) && !seen[c.TargetType] {
+			seen[c.TargetType] = true
+			pr.labelTypes = append(pr.labelTypes, c.TargetType)
+		}
+	}
+	if !pr.g.ColumnSourceAttached() {
+		view, _, err := pr.pinColumns()
+		if err != nil {
+			return err
+		}
+		pr.view = view
+	}
+	return nil
 }
 
 // NumRows returns the full table's row count (no rows need be
@@ -173,8 +268,15 @@ func (pr *Presentation) sortKey(spec SortSpec) (func(id tgm.NodeID) value.V, err
 		if ai < 0 {
 			return nil, fmt.Errorf("etable: no base attribute %q to sort by", spec.Attr)
 		}
+		// Resolve the sort column once: on an out-of-core graph this
+		// faults the section in (typed errors propagate to the caller)
+		// and the whole sort then reads one resident column.
+		col, err := pr.g.AttrColumn(pr.primType.Name, ai)
+		if err != nil {
+			return nil, err
+		}
 		g := pr.g
-		return func(id tgm.NodeID) value.V { return g.Node(id).Attrs[ai] }, nil
+		return func(id tgm.NodeID) value.V { return col[g.Node(id).Row] }, nil
 	case spec.Column != "":
 		for _, pc := range pr.parts {
 			if pr.columns[pc.col].Name == spec.Column {
@@ -326,12 +428,22 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 	}
 	res.Rows, res.store = ws.rows, ws
 	cells := ws.cells
+	// Pin the window's columns for the duration of materialization: on
+	// an out-of-core graph this faults in exactly the columns the window
+	// renders and guards them against eviction until every range has
+	// been written; a corrupt section fails the whole window here with
+	// its typed error before any row materializes.
+	view, release, err := pr.pinColumns()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if opt.Pool == nil || opt.Parallelism <= 1 || n <= chunk {
 		if err := ctxErr(opt.Ctx); err != nil {
 			return nil, err
 		}
 		ws.ensureRanges(1)
-		ws.refs[0] = pr.transformRange(start, end, start, res.Rows, cells, ws.refs[0])
+		ws.refs[0] = pr.transformRange(view, start, end, start, res.Rows, cells, ws.refs[0])
 		return res, nil
 	}
 	// Each range owns one recycled ref arena, indexed by range ordinal —
@@ -339,7 +451,7 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 	ws.ensureRanges((n + chunk - 1) / chunk)
 	if err := opt.Pool.MapRanges(opt.Ctx, n, chunk, opt.Parallelism, func(lo, hi int) error {
 		ri := lo / chunk
-		ws.refs[ri] = pr.transformRange(start+lo, start+hi, start, res.Rows, cells, ws.refs[ri])
+		ws.refs[ri] = pr.transformRange(view, start+lo, start+hi, start, res.Rows, cells, ws.refs[ri])
 		return nil
 	}); err != nil {
 		return nil, err
@@ -373,7 +485,7 @@ func (ws *windowStore) ensureRanges(n int) {
 // Every cell of the range is assigned whole — recycled arenas carry
 // stale cells from earlier windows, and a partial field write would
 // leak them.
-func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cell, arena []EntityRef) []EntityRef {
+func (pr *Presentation) transformRange(view *colView, lo, hi, base int, rows []Row, cells []Cell, arena []EntityRef) []EntityRef {
 	ncols := len(pr.columns)
 	nattrs := len(pr.primType.Attrs)
 	g := pr.g
@@ -400,21 +512,22 @@ func (pr *Presentation) transformRange(lo, hi, base int, rows []Row, cells []Cel
 	for i := lo; i < hi; i++ {
 		id := pr.rowIDs[i]
 		n := g.Node(id)
+		row := int(n.Row)
 		cs := cells[(i-base)*ncols : (i-base+1)*ncols : (i-base+1)*ncols]
 		for ai := 0; ai < nattrs; ai++ {
-			cs[ai] = Cell{Value: n.Attrs[ai]}
+			cs[ai] = Cell{Value: view.base[ai][row]}
 		}
 		for _, pc := range pr.parts {
 			var refs []EntityRef
-			arena, refs = appendRefs(arena, g, intern, pc.groups[id])
+			arena, refs = appendRefs(arena, g, view, intern, pc.groups[id])
 			cs[pc.col] = Cell{Refs: refs}
 		}
 		for _, nc := range pr.neighbors {
 			var refs []EntityRef
-			arena, refs = appendRefs(arena, g, intern, g.Neighbors(id, nc.et.Name))
+			arena, refs = appendRefs(arena, g, view, intern, g.Neighbors(id, nc.et.Name))
 			cs[nc.col] = Cell{Refs: refs}
 		}
-		rows[i-base] = Row{Node: id, Label: intern.label(n), Cells: cs}
+		rows[i-base] = Row{Node: id, Label: intern.label(view, n), Cells: cs}
 	}
 	return arena
 }
@@ -428,13 +541,13 @@ var emptyRefs = make([]EntityRef, 0)
 // the grown arena plus the full-capacity window just written. The
 // arena must have been sized by the caller's counting pass, so appends
 // never reallocate and earlier windows stay valid.
-func appendRefs(arena []EntityRef, g *tgm.InstanceGraph, intern labelInterner, ids []tgm.NodeID) ([]EntityRef, []EntityRef) {
+func appendRefs(arena []EntityRef, g *tgm.InstanceGraph, view *colView, intern labelInterner, ids []tgm.NodeID) ([]EntityRef, []EntityRef) {
 	if len(ids) == 0 {
 		return arena, emptyRefs
 	}
 	start := len(arena)
 	for _, id := range ids {
-		arena = append(arena, EntityRef{ID: id, Label: intern.label(g.Node(id))})
+		arena = append(arena, EntityRef{ID: id, Label: intern.label(view, g.Node(id))})
 	}
 	return arena, arena[start:len(arena):len(arena)]
 }
@@ -447,8 +560,8 @@ func appendRefs(arena []EntityRef, g *tgm.InstanceGraph, intern labelInterner, i
 // rendering (ints, floats, bools).
 type labelInterner map[tgm.NodeID]string
 
-func (li labelInterner) label(n *tgm.Node) string {
-	v := n.Attrs[n.Type.LabelIndex()]
+func (li labelInterner) label(view *colView, n *tgm.Node) string {
+	v := view.labels[n.Type.Name][n.Row]
 	if v.Kind() == value.KindString {
 		return v.Format()
 	}

@@ -234,9 +234,10 @@ func TestRefsEmptyZeroAlloc(t *testing.T) {
 	tr := planFixture(t)
 	var arena []EntityRef
 	intern := labelInterner{}
+	view := &colView{}
 	allocs := testing.AllocsPerRun(100, func() {
 		var w []EntityRef
-		arena, w = appendRefs(arena, tr.Instance, intern, nil)
+		arena, w = appendRefs(arena, tr.Instance, view, intern, nil)
 		if len(w) != 0 {
 			t.Fatal("non-empty window from empty ids")
 		}
@@ -244,7 +245,7 @@ func TestRefsEmptyZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("empty refs allocated %.1f objects/op, want 0", allocs)
 	}
-	_, w := appendRefs(nil, tr.Instance, intern, nil)
+	_, w := appendRefs(nil, tr.Instance, view, intern, nil)
 	if w == nil || len(w) != 0 || cap(w) != 0 {
 		t.Error("empty refs must be the shared zero-length slice, not nil")
 	}
@@ -287,7 +288,12 @@ func TestLabelInterner(t *testing.T) {
 	g.Freeze()
 	li := labelInterner{}
 	n := g.Node(id)
-	a, b := li.label(n), li.label(n)
+	col, err := g.AttrColumn("Y", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := &colView{labels: map[string][]value.V{"Y": col}}
+	a, b := li.label(view, n), li.label(view, n)
 	if a != "2016" || b != "2016" {
 		t.Fatalf("labels = %q, %q", a, b)
 	}
@@ -295,7 +301,7 @@ func TestLabelInterner(t *testing.T) {
 		t.Fatalf("interner holds %d entries, want 1", len(li))
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		if li.label(n) != "2016" {
+		if li.label(view, n) != "2016" {
 			t.Fatal("bad label")
 		}
 	})
@@ -340,7 +346,10 @@ func TestWindowRecycleReuseAndEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertSameWindow(t, "recycled smaller", res2, sliceOf(full, 1, 4))
-	if &res2.Rows[0] != firstRow {
+	// Reuse identity cannot be asserted under -race: the race-mode
+	// sync.Pool randomly drops Puts (see race_enabled_test.go). The
+	// cell-equivalence assertions above and below still run.
+	if !raceDetectorEnabled && &res2.Rows[0] != firstRow {
 		t.Error("window did not reuse the recycled row arena")
 	}
 	res2.Recycle()
@@ -389,8 +398,10 @@ func TestWindowRecycleSteadyStateAllocs(t *testing.T) {
 		res.Recycle()
 	})
 	// Fixed per-page bookkeeping, independent of the window size:
-	// the Result, the interner map, and pool internals.
-	if allocs > 6 {
+	// the Result, the interner map, and pool internals. Not asserted
+	// under -race, where dropped pool Puts force arena reallocations
+	// (see race_enabled_test.go).
+	if !raceDetectorEnabled && allocs > 6 {
 		t.Errorf("steady-state paging allocated %.1f objects/page, want <= 6", allocs)
 	}
 }

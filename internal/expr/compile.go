@@ -12,10 +12,12 @@ import (
 // truthiness (non-NULL true).
 type Pred func(n *tgm.Node) (bool, error)
 
-// evalFn is a compiled sub-expression evaluated directly against a
-// node's attribute slice, with all column names resolved to indices at
-// compile time.
-type evalFn func(attrs []value.V) (value.V, error)
+// evalFn is a compiled sub-expression evaluated against a node, with
+// all column names resolved to attribute ordinals at compile time.
+// Column reads go through Node.TryAttrAt, so out-of-core column fault
+// failures (e.g. snapshot corruption) propagate as errors instead of
+// masquerading as NULLs.
+type evalFn func(n *tgm.Node) (value.V, error)
 
 // Compile binds e's column references to attribute indices of nt once,
 // returning a predicate that evaluates rows without per-row string
@@ -28,7 +30,7 @@ func Compile(e Expr, nt *tgm.NodeType) (Pred, error) {
 		return nil, err
 	}
 	return func(n *tgm.Node) (bool, error) {
-		v, err := fn(n.Attrs)
+		v, err := fn(n)
 		if err != nil {
 			return false, err
 		}
@@ -53,21 +55,21 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 	switch ex := e.(type) {
 	case Const:
 		v := ex.Val
-		return func([]value.V) (value.V, error) { return v, nil }, nil
+		return func(*tgm.Node) (value.V, error) { return v, nil }, nil
 	case Col:
 		i := resolveAttr(nt, ex.Name)
 		if i < 0 {
 			return nil, fmt.Errorf("expr: unknown column %q", ex.Name)
 		}
-		return func(attrs []value.V) (value.V, error) { return attrs[i], nil }, nil
+		return func(n *tgm.Node) (value.V, error) { return n.TryAttrAt(i) }, nil
 	case Cmp:
 		l, r, err := compile2(ex.Left, ex.Right, nt)
 		if err != nil {
 			return nil, err
 		}
 		op := ex.Op
-		return func(attrs []value.V) (value.V, error) {
-			lv, rv, err := eval2(l, r, attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, rv, err := eval2(l, r, n)
 			if err != nil || lv.IsNull() || rv.IsNull() {
 				return value.Null, err
 			}
@@ -95,8 +97,8 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			return nil, err
 		}
 		fold, negate := ex.CaseFold, ex.Negate
-		return func(attrs []value.V) (value.V, error) {
-			lv, pv, err := eval2(l, p, attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, pv, err := eval2(l, p, n)
 			if err != nil || lv.IsNull() || pv.IsNull() {
 				return value.Null, err
 			}
@@ -118,8 +120,8 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			}
 		}
 		negate := ex.Negate
-		return func(attrs []value.V) (value.V, error) {
-			lv, err := l(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, err := l(n)
 			if err != nil {
 				return value.Null, err
 			}
@@ -128,7 +130,7 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			}
 			found := false
 			for _, fe := range list {
-				rv, err := fe(attrs)
+				rv, err := fe(n)
 				if err != nil {
 					return value.Null, err
 				}
@@ -152,12 +154,12 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			return nil, err
 		}
 		negate := ex.Negate
-		return func(attrs []value.V) (value.V, error) {
-			lv, err := l(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, err := l(n)
 			if err != nil {
 				return value.Null, err
 			}
-			lov, hiv, err := eval2(lo, hi, attrs)
+			lov, hiv, err := eval2(lo, hi, n)
 			if err != nil || lv.IsNull() || lov.IsNull() || hiv.IsNull() {
 				return value.Null, err
 			}
@@ -173,8 +175,8 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			return nil, err
 		}
 		negate := ex.Negate
-		return func(attrs []value.V) (value.V, error) {
-			lv, err := l(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, err := l(n)
 			if err != nil {
 				return value.Null, err
 			}
@@ -189,15 +191,15 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(attrs []value.V) (value.V, error) {
-			lv, err := l(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, err := l(n)
 			if err != nil {
 				return value.Null, err
 			}
 			if !lv.IsNull() && !lv.AsBool() {
 				return value.Bool(false), nil
 			}
-			rv, err := r(attrs)
+			rv, err := r(n)
 			if err != nil {
 				return value.Null, err
 			}
@@ -214,15 +216,15 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(attrs []value.V) (value.V, error) {
-			lv, err := l(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, err := l(n)
 			if err != nil {
 				return value.Null, err
 			}
 			if !lv.IsNull() && lv.AsBool() {
 				return value.Bool(true), nil
 			}
-			rv, err := r(attrs)
+			rv, err := r(n)
 			if err != nil {
 				return value.Null, err
 			}
@@ -239,8 +241,8 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func(attrs []value.V) (value.V, error) {
-			v, err := inner(attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			v, err := inner(n)
 			if err != nil || v.IsNull() {
 				return value.Null, err
 			}
@@ -252,8 +254,8 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 			return nil, err
 		}
 		op := ex.Op
-		return func(attrs []value.V) (value.V, error) {
-			lv, rv, err := eval2(l, r, attrs)
+		return func(n *tgm.Node) (value.V, error) {
+			lv, rv, err := eval2(l, r, n)
 			if err != nil {
 				return value.Null, err
 			}
@@ -261,9 +263,9 @@ func compile(e Expr, nt *tgm.NodeType) (evalFn, error) {
 		}, nil
 	default:
 		// Unknown expression types fall back to the interpreted path
-		// through an attribute-slice environment.
-		return func(attrs []value.V) (value.V, error) {
-			return e.Eval(attrsEnv{nt: nt, attrs: attrs})
+		// through a node-backed environment.
+		return func(n *tgm.Node) (value.V, error) {
+			return e.Eval(nodeFallbackEnv{nt: nt, n: n})
 		}, nil
 	}
 }
@@ -280,29 +282,31 @@ func compile2(a, b Expr, nt *tgm.NodeType) (evalFn, evalFn, error) {
 	return fa, fb, nil
 }
 
-func eval2(a, b evalFn, attrs []value.V) (value.V, value.V, error) {
-	av, err := a(attrs)
+func eval2(a, b evalFn, n *tgm.Node) (value.V, value.V, error) {
+	av, err := a(n)
 	if err != nil {
 		return value.Null, value.Null, err
 	}
-	bv, err := b(attrs)
+	bv, err := b(n)
 	if err != nil {
 		return value.Null, value.Null, err
 	}
 	return av, bv, nil
 }
 
-// attrsEnv adapts a node-type/attribute-slice pair to Env for the
-// interpreted fallback.
-type attrsEnv struct {
-	nt    *tgm.NodeType
-	attrs []value.V
+// nodeFallbackEnv adapts a node to Env for the interpreted fallback.
+// Env.Lookup cannot return an error, so a column fault failure on an
+// out-of-core graph surfaces here as NULL; the compiled leaves above —
+// which every planner-built predicate uses — propagate it instead.
+type nodeFallbackEnv struct {
+	nt *tgm.NodeType
+	n  *tgm.Node
 }
 
 // Lookup implements Env.
-func (e attrsEnv) Lookup(name string) (value.V, bool) {
+func (e nodeFallbackEnv) Lookup(name string) (value.V, bool) {
 	if i := resolveAttr(e.nt, name); i >= 0 {
-		return e.attrs[i], true
+		return e.n.AttrAt(i), true
 	}
 	return value.Null, false
 }

@@ -20,11 +20,19 @@ func compileFixture(t testing.TB) (*tgm.NodeType, *tgm.Node, *tgm.Node) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n1 := &tgm.Node{ID: 0, Type: nt, Attrs: []value.V{
-		value.Int(1), value.Str("usable databases"), value.Int(2007), value.Float(0.5)}}
-	n2 := &tgm.Node{ID: 1, Type: nt, Attrs: []value.V{
-		value.Int(2), value.Str("SkewTune"), value.Null, value.Null}}
-	return nt, n1, n2
+	g := tgm.NewInstanceGraph(s)
+	id1, err := g.AddNode("Papers", []value.V{
+		value.Int(1), value.Str("usable databases"), value.Int(2007), value.Float(0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := g.AddNode("Papers", []value.V{
+		value.Int(2), value.Str("SkewTune"), value.Null, value.Null})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	return nt, g.Node(id1), g.Node(id2)
 }
 
 // TestCompileParityWithEval asserts the compiled predicate agrees with
@@ -74,7 +82,7 @@ func TestCompileParityWithEval(t *testing.T) {
 func mapEnvFor(n *tgm.Node) Env {
 	m := MapEnv{}
 	for i, a := range n.Type.Attrs {
-		m[a.Name] = n.Attrs[i]
+		m[a.Name] = n.AttrAt(i)
 	}
 	return m
 }

@@ -203,12 +203,12 @@ type nodeEnv struct{ n *tgm.Node }
 // Lookup implements expr.Env.
 func (e nodeEnv) Lookup(name string) (value.V, bool) {
 	if i := e.n.Type.AttrIndex(name); i >= 0 {
-		return e.n.Attrs[i], true
+		return e.n.AttrAt(i), true
 	}
 	for j := len(name) - 1; j >= 0; j-- {
 		if name[j] == '.' {
 			if i := e.n.Type.AttrIndex(name[j+1:]); i >= 0 {
-				return e.n.Attrs[i], true
+				return e.n.AttrAt(i), true
 			}
 			break
 		}

@@ -1,0 +1,86 @@
+package pager
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestFileSliceAndWriteVisibility: Slice returns the file's bytes, and
+// — on mmap platforms — an in-place rewrite of the file is visible
+// through a fresh Slice (the mapping is MAP_SHARED), which is what
+// lets a repaired snapshot recover without reopening.
+func TestFileSliceAndWriteVisibility(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	content := []byte("0123456789abcdef")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if pf.Size() != int64(len(content)) {
+		t.Fatalf("Size = %d, want %d", pf.Size(), len(content))
+	}
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		if !pf.Mapped() {
+			t.Fatal("expected an mmap view on this platform")
+		}
+	}
+	got, err := pf.Slice(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content[4:10]) {
+		t.Fatalf("Slice(4,6) = %q, want %q", got, content[4:10])
+	}
+	// Out-of-range requests fail instead of truncating.
+	for _, bad := range [][2]int64{{-1, 4}, {0, -1}, {10, 7}, {17, 0}} {
+		if _, err := pf.Slice(bad[0], bad[1]); err == nil {
+			t.Fatalf("Slice(%d, %d) succeeded outside the file", bad[0], bad[1])
+		}
+	}
+	// Rewrite a byte through the filesystem; a fresh Slice sees it.
+	w, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteAt([]byte{'X'}, 5); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err = pf.Slice(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'X' {
+		t.Fatalf("Slice after WriteAt = %q, want 'X'", got)
+	}
+}
+
+// TestFileEmpty: a zero-byte file opens, reports size 0, and rejects
+// any non-empty slice.
+func TestFileEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pf.Close()
+	if pf.Size() != 0 {
+		t.Fatalf("Size = %d", pf.Size())
+	}
+	if b, err := pf.Slice(0, 0); err != nil || len(b) != 0 {
+		t.Fatalf("Slice(0,0) = %v, %v", b, err)
+	}
+	if _, err := pf.Slice(0, 1); err == nil {
+		t.Fatal("Slice(0,1) succeeded on an empty file")
+	}
+}

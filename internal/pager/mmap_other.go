@@ -1,0 +1,15 @@
+//go:build !linux && !darwin
+
+package pager
+
+import (
+	"errors"
+	"os"
+)
+
+// mmap is unavailable on this platform; File falls back to ReadAt.
+func mmap(*os.File, int64) ([]byte, error) {
+	return nil, errors.New("pager: mmap not supported on this platform")
+}
+
+func munmap([]byte) error { return nil }

@@ -1,0 +1,279 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingLoader returns a load func for key that bumps a per-key
+// counter, so tests can distinguish cache hits from re-faults.
+func countingLoader(loads *sync.Map, key Key) func() (any, error) {
+	return func() (any, error) {
+		c, _ := loads.LoadOrStore(key, new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+		return fmt.Sprintf("%s/%d", key.Type, key.Attr), nil
+	}
+}
+
+func loadCount(loads *sync.Map, key Key) int64 {
+	c, ok := loads.Load(key)
+	if !ok {
+		return 0
+	}
+	return c.(*atomic.Int64).Load()
+}
+
+// TestGetCachesWithinBudget: repeated Gets within the budget never
+// re-fault.
+func TestGetCachesWithinBudget(t *testing.T) {
+	p := New(4)
+	var loads sync.Map
+	keys := []Key{{"A", 0}, {"A", 1}, {"B", 0}}
+	for round := 0; round < 3; round++ {
+		for _, k := range keys {
+			v, err := p.Get(k, countingLoader(&loads, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("%s/%d", k.Type, k.Attr); v != want {
+				t.Fatalf("Get(%v) = %v, want %v", k, v, want)
+			}
+		}
+	}
+	for _, k := range keys {
+		if n := loadCount(&loads, k); n != 1 {
+			t.Errorf("key %v loaded %d times, want 1", k, n)
+		}
+	}
+	st := p.Stats()
+	if st.Resident != 3 || st.Faults != 3 || st.Evictions != 0 {
+		t.Fatalf("Stats = %+v, want 3 resident, 3 faults, 0 evictions", st)
+	}
+}
+
+// TestLRUEviction: with budget 2, touching a third section evicts the
+// least recently used one — and recency is by access, not insertion.
+func TestLRUEviction(t *testing.T) {
+	p := New(2)
+	var loads sync.Map
+	a, b, c := Key{"T", 0}, Key{"T", 1}, Key{"T", 2}
+	get := func(k Key) {
+		t.Helper()
+		if _, err := p.Get(k, countingLoader(&loads, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get(a)
+	get(b)
+	get(a) // a is now more recent than b
+	get(c) // must evict b, not a
+	if st := p.Stats(); st.Resident != 2 || st.Evictions != 1 {
+		t.Fatalf("Stats = %+v, want 2 resident, 1 eviction", st)
+	}
+	get(a)
+	if n := loadCount(&loads, a); n != 1 {
+		t.Fatalf("a re-faulted (%d loads); LRU should have evicted b", n)
+	}
+	get(b)
+	if n := loadCount(&loads, b); n != 2 {
+		t.Fatalf("b loaded %d times, want 2 (evicted once)", n)
+	}
+}
+
+// TestPinBlocksEviction: a pinned section survives arbitrary churn in
+// a pool whose whole budget the churn exceeds, then returns to the LRU
+// order on release.
+func TestPinBlocksEviction(t *testing.T) {
+	p := New(2)
+	var loads sync.Map
+	pinned := Key{"P", 0}
+	_, release, err := p.Pin(pinned, countingLoader(&loads, pinned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		k := Key{"P", i}
+		if _, err := p.Get(k, countingLoader(&loads, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.Pinned != 1 {
+		t.Fatalf("Stats.Pinned = %d, want 1", st.Pinned)
+	}
+	// The pinned section plus the latest unpinned survivor.
+	if st.Resident != 2 {
+		t.Fatalf("Stats.Resident = %d, want 2", st.Resident)
+	}
+	if _, err := p.Get(pinned, countingLoader(&loads, pinned)); err != nil {
+		t.Fatal(err)
+	}
+	if n := loadCount(&loads, pinned); n != 1 {
+		t.Fatalf("pinned section re-faulted (%d loads)", n)
+	}
+	release()
+	// Released: the formerly pinned section is ordinary again and LRU
+	// churn can evict it.
+	for i := 6; i <= 8; i++ {
+		k := Key{"P", i}
+		if _, err := p.Get(k, countingLoader(&loads, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Get(pinned, countingLoader(&loads, pinned)); err != nil {
+		t.Fatal(err)
+	}
+	if n := loadCount(&loads, pinned); n != 2 {
+		t.Fatalf("formerly pinned section loaded %d times, want 2 (evictable after release)", n)
+	}
+	if st := p.Stats(); st.Resident != 2 || st.Pinned != 0 {
+		t.Fatalf("Stats after release = %+v, want 2 resident, 0 pinned", st)
+	}
+}
+
+// TestAllPinnedOvershoot: when every resident section is pinned past
+// the budget, eviction yields (overshoot) instead of dropping pinned
+// entries, and the budget is re-enforced as pins release.
+func TestAllPinnedOvershoot(t *testing.T) {
+	p := New(2)
+	var loads sync.Map
+	var releases []func()
+	for i := 0; i < 4; i++ {
+		k := Key{"T", i}
+		_, rel, err := p.Pin(k, countingLoader(&loads, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, rel)
+	}
+	if st := p.Stats(); st.Resident != 4 || st.Pinned != 4 || st.Evictions != 0 {
+		t.Fatalf("Stats = %+v, want 4 resident all pinned, 0 evictions", st)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if st := p.Stats(); st.Resident != 2 || st.Pinned != 0 {
+		t.Fatalf("Stats after releases = %+v, want 2 resident", st)
+	}
+}
+
+// TestSingleflight: concurrent Gets for one key share a single load.
+func TestSingleflight(t *testing.T) {
+	p := New(4)
+	var loads atomic.Int64
+	gate := make(chan struct{})
+	load := func() (any, error) {
+		loads.Add(1)
+		<-gate
+		return "v", nil
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	vals := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			vals[i], errs[i] = p.Get(Key{"S", 0}, load)
+		}(i)
+	}
+	// Let the workers pile up on the in-flight call, then open the gate.
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if vals[i] != "v" {
+			t.Fatalf("worker %d got %v", i, vals[i])
+		}
+	}
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("%d loads for one key, want 1 (singleflight)", n)
+	}
+	if st := p.Stats(); st.Faults != 1 {
+		t.Fatalf("Stats.Faults = %d, want 1", st.Faults)
+	}
+}
+
+// TestErrorNotSticky: a failed load is reported to its waiters but not
+// cached — the next Get retries and can succeed.
+func TestErrorNotSticky(t *testing.T) {
+	p := New(2)
+	boom := errors.New("disk on fire")
+	calls := 0
+	load := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "recovered", nil
+	}
+	if _, err := p.Get(Key{"E", 0}, load); !errors.Is(err, boom) {
+		t.Fatalf("first Get error = %v, want %v", err, boom)
+	}
+	if st := p.Stats(); st.Resident != 0 {
+		t.Fatalf("failed load left %d resident sections", st.Resident)
+	}
+	v, err := p.Get(Key{"E", 0}, load)
+	if err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if v != "recovered" {
+		t.Fatalf("retry got %v", v)
+	}
+	// And other keys were never poisoned by the failure.
+	if _, err := p.Get(Key{"E", 1}, func() (any, error) { return "ok", nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentChurn hammers a tiny pool from many goroutines mixing
+// Get and Pin across more keys than the budget, so faults race
+// evictions and unpins. Run under -race in CI; correctness here is
+// "right value, no deadlock, bounded unpinned residency".
+func TestConcurrentChurn(t *testing.T) {
+	p := New(2)
+	const workers, iters, keys = 8, 300, 7
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := Key{"C", (w + i) % keys}
+				want := fmt.Sprintf("C/%d", k.Attr)
+				load := func() (any, error) { return want, nil }
+				if i%3 == 0 {
+					v, rel, err := p.Pin(k, load)
+					if err != nil || v != want {
+						panic(fmt.Sprintf("Pin(%v) = %v, %v", k, v, err))
+					}
+					rel()
+				} else {
+					v, err := p.Get(k, load)
+					if err != nil || v != want {
+						panic(fmt.Sprintf("Get(%v) = %v, %v", k, v, err))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Pinned != 0 {
+		t.Fatalf("pins leaked: %+v", st)
+	}
+	if st.Resident > st.Budget {
+		t.Fatalf("unpinned residency %d exceeds budget %d", st.Resident, st.Budget)
+	}
+	if st.Faults == 0 || st.Evictions == 0 {
+		t.Fatalf("churn exercised no faults/evictions: %+v", st)
+	}
+}

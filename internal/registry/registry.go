@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/etable"
+	"repro/internal/pager"
 	"repro/internal/snapshot"
 	"repro/internal/tgm"
 )
@@ -104,18 +105,45 @@ func (r *Registry) AddGraph(name string, schema *tgm.SchemaGraph, graph *tgm.Ins
 	})
 }
 
-// AddSnapshot registers a lazy dataset backed by an .etsnap file. The
-// file is not opened here — the first Ensure loads it — so a server can
-// register many datasets and pay only for the ones that get traffic.
+// SnapshotOptions configures how a snapshot-backed dataset loads on
+// first use.
+type SnapshotOptions struct {
+	// Lazy selects the out-of-core load path (snapshot.LazyLoad): boot
+	// decodes only the skeleton and attribute columns fault in through
+	// a bounded pager, so resident memory tracks the working set rather
+	// than the corpus.
+	Lazy bool
+	// PoolSections is the lazy pager's resident-column budget
+	// (snapshot.DefaultPoolSections if zero). Ignored unless Lazy.
+	PoolSections int
+}
+
+// AddSnapshot registers a deferred dataset backed by an .etsnap file:
+// the graph is not loaded here — the first Ensure loads it — so a
+// server can register many datasets and pay only for the ones that get
+// traffic. The file's header IS inspected at registration (when
+// readable) so discovery endpoints can report size, section count, and
+// graph counts before anything pays to load; a missing or damaged file
+// does not fail registration, it fails the first Ensure.
 func (r *Registry) AddSnapshot(name, path string) (*Dataset, error) {
+	return r.AddSnapshotOpts(name, path, SnapshotOptions{})
+}
+
+// AddSnapshotOpts is AddSnapshot with an explicit load mode.
+func (r *Registry) AddSnapshotOpts(name, path string, opt SnapshotOptions) (*Dataset, error) {
 	if path == "" {
 		return nil, fmt.Errorf("registry: dataset %q: empty snapshot path", name)
 	}
-	return r.add(name, &Dataset{
-		name:  name,
-		path:  path,
-		cache: etable.NewCache(r.opts.CacheEntries),
-	})
+	ds := &Dataset{
+		name:    name,
+		path:    path,
+		snapOpt: opt,
+		cache:   etable.NewCache(r.opts.CacheEntries),
+	}
+	if info, err := snapshot.ReadInfo(path); err == nil {
+		ds.fileInfo, ds.fileInfoOK = info, true
+	}
+	return r.add(name, ds)
 }
 
 // SetDefault names the dataset legacy unscoped routes resolve to.
@@ -157,18 +185,26 @@ func (r *Registry) Names() []string {
 
 // Dataset is one named TGDB and its scoped serving state.
 type Dataset struct {
-	name  string
-	path  string // "" for eager datasets
-	cache *etable.Cache
+	name    string
+	path    string // "" for eager datasets
+	snapOpt SnapshotOptions
+	cache   *etable.Cache
+
+	// Registration-time header inspection (snapshot.ReadInfo), so
+	// discovery endpoints report file size / section / graph counts
+	// without loading. Absent when the file was unreadable at Add time.
+	fileInfo   snapshot.Info
+	fileInfoOK bool
 
 	// mu guards the load state below. It is held only to inspect or
 	// flip that state — never across the disk load itself, so a slow
 	// load blocks only the requests that need this dataset.
-	mu      sync.Mutex
-	loaded  bool
-	loading *loadAttempt // non-nil while a load is in flight
-	schema  *tgm.SchemaGraph
-	graph   *tgm.InstanceGraph
+	mu       sync.Mutex
+	loaded   bool
+	loading  *loadAttempt // non-nil while a load is in flight
+	schema   *tgm.SchemaGraph
+	graph    *tgm.InstanceGraph
+	lazySnap *snapshot.LazySnapshot // non-nil when loaded via LazyLoad
 
 	// Load metrics for /api/v1/stats.
 	snapshotBytes int64
@@ -224,6 +260,30 @@ func (d *Dataset) LoadMetrics() (bytes int64, dur time.Duration) {
 	return d.snapshotBytes, d.loadDuration
 }
 
+// Lazy reports whether this dataset is configured for out-of-core
+// (paged) loading.
+func (d *Dataset) Lazy() bool { return d.snapOpt.Lazy }
+
+// FileInfo returns the snapshot header summary captured at
+// registration (size, section count, node/edge counts), and whether
+// one is available. It never touches the disk after Add time.
+func (d *Dataset) FileInfo() (snapshot.Info, bool) {
+	return d.fileInfo, d.fileInfoOK
+}
+
+// PagerStats reports the lazy pager's telemetry and the snapshot's
+// total column-section count. ok is false for eager datasets and for
+// lazy datasets that have not loaded yet.
+func (d *Dataset) PagerStats() (st pager.Stats, totalSections int, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lazySnap == nil {
+		return pager.Stats{}, 0, false
+	}
+	st, totalSections = d.lazySnap.PagerStats()
+	return st, totalSections, true
+}
+
 // Ensure makes the graph resident, loading the snapshot on first need.
 // Concurrent calls singleflight: one loads, the rest block until it
 // finishes and share its error. ctx cancellation releases a *waiter*
@@ -253,7 +313,21 @@ func (d *Dataset) Ensure(ctx context.Context) error {
 	d.mu.Unlock()
 
 	start := time.Now()
-	snap, err := snapshot.Load(d.path)
+	var (
+		snap *snapshot.Snapshot
+		lazy *snapshot.LazySnapshot
+		err  error
+	)
+	if d.snapOpt.Lazy {
+		lazy, err = snapshot.LazyLoad(d.path, snapshot.LazyOptions{
+			PoolSections: d.snapOpt.PoolSections,
+		})
+		if err == nil {
+			snap = &lazy.Snapshot
+		}
+	} else {
+		snap, err = snapshot.Load(d.path)
+	}
 
 	d.mu.Lock()
 	d.loading = nil
@@ -262,6 +336,7 @@ func (d *Dataset) Ensure(ctx context.Context) error {
 	} else {
 		d.schema = snap.Schema
 		d.graph = snap.Graph
+		d.lazySnap = lazy
 		d.snapshotBytes = snap.Info.Bytes
 		d.loadDuration = time.Since(start)
 		d.loaded = true

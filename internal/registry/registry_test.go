@@ -223,3 +223,83 @@ func TestDatasetIsolation(t *testing.T) {
 		t.Fatal("dataset b execution cache polluted")
 	}
 }
+
+// TestOutOfCoreDataset: a dataset registered with SnapshotOptions.Lazy
+// boots through LazyLoad — header info is available before any load,
+// pager telemetry appears once queries fault columns in, and the graph
+// serves attributes identically to an eager load of the same file.
+func TestOutOfCoreDataset(t *testing.T) {
+	tr := buildCorpus(t, 60, 5)
+	path := writeSnapshot(t, tr)
+	r := New(Options{})
+	d, err := r.AddSnapshotOpts("ooc", path, SnapshotOptions{Lazy: true, PoolSections: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Lazy() {
+		t.Fatal("Lazy() = false")
+	}
+
+	// Registration inspected the header: size and sections known before
+	// any load, and no pager yet.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := d.FileInfo()
+	if !ok || info.Bytes != st.Size() || len(info.Sections) == 0 {
+		t.Fatalf("FileInfo = %+v, %v; want header info at registration", info, ok)
+	}
+	if info.Nodes != tr.Instance.NumNodes() || info.Edges != tr.Instance.NumEdges() {
+		t.Fatalf("FileInfo counts (%d, %d) != graph (%d, %d)",
+			info.Nodes, info.Edges, tr.Instance.NumNodes(), tr.Instance.NumEdges())
+	}
+	if _, _, ok := d.PagerStats(); ok {
+		t.Fatal("PagerStats available before load")
+	}
+
+	if err := d.Ensure(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Loaded() || d.Graph() == nil {
+		t.Fatal("lazy dataset not resident after Ensure")
+	}
+	ps, total, ok := d.PagerStats()
+	if !ok || ps.Budget != 2 || total == 0 {
+		t.Fatalf("PagerStats = %+v, %d, %v", ps, total, ok)
+	}
+	if ps.Faults != 0 {
+		t.Fatalf("boot faulted %d columns before any query", ps.Faults)
+	}
+
+	// Query an attribute column; the fault shows up in telemetry and the
+	// value matches the source graph.
+	g := d.Graph()
+	id := g.NodesOfType("Papers")[0]
+	got, err := g.Node(id).TryAttrAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.Instance.Node(id).TryAttrAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("lazy attr = %v, want %v", got, want)
+	}
+	if ps, _, _ := d.PagerStats(); ps.Faults == 0 || ps.Resident == 0 {
+		t.Fatalf("query faulted nothing: %+v", ps)
+	}
+
+	// A registered-but-missing file defers its error to Ensure.
+	m, err := r.AddSnapshotOpts("ghost", filepath.Join(t.TempDir(), "missing.etsnap"), SnapshotOptions{Lazy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.FileInfo(); ok {
+		t.Fatal("FileInfo ok for a missing file")
+	}
+	if err := m.Ensure(context.Background()); err == nil {
+		t.Fatal("Ensure succeeded on a missing file")
+	}
+}

@@ -19,11 +19,22 @@ type datasetJSON struct {
 	// Source is "memory" for datasets born from an in-process
 	// translation, "snapshot" for ones backed by an .etsnap file.
 	Source string `json:"source"`
+	// Lazy marks snapshot datasets configured for out-of-core boot:
+	// loading decodes only the skeleton and attribute columns fault in
+	// on demand through a bounded pager.
+	Lazy bool `json:"lazy,omitempty"`
+	// FileBytes and FileSections come from the snapshot header alone,
+	// inspected once at registration — available before (and without)
+	// any load. Omitted when the file was unreadable at registration.
+	FileBytes    int64 `json:"fileBytes,omitempty"`
+	FileSections int   `json:"fileSections,omitempty"`
 	// SnapshotBytes and LoadMs are the observed boot-from-disk cost
-	// (zero until a lazy dataset loads; always zero for memory ones).
+	// (zero until a deferred dataset loads; always zero for memory
+	// ones).
 	SnapshotBytes int64   `json:"snapshotBytes,omitempty"`
 	LoadMs        float64 `json:"loadMs,omitempty"`
-	// Nodes and Edges are the graph size, known only once loaded.
+	// Nodes and Edges are the graph size: from the resident graph once
+	// loaded, else from the snapshot header when one was inspected.
 	Nodes int `json:"nodes,omitempty"`
 	Edges int `json:"edges,omitempty"`
 	// Sessions counts live sessions bound to this dataset.
@@ -44,6 +55,13 @@ func (s *Server) datasetInfo(name string) (datasetJSON, bool) {
 	}
 	if ds.Path() != "" {
 		d.Source = "snapshot"
+		d.Lazy = ds.Lazy()
+	}
+	if info, ok := ds.FileInfo(); ok {
+		d.FileBytes = info.Bytes
+		d.FileSections = len(info.Sections)
+		d.Nodes = info.Nodes
+		d.Edges = info.Edges
 	}
 	bytes, dur := ds.LoadMetrics()
 	d.SnapshotBytes = bytes

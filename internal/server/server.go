@@ -528,6 +528,24 @@ type datasetStatsJSON struct {
 	// Plan-cache telemetry, scoped to this dataset's graph.
 	PlanCacheHits   int64 `json:"planCacheHits"`
 	PlanCacheMisses int64 `json:"planCacheMisses"`
+	// Pager is the out-of-core buffer-pool telemetry, present only for
+	// lazy (paged) datasets that have loaded.
+	Pager *pagerJSON `json:"pager,omitempty"`
+}
+
+// pagerJSON is one lazy dataset's buffer-pool telemetry: how many
+// column sections are resident versus the snapshot's total, how many
+// disk faults and evictions the workload has caused, and the
+// cumulative fault latency. ResidentSections < TotalSections is the
+// out-of-core invariant: only the touched working set is in memory.
+type pagerJSON struct {
+	BudgetSections   int     `json:"budgetSections"`
+	ResidentSections int     `json:"residentSections"`
+	PinnedSections   int     `json:"pinnedSections"`
+	TotalSections    int     `json:"totalSections"`
+	Faults           int64   `json:"faults"`
+	Evictions        int64   `json:"evictions"`
+	FaultMs          float64 `json:"faultMs"`
 }
 
 // plannerJSON is the plan-cache telemetry block of /api/v1/stats: how
@@ -694,6 +712,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			ps := etable.PlannerStatsFor(g)
 			d.PlanCacheHits = ps.Hits
 			d.PlanCacheMisses = ps.Misses
+		}
+		if pst, total, ok := ds.PagerStats(); ok {
+			d.Pager = &pagerJSON{
+				BudgetSections:   pst.Budget,
+				ResidentSections: pst.Resident,
+				PinnedSections:   pst.Pinned,
+				TotalSections:    total,
+				Faults:           pst.Faults,
+				Evictions:        pst.Evictions,
+				FaultMs:          float64(pst.FaultNanos) / 1e6,
+			}
 		}
 		out.Datasets = append(out.Datasets, d)
 	}

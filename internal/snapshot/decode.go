@@ -92,6 +92,16 @@ func (d *dec) count(what string) (int, error) {
 	return int(v), nil
 }
 
+// raw returns the next n bytes of the payload without copying.
+func (d *dec) raw(n int, what string) ([]byte, error) {
+	if n < 0 || n > d.remaining() {
+		return nil, corrupt(d.sec, "%s (%d bytes) exceeds remaining %d bytes", what, n, d.remaining())
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
 // done rejects trailing bytes after a fully decoded section.
 func (d *dec) done() error {
 	if d.remaining() != 0 {
@@ -208,94 +218,127 @@ func decodeSchema(buf []byte, m meta) (*tgm.SchemaGraph, []*tgm.EdgeType, error)
 	return s, order, d.done()
 }
 
-// decodeNodes rebuilds every node, preserving global IDs: each type's
-// ID list fixes which type owns each dense ID, and nodes are re-added
-// in ascending global ID order so insertion reassigns the same IDs.
-func decodeNodes(buf []byte, schema *tgm.SchemaGraph, m meta) (*tgm.InstanceGraph, error) {
-	d := &dec{buf: buf, sec: secNodes}
+// colMeta locates one attribute column's payload within NCOL.
+type colMeta struct {
+	off, length uint64
+	crc         uint32
+}
+
+// slice returns the column's payload bytes out of the NCOL section.
+func (cm colMeta) slice(ncol []byte) ([]byte, error) {
+	if cm.off > uint64(len(ncol)) || cm.length > uint64(len(ncol))-cm.off {
+		return nil, corrupt(secSkel, "column range [%d,+%d) exceeds NCOL size %d", cm.off, cm.length, len(ncol))
+	}
+	return ncol[cm.off : cm.off+cm.length : cm.off+cm.length], nil
+}
+
+// typeCols is one node type's column directory.
+type typeCols struct {
+	typeName string
+	rows     int
+	cols     []colMeta
+}
+
+// decodeSkeleton rebuilds every node from the NSKL section, preserving
+// global IDs: each type's ID list fixes which type owns each dense ID,
+// and InstallNodes assigns the same IDs in one bulk pass. No attribute
+// values are decoded — the returned directory locates each column's
+// payload within NCOL for the caller to install eagerly (Decode) or
+// fault in on demand (LazyLoad).
+func decodeSkeleton(buf []byte, schema *tgm.SchemaGraph, m meta) (*tgm.InstanceGraph, []typeCols, error) {
+	d := &dec{buf: buf, sec: secSkel}
 	nts := schema.NodeTypes()
 	owner := make([]int32, m.nodes)
 	for i := range owner {
 		owner[i] = -1
 	}
-	// vals[type][attr][row], aligned with each type's ID list.
-	vals := make([][][]value.V, len(nts))
+	dir := make([]typeCols, 0, len(nts))
 	claimed := 0
 	for ti, nt := range nts {
 		n, err := d.count("node")
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		prev := uint64(0)
 		for i := 0; i < n; i++ {
 			delta, err := d.u()
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			id := delta
 			if i > 0 {
 				if delta == 0 {
-					return nil, corrupt(secNodes, "type %q: non-ascending node ID", nt.Name)
+					return nil, nil, corrupt(secSkel, "type %q: non-ascending node ID", nt.Name)
 				}
 				id = prev + delta
 			}
 			if id >= uint64(m.nodes) {
-				return nil, corrupt(secNodes, "type %q: node ID %d out of range [0,%d)", nt.Name, id, m.nodes)
+				return nil, nil, corrupt(secSkel, "type %q: node ID %d out of range [0,%d)", nt.Name, id, m.nodes)
 			}
 			if owner[id] != -1 {
-				return nil, corrupt(secNodes, "node ID %d claimed by two types", id)
+				return nil, nil, corrupt(secSkel, "node ID %d claimed by two types", id)
 			}
 			owner[id] = int32(ti)
 			prev = id
 		}
 		claimed += n
-		cols := make([][]value.V, len(nt.Attrs))
+		tc := typeCols{typeName: nt.Name, rows: n, cols: make([]colMeta, len(nt.Attrs))}
 		for ai := range nt.Attrs {
-			col := make([]value.V, n)
-			// Tag array, then payloads.
-			if d.remaining() < n {
-				return nil, corrupt(secNodes, "type %q attr %q: truncated tag array", nt.Name, nt.Attrs[ai].Name)
+			var cm colMeta
+			if cm.off, err = d.u(); err != nil {
+				return nil, nil, err
 			}
-			tags := d.buf[d.off : d.off+n]
-			d.off += n
-			for i := 0; i < n; i++ {
-				v, err := decodeValuePayload(d, value.Kind(tags[i]))
-				if err != nil {
-					return nil, err
-				}
-				col[i] = v
+			if cm.length, err = d.u(); err != nil {
+				return nil, nil, err
 			}
-			cols[ai] = col
+			sum, err := d.u()
+			if err != nil {
+				return nil, nil, err
+			}
+			if sum > math.MaxUint32 {
+				return nil, nil, corrupt(secSkel, "type %q attr %d: implausible checksum %d", nt.Name, ai, sum)
+			}
+			cm.crc = uint32(sum)
+			tc.cols[ai] = cm
 		}
-		vals[ti] = cols
+		dir = append(dir, tc)
 	}
 	if claimed != m.nodes {
-		return nil, corrupt(secNodes, "%d node IDs assigned, META says %d", claimed, m.nodes)
+		return nil, nil, corrupt(secSkel, "%d node IDs assigned, META says %d", claimed, m.nodes)
+	}
+	if err := d.done(); err != nil {
+		return nil, nil, err
+	}
+	g := tgm.NewInstanceGraph(schema)
+	if err := g.InstallNodes(owner); err != nil {
+		return nil, nil, corrupt(secSkel, "installing nodes: %v", err)
+	}
+	return g, dir, nil
+}
+
+// decodeColumn decodes one column payload (tag array, then non-null
+// payloads) into a freshly allocated value slice of the given row
+// count. Decoded values copy every byte they keep, so the payload (and
+// any mmap view behind it) is not retained.
+func decodeColumn(payload []byte, rows int, typeName string, ai int) ([]value.V, error) {
+	d := &dec{buf: payload, sec: secCols}
+	col := make([]value.V, rows)
+	if d.remaining() < rows {
+		return nil, corrupt(secCols, "type %q attr %d: truncated tag array", typeName, ai)
+	}
+	tags := d.buf[d.off : d.off+rows]
+	d.off += rows
+	for i := 0; i < rows; i++ {
+		v, err := decodeValuePayload(d, value.Kind(tags[i]))
+		if err != nil {
+			return nil, err
+		}
+		col[i] = v
 	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
-	g := tgm.NewInstanceGraph(schema)
-	cursor := make([]int, len(nts))
-	var scratch []value.V
-	for gid := 0; gid < m.nodes; gid++ {
-		ti := owner[gid]
-		nt := nts[ti]
-		row := cursor[ti]
-		cursor[ti]++
-		scratch = scratch[:0]
-		for ai := range nt.Attrs {
-			scratch = append(scratch, vals[ti][ai][row])
-		}
-		id, err := g.AddNode(nt.Name, scratch)
-		if err != nil {
-			return nil, corrupt(secNodes, "re-adding node %d: %v", gid, err)
-		}
-		if int(id) != gid {
-			return nil, corrupt(secNodes, "node %d re-added as %d", gid, id)
-		}
-	}
-	return g, nil
+	return col, nil
 }
 
 // decodeValuePayload reads one value of the tagged kind.
@@ -332,9 +375,14 @@ func decodeValuePayload(d *dec, k value.Kind) (value.V, error) {
 	}
 }
 
-// decodeEdges rebuilds every adjacency list through AddDirectedEdge —
-// one direction at a time, in stored order, so Neighbors returns
-// exactly the serialized sequences.
+// decodeEdges rebuilds every adjacency list in CSR form and installs
+// each edge type wholesale (InstallAdjacency) — three array
+// installations per type instead of one map insert per edge, and
+// Neighbors still returns exactly the serialized sequences. The
+// on-disk arrays are fixed-width little-endian uint32, so each decode
+// is one exact allocation plus a tight conversion loop — the boot
+// path's cost is O(edges) with a constant small enough that the
+// skeleton open stays far below a column decode.
 func decodeEdges(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType, m meta) error {
 	d := &dec{buf: buf, sec: secEdges}
 	nET, err := d.count("edge type")
@@ -356,38 +404,108 @@ func decodeEdges(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType, m meta
 		if err != nil {
 			return err
 		}
-		prevSrc := uint64(0)
-		for i := 0; i < nSrc; i++ {
-			src, err := d.u()
-			if err != nil {
-				return err
+		nTgt, err := d.count("target")
+		if err != nil {
+			return err
+		}
+		srcBytes, err := d.raw(4*nSrc, "source array")
+		if err != nil {
+			return err
+		}
+		offBytes, err := d.raw(4*(nSrc+1), "offset array")
+		if err != nil {
+			return err
+		}
+		tgtBytes, err := d.raw(4*nTgt, "target array")
+		if err != nil {
+			return err
+		}
+		// Pure width conversion: endpoint ranges, types, and offset
+		// monotonicity are validated once by InstallAdjacency below, so
+		// these loops carry no branches.
+		srcs := make([]tgm.NodeID, nSrc)
+		for i := range srcs {
+			srcs[i] = tgm.NodeID(binary.LittleEndian.Uint32(srcBytes[4*i:]))
+		}
+		offs := make([]int32, nSrc+1)
+		for i := range offs {
+			offs[i] = int32(binary.LittleEndian.Uint32(offBytes[4*i:]))
+		}
+		targets := make([]tgm.NodeID, nTgt)
+		for i := range targets {
+			targets[i] = tgm.NodeID(binary.LittleEndian.Uint32(tgtBytes[4*i:]))
+		}
+		if err := g.InstallAdjacency(name, srcs, offs, targets); err != nil {
+			return corrupt(secEdges, "installing %q adjacency: %v", name, err)
+		}
+	}
+	return d.done()
+}
+
+// decodeEdgesDeferred walks the EDGE section's per-type directory —
+// name, counts, and the byte spans of the three fixed-width arrays,
+// O(edge types), no per-edge work — and registers each type's CSR
+// arrays as a deferred load: conversion, validation, and installation
+// run on the first traversal of that edge type. The section's
+// whole-section CRC was verified at open, so deferral moves only the
+// O(edges) materialization cost off the boot path, not any integrity
+// check. The captured sub-slices alias the open snapshot file (mmap),
+// so a first traversal after LazySnapshot.Close would read a closed
+// mapping — the same lifetime contract column faults already have.
+func decodeEdgesDeferred(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType, m meta) error {
+	d := &dec{buf: buf, sec: secEdges}
+	nET, err := d.count("edge type")
+	if err != nil {
+		return err
+	}
+	if nET != len(order) {
+		return corrupt(secEdges, "edge type count %d does not match schema %d", nET, len(order))
+	}
+	for _, et := range order {
+		name, err := d.str()
+		if err != nil {
+			return err
+		}
+		if name != et.Name {
+			return corrupt(secEdges, "edge type order mismatch: got %q, want %q", name, et.Name)
+		}
+		nSrc, err := d.count("source")
+		if err != nil {
+			return err
+		}
+		nTgt, err := d.count("target")
+		if err != nil {
+			return err
+		}
+		srcBytes, err := d.raw(4*nSrc, "source array")
+		if err != nil {
+			return err
+		}
+		offBytes, err := d.raw(4*(nSrc+1), "offset array")
+		if err != nil {
+			return err
+		}
+		tgtBytes, err := d.raw(4*nTgt, "target array")
+		if err != nil {
+			return err
+		}
+		load := func() ([]tgm.NodeID, []int32, []tgm.NodeID, error) {
+			srcs := make([]tgm.NodeID, nSrc)
+			for i := range srcs {
+				srcs[i] = tgm.NodeID(binary.LittleEndian.Uint32(srcBytes[4*i:]))
 			}
-			if src >= uint64(m.nodes) {
-				return corrupt(secEdges, "edge type %q: source %d out of range", name, src)
+			offs := make([]int32, nSrc+1)
+			for i := range offs {
+				offs[i] = int32(binary.LittleEndian.Uint32(offBytes[4*i:]))
 			}
-			if i > 0 && src <= prevSrc {
-				return corrupt(secEdges, "edge type %q: sources not ascending", name)
+			targets := make([]tgm.NodeID, nTgt)
+			for i := range targets {
+				targets[i] = tgm.NodeID(binary.LittleEndian.Uint32(tgtBytes[4*i:]))
 			}
-			prevSrc = src
-			degree, err := d.count("target")
-			if err != nil {
-				return err
-			}
-			if degree == 0 {
-				return corrupt(secEdges, "edge type %q: source %d with zero targets", name, src)
-			}
-			for t := 0; t < degree; t++ {
-				dst, err := d.u()
-				if err != nil {
-					return err
-				}
-				if dst >= uint64(m.nodes) {
-					return corrupt(secEdges, "edge type %q: target %d out of range", name, dst)
-				}
-				if err := g.AddDirectedEdge(name, tgm.NodeID(src), tgm.NodeID(dst)); err != nil {
-					return corrupt(secEdges, "re-adding edge: %v", err)
-				}
-			}
+			return srcs, offs, targets, nil
+		}
+		if err := g.InstallAdjacencyDeferred(name, nTgt, load); err != nil {
+			return corrupt(secEdges, "registering %q adjacency: %v", name, err)
 		}
 	}
 	return d.done()

@@ -9,6 +9,7 @@ package snapshot
 
 import (
 	"encoding/binary"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/stats"
@@ -24,6 +25,9 @@ type enc struct {
 func (e *enc) u(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
 func (e *enc) i(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
 func (e *enc) b(v byte)   { e.buf = append(e.buf, v) }
+func (e *enc) u32(v uint32) {
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, v)
+}
 func (e *enc) f64(v float64) {
 	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
 }
@@ -90,36 +94,57 @@ func encodeSchema(s *tgm.SchemaGraph) []byte {
 	return e.buf
 }
 
-// encodeNodes writes, per node type in schema order, the type's global
-// node IDs (delta-encoded, ascending — insertion order within a type is
-// ID order) and one column per attribute.
-func encodeNodes(g *tgm.InstanceGraph) []byte {
-	e := &enc{}
+// encodeNodeSections writes the two node sections of format version 2:
+//
+//   - NSKL (skeleton): per node type in schema order, the type's global
+//     node IDs (delta-encoded, ascending — insertion order within a
+//     type is ID order) followed by a column directory: per attribute,
+//     the column payload's offset and length within NCOL and its
+//     CRC-32C. The skeleton is everything a lazy open must decode.
+//   - NCOL (columns): the concatenated column payloads, one per
+//     (type, attribute): a tag array of one kind byte per row, then the
+//     non-null payloads in row order. Each payload is independently
+//     decodable given its row count (from NSKL), which is what lets the
+//     pager fault in one column without touching its neighbors.
+//
+// Saving an out-of-core graph faults each column through its source,
+// so a damaged backing snapshot surfaces here as a typed error.
+func encodeNodeSections(g *tgm.InstanceGraph) (nskl, ncol []byte, err error) {
+	skel, cols := &enc{}, &enc{}
 	for _, nt := range g.Schema().NodeTypes() {
 		ids := g.NodesOfType(nt.Name)
-		e.u(uint64(len(ids)))
+		skel.u(uint64(len(ids)))
 		prev := uint64(0)
 		for i, id := range ids {
 			cur := uint64(id)
 			if i == 0 {
-				e.u(cur)
+				skel.u(cur)
 			} else {
-				e.u(cur - prev) // ascending: always ≥ 1
+				skel.u(cur - prev) // ascending: always ≥ 1
 			}
 			prev = cur
 		}
 		for ai := range nt.Attrs {
+			col, err := g.AttrColumn(nt.Name, ai)
+			if err != nil {
+				return nil, nil, err
+			}
+			start := len(cols.buf)
 			// Tag array: one kind byte per row.
-			for _, id := range ids {
-				e.b(byte(g.Node(id).Attrs[ai].Kind()))
+			for _, v := range col {
+				cols.b(byte(v.Kind()))
 			}
 			// Payloads for the non-null rows, in row order.
-			for _, id := range ids {
-				encodeValuePayload(e, g.Node(id).Attrs[ai])
+			for _, v := range col {
+				encodeValuePayload(cols, v)
 			}
+			payload := cols.buf[start:]
+			skel.u(uint64(start))
+			skel.u(uint64(len(payload)))
+			skel.u(uint64(crc32.Checksum(payload, castagnoli)))
 		}
 	}
-	return e.buf
+	return skel.buf, cols.buf, nil
 }
 
 // encodeValuePayload writes a value's payload (its kind having been
@@ -141,9 +166,13 @@ func encodeValuePayload(e *enc, v value.V) {
 	}
 }
 
-// encodeEdges writes every edge type's adjacency lists: sources in
-// ascending ID order, each source's targets in insertion order —
-// exactly what Neighbors must return after a load.
+// encodeEdges writes every edge type's adjacency lists in CSR form:
+// ascending sources, an offset array, and the concatenated target
+// runs (each source's targets in insertion order — exactly what
+// Neighbors must return after a load). The three arrays are
+// fixed-width little-endian uint32 so loading is a bulk conversion
+// with exact preallocation instead of a varint decode per edge; boot
+// latency buys the ~2× byte cost back many times over.
 func encodeEdges(g *tgm.InstanceGraph) []byte {
 	e := &enc{}
 	ets := edgeTypeOrder(g.Schema())
@@ -151,22 +180,31 @@ func encodeEdges(g *tgm.InstanceGraph) []byte {
 	for _, et := range ets {
 		e.str(et.Name)
 		srcs := g.NodesOfType(et.Source)
-		withOut := 0
+		withOut, total := 0, 0
 		for _, src := range srcs {
-			if g.Degree(src, et.Name) > 0 {
+			if d := g.Degree(src, et.Name); d > 0 {
 				withOut++
+				total += d
 			}
 		}
 		e.u(uint64(withOut))
+		e.u(uint64(total))
 		for _, src := range srcs {
-			targets := g.Neighbors(src, et.Name)
-			if len(targets) == 0 {
-				continue
+			if g.Degree(src, et.Name) > 0 {
+				e.u32(uint32(src))
 			}
-			e.u(uint64(src))
-			e.u(uint64(len(targets)))
-			for _, dst := range targets {
-				e.u(uint64(dst))
+		}
+		off := uint32(0)
+		e.u32(0)
+		for _, src := range srcs {
+			if d := g.Degree(src, et.Name); d > 0 {
+				off += uint32(d)
+				e.u32(off)
+			}
+		}
+		for _, src := range srcs {
+			for _, dst := range g.Neighbors(src, et.Name) {
+				e.u32(uint32(dst))
 			}
 		}
 	}

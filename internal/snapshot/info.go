@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// ReadInfo inspects the snapshot at path without loading it: it reads
+// only the fixed header, the section table, and the (few-byte) META
+// payload, returning the file size, section list, and node/edge counts.
+// The registry uses it so `GET /api/v1/datasets` can describe a
+// snapshot-backed dataset before anything pays to load it. Structural
+// validation matches Load's (magic, version, table ranges) and META's
+// checksum is verified; other payloads are not read.
+func ReadInfo(path string) (Info, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Info{}, fmt.Errorf("snapshot: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return Info{}, fmt.Errorf("snapshot: stat %s: %w", path, err)
+	}
+	info := Info{Bytes: st.Size()}
+
+	var fixed [headerFixed]byte
+	if _, err := io.ReadFull(f, fixed[:]); err != nil {
+		return info, ErrBadMagic
+	}
+	if [8]byte(fixed[:8]) != magic {
+		return info, ErrBadMagic
+	}
+	info.Version = binary.LittleEndian.Uint32(fixed[8:12])
+	if info.Version != Version {
+		return info, &VersionError{Got: info.Version, Want: Version}
+	}
+	count := int(binary.LittleEndian.Uint32(fixed[12:16]))
+	tableEnd := headerFixed + count*sectionEntrySize
+	if count < 0 || count > 64 || int64(tableEnd) > st.Size() {
+		return info, corrupt("header", "section table (%d entries) exceeds file size %d", count, st.Size())
+	}
+	table := make([]byte, count*sectionEntrySize)
+	if _, err := io.ReadFull(f, table); err != nil {
+		return info, corrupt("header", "truncated section table: %v", err)
+	}
+	var metaSec SectionInfo
+	for i := 0; i < count; i++ {
+		e := table[i*sectionEntrySize:]
+		s := SectionInfo{
+			Tag:    string(e[:4]),
+			Offset: binary.LittleEndian.Uint64(e[4:12]),
+			Length: binary.LittleEndian.Uint64(e[12:20]),
+			CRC32:  binary.LittleEndian.Uint32(e[20:24]),
+		}
+		if s.Offset < uint64(tableEnd) || s.Offset > uint64(st.Size()) || s.Length > uint64(st.Size())-s.Offset {
+			return info, corrupt(s.Tag, "section range [%d,+%d) exceeds file size %d", s.Offset, s.Length, st.Size())
+		}
+		info.Sections = append(info.Sections, s)
+		if s.Tag == secMeta {
+			metaSec = s
+		}
+	}
+	if metaSec.Tag == "" {
+		return info, corrupt(secMeta, "section missing")
+	}
+	payload := make([]byte, metaSec.Length)
+	if _, err := f.ReadAt(payload, int64(metaSec.Offset)); err != nil {
+		return info, corrupt(secMeta, "reading payload: %v", err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != metaSec.CRC32 {
+		return info, corrupt(secMeta, "checksum mismatch: stored %08x, computed %08x", metaSec.CRC32, got)
+	}
+	m, err := decodeMeta(payload)
+	if err != nil {
+		return info, err
+	}
+	info.Nodes, info.Edges = m.nodes, m.edges
+	return info, nil
+}

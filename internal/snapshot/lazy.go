@@ -1,0 +1,217 @@
+package snapshot
+
+// The out-of-core load path. LazyLoad opens an .etsnap file without
+// decoding its attribute columns or adjacency arrays: the header,
+// section table, and skeleton sections (META, SCHM, NSKL, EDGE, STAT)
+// are CRC-verified at open, but only the skeleton proper — node IDs,
+// column directory, statistics, and the EDGE per-type directory — is
+// decoded, O(section table + skeleton), independent of the corpus's
+// column and edge bytes. Every attribute column is left as an
+// unresolved handle that faults in through a bounded internal/pager
+// pool on first access, and every edge type's CSR arrays materialize
+// on the first traversal that touches them. Steady-state memory is the
+// skeleton plus traversed adjacency plus at most the pool budget of
+// decoded columns (plus whatever pinned windows require), no matter
+// how large the corpus is.
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/pager"
+	"repro/internal/value"
+)
+
+// DefaultPoolSections is the column-section budget a LazySnapshot's
+// pager uses when the caller does not choose one.
+const DefaultPoolSections = 64
+
+// LazyOptions configures an out-of-core open.
+type LazyOptions struct {
+	// PoolSections is the pager budget: the maximum number of decoded
+	// attribute columns kept resident at once (DefaultPoolSections if
+	// zero; minimum 1). Pinned columns may push residency past the
+	// budget transiently — see pager.Pool.
+	PoolSections int
+}
+
+// LazySnapshot is an out-of-core TGDB: a fully decoded skeleton whose
+// attribute columns live on disk and fault in on demand. The embedded
+// Snapshot fields (Schema, Graph, Info) are usable exactly like an
+// eager load's; queries on Graph fault columns in transparently and
+// surface *CorruptError from damaged sections. Close releases the
+// underlying file; the graph must not be queried afterwards.
+type LazySnapshot struct {
+	Snapshot
+	src *columnSource
+}
+
+// LazyLoad opens the snapshot at path out of core. Failures are typed
+// like Load's: ErrBadMagic, *VersionError, or *CorruptError. Column
+// payloads are not read — let alone checksummed — until a query faults
+// them in, at which point a damaged column surfaces as *CorruptError
+// from that query (and is retried on the next fault, so a repaired
+// file recovers without reopening).
+func LazyLoad(path string, opt LazyOptions) (*LazySnapshot, error) {
+	f, err := pager.OpenFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: opening %s: %w", path, err)
+	}
+	ls, err := lazyDecode(f, opt)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return ls, nil
+}
+
+func lazyDecode(f *pager.File, opt LazyOptions) (*LazySnapshot, error) {
+	data, err := f.Slice(0, f.Size())
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading header: %w", err)
+	}
+	// Skip the NCOL whole-section checksum: verifying it would read
+	// every column byte, exactly the O(corpus) work a lazy open exists
+	// to avoid. Integrity of each column is re-established from its
+	// NSKL per-column checksum at fault time.
+	sections, info, err := parseSections(data, func(tag string) bool { return tag == secCols })
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeMeta(sections[secMeta])
+	if err != nil {
+		return nil, err
+	}
+	schema, edgeTypeOrder, err := decodeSchema(sections[secSchema], m)
+	if err != nil {
+		return nil, err
+	}
+	graph, dir, err := decodeSkeleton(sections[secSkel], schema, m)
+	if err != nil {
+		return nil, err
+	}
+	// Adjacency is registered, not materialized: the EDGE section's CRC
+	// was just verified, its per-type directory is scanned (O(edge
+	// types)), and each type's CSR arrays convert in on first traversal.
+	if err := decodeEdgesDeferred(sections[secEdges], graph, edgeTypeOrder, m); err != nil {
+		return nil, err
+	}
+	budget := opt.PoolSections
+	if budget == 0 {
+		budget = DefaultPoolSections
+	}
+	var ncolOff uint64
+	for _, s := range info.Sections {
+		if s.Tag == secCols {
+			ncolOff = s.Offset
+		}
+	}
+	src := &columnSource{
+		file:    f,
+		pool:    pager.New(budget),
+		ncolOff: ncolOff,
+		ncolLen: uint64(len(sections[secCols])),
+		types:   make(map[string]typeCols, len(dir)),
+	}
+	total := 0
+	for _, tc := range dir {
+		src.types[tc.typeName] = tc
+		total += len(tc.cols)
+	}
+	src.totalSections = total
+	if err := graph.SetColumnSource(src); err != nil {
+		return nil, corrupt(secSkel, "attaching column source: %v", err)
+	}
+	graph.Freeze()
+	if err := decodeStats(sections[secStats], graph, edgeTypeOrder); err != nil {
+		return nil, err
+	}
+	if n := graph.NumNodes(); n != m.nodes {
+		return nil, corrupt(secMeta, "node count mismatch: META says %d, NSKL decoded %d", m.nodes, n)
+	}
+	if n := graph.NumEdges(); n != m.edges {
+		return nil, corrupt(secMeta, "edge count mismatch: META says %d, EDGE decoded %d", m.edges, n)
+	}
+	info.Nodes, info.Edges = m.nodes, m.edges
+	return &LazySnapshot{
+		Snapshot: Snapshot{Schema: schema, Graph: graph, Info: info},
+		src:      src,
+	}, nil
+}
+
+// PagerStats reports the pager's residency and fault telemetry plus
+// the file's total column-section count (the denominator for the
+// resident gauge).
+func (ls *LazySnapshot) PagerStats() (pager.Stats, int) {
+	return ls.src.pool.Stats(), ls.src.totalSections
+}
+
+// Close releases the snapshot file (and any mmap view). The graph must
+// not be queried after Close: columns and adjacency already decoded
+// remain valid, but faulting in a new column — or first-traversing an
+// edge type — would read a closed file.
+func (ls *LazySnapshot) Close() error {
+	return ls.src.file.Close()
+}
+
+// columnSource implements tgm.ColumnSource over the snapshot file: it
+// locates a column's payload via the NSKL directory, verifies its
+// CRC-32C, decodes it, and caches the decoded column in the pager pool.
+type columnSource struct {
+	file          *pager.File
+	pool          *pager.Pool
+	ncolOff       uint64 // NCOL payload's offset within the file
+	ncolLen       uint64
+	types         map[string]typeCols
+	totalSections int
+}
+
+// Column implements tgm.ColumnSource.
+func (cs *columnSource) Column(typeName string, ai int) ([]value.V, error) {
+	v, err := cs.pool.Get(pager.Key{Type: typeName, Attr: ai}, func() (any, error) {
+		return cs.load(typeName, ai)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]value.V), nil
+}
+
+// PinColumn implements tgm.ColumnSource.
+func (cs *columnSource) PinColumn(typeName string, ai int) ([]value.V, func(), error) {
+	v, release, err := cs.pool.Pin(pager.Key{Type: typeName, Attr: ai}, func() (any, error) {
+		return cs.load(typeName, ai)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return v.([]value.V), release, nil
+}
+
+// load is the fault path: read the column's bytes, checksum, decode.
+// Load errors are not cached by the pool, so a transient failure (or a
+// since-repaired corruption) does not poison the section — the next
+// fault retries from the file.
+func (cs *columnSource) load(typeName string, ai int) (any, error) {
+	tc, ok := cs.types[typeName]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: no column directory for node type %q", typeName)
+	}
+	if ai < 0 || ai >= len(tc.cols) {
+		return nil, fmt.Errorf("snapshot: node type %q has no attribute ordinal %d", typeName, ai)
+	}
+	cm := tc.cols[ai]
+	if cm.off > cs.ncolLen || cm.length > cs.ncolLen-cm.off {
+		return nil, corrupt(secSkel, "column %s[%d] range [%d,+%d) exceeds NCOL size %d",
+			typeName, ai, cm.off, cm.length, cs.ncolLen)
+	}
+	payload, err := cs.file.Slice(int64(cs.ncolOff+cm.off), int64(cm.length))
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: reading column %s[%d]: %w", typeName, ai, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != cm.crc {
+		return nil, corrupt(secCols, "column %s[%d] checksum mismatch: stored %08x, computed %08x",
+			typeName, ai, cm.crc, got)
+	}
+	return decodeColumn(payload, tc.rows, typeName, ai)
+}

@@ -6,12 +6,16 @@
 // — same node IDs, same adjacency order, same statistics — without
 // re-running generation or translation, which is what lets a server
 // boot from disk and a registry serve many datasets it never paid to
-// translate.
+// translate. LazyLoad opens the same file out of core: only the
+// skeleton (schema, node ownership, the adjacency directory,
+// statistics) is decoded at open; attribute columns fault in one at a
+// time through a bounded internal/pager buffer pool, and each edge
+// type's adjacency arrays materialize on its first traversal.
 //
 // # File layout
 //
 //	offset 0   magic    8 bytes  89 45 54 53 4E 41 50 0A ("\x89ETSNAP\n")
-//	offset 8   version  uint32 LE (currently 1)
+//	offset 8   version  uint32 LE (currently 2)
 //	offset 12  count    uint32 LE (number of sections)
 //	offset 16  section table: count × {tag [4]byte, offset uint64 LE,
 //	           length uint64 LE, crc32 uint32 LE (Castagnoli)}
@@ -22,20 +26,28 @@
 // a line-oriented tool) is caught at the first eight bytes. The section
 // table makes the format mmap-friendly: every section's byte range is
 // known before any payload is read, sections can be verified and
-// decoded independently, and a future reader may map the file and defer
-// column materialization per section.
+// decoded independently, and the lazy loader maps the file and defers
+// column materialization per column payload.
 //
-// Five sections, all present in version 1:
+// Six sections, all present in version 2:
 //
 //	META  node/edge/type counts, for post-decode cross-checks
 //	SCHM  schema graph: node types, then edge types in per-source
 //	      out-edge order (the order OutEdges must reproduce, since the
 //	      presentation layer derives neighbor-column order from it)
-//	NODE  per node type, columnar: the type's global node IDs
-//	      (delta-encoded), then one column per attribute (a tag array of
-//	      value kinds, then the non-null payloads)
+//	NSKL  node skeleton, per node type: the type's global node IDs
+//	      (delta-encoded) and a column directory — per attribute, the
+//	      column payload's offset/length within NCOL and its CRC-32C
+//	NCOL  concatenated attribute column payloads (a tag array of value
+//	      kinds, then the non-null payloads), each independently
+//	      decodable so one column can be faulted in without its
+//	      neighbors
 //	EDGE  per edge type — forward and reverse alike — the adjacency
-//	      lists: sources ascending, targets in insertion order
+//	      lists in CSR form: ascending sources, offsets, and the
+//	      concatenated target runs (targets in insertion order), each
+//	      array fixed-width uint32 LE so a load is a bulk conversion
+//	      with exact preallocation — immediate on the eager path,
+//	      deferred to each edge type's first traversal on the lazy one
 //	STAT  internal/stats statistics: per-type counts and attribute
 //	      NDVs, per-edge degree histograms
 //
@@ -44,9 +56,13 @@
 // with *VersionError; a snapshot whose bytes do not decode — bad
 // checksum, truncated section, out-of-range reference, impossible count
 // — fails with *CorruptError naming the section and reason. Decoding
-// never panics on hostile input. The version is a single ratchet:
-// readers refuse versions they do not know rather than guessing, and
-// format changes bump it (see docs/SNAPSHOT.md for the compat policy).
+// never panics on hostile input. The eager path verifies every
+// section's checksum before decoding; the lazy path verifies every
+// section it decodes at open and defers NCOL integrity to per-column
+// checksums at fault time, so damage in a column that is never queried
+// is never even read. The version is a single ratchet: readers refuse
+// versions they do not know rather than guessing, and format changes
+// bump it (see docs/SNAPSHOT.md for the compat policy).
 package snapshot
 
 import (
@@ -59,18 +75,20 @@ import (
 	"repro/internal/tgm"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 split the
+// version-1 NODE section into NSKL + NCOL so columns can load lazily.
+const Version = 2
 
 // magic identifies an .etsnap file. The leading 0x89 (non-ASCII) and
 // trailing \n catch text-mode mangling, PNG-style.
 var magic = [8]byte{0x89, 'E', 'T', 'S', 'N', 'A', 'P', '\n'}
 
-// Section tags of format version 1.
+// Section tags of format version 2.
 const (
 	secMeta   = "META"
 	secSchema = "SCHM"
-	secNodes  = "NODE"
+	secSkel   = "NSKL"
+	secCols   = "NCOL"
 	secEdges  = "EDGE"
 	secStats  = "STAT"
 )
@@ -115,16 +133,21 @@ type Snapshot struct {
 	Info   Info
 }
 
-// Save writes g as a version-1 snapshot to w and returns the number of
+// Save writes g as a version-2 snapshot to w and returns the number of
 // bytes written. The graph must be frozen: a snapshot of a graph that
 // can still change would capture an arbitrary intermediate state, and
 // every consumer of the format assumes the immutability contract.
+// Saving an out-of-core graph faults every column through its source.
 func Save(w io.Writer, g *tgm.InstanceGraph) (int64, error) {
 	if g == nil {
 		return 0, fmt.Errorf("snapshot: nil graph")
 	}
 	if !g.Frozen() {
 		return 0, fmt.Errorf("snapshot: graph is not frozen; freeze it before saving")
+	}
+	nskl, ncol, err := encodeNodeSections(g)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: encoding node columns: %w", err)
 	}
 	type section struct {
 		tag     string
@@ -133,7 +156,8 @@ func Save(w io.Writer, g *tgm.InstanceGraph) (int64, error) {
 	sections := []section{
 		{secMeta, encodeMeta(g)},
 		{secSchema, encodeSchema(g.Schema())},
-		{secNodes, encodeNodes(g)},
+		{secSkel, nskl},
+		{secCols, ncol},
 		{secEdges, encodeEdges(g)},
 		{secStats, encodeStats(g)},
 	}
@@ -216,8 +240,15 @@ func Load(path string) (*Snapshot, error) {
 
 // Decode reconstructs a snapshot from its serialized bytes (the
 // in-memory form of Load; Load is ReadFile + Decode).
+//
+// Aliasing contract: decoding reads directly from sub-slices of data —
+// there is no intermediate per-section copy — and everything the
+// returned Snapshot retains is freshly built (string values copy their
+// bytes, columns are newly decoded slices). The caller may therefore
+// reuse or discard data as soon as Decode returns; nothing in the
+// result aliases it.
 func Decode(data []byte) (*Snapshot, error) {
-	sections, info, err := parseHeader(data)
+	sections, info, err := parseSections(data, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -229,9 +260,28 @@ func Decode(data []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	graph, err := decodeNodes(sections[secNodes], schema, meta)
+	graph, dir, err := decodeSkeleton(sections[secSkel], schema, meta)
 	if err != nil {
 		return nil, err
+	}
+	// Install every column eagerly, decoding each payload in place from
+	// the NCOL sub-slice (whole-section checksum already verified, so
+	// the per-column checksums are not re-checked here).
+	ncol := sections[secCols]
+	for _, tc := range dir {
+		for ai, cm := range tc.cols {
+			payload, err := cm.slice(ncol)
+			if err != nil {
+				return nil, err
+			}
+			col, err := decodeColumn(payload, tc.rows, tc.typeName, ai)
+			if err != nil {
+				return nil, err
+			}
+			if err := graph.InstallColumn(tc.typeName, ai, col); err != nil {
+				return nil, corrupt(secCols, "installing column %s[%d]: %v", tc.typeName, ai, err)
+			}
+		}
 	}
 	if err := decodeEdges(sections[secEdges], graph, edgeTypeOrder, meta); err != nil {
 		return nil, err
@@ -243,7 +293,7 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, err
 	}
 	if n := graph.NumNodes(); n != meta.nodes {
-		return nil, corrupt(secMeta, "node count mismatch: META says %d, NODE decoded %d", meta.nodes, n)
+		return nil, corrupt(secMeta, "node count mismatch: META says %d, NSKL decoded %d", meta.nodes, n)
 	}
 	if n := graph.NumEdges(); n != meta.edges {
 		return nil, corrupt(secMeta, "edge count mismatch: META says %d, EDGE decoded %d", meta.edges, n)
@@ -252,9 +302,12 @@ func Decode(data []byte) (*Snapshot, error) {
 	return &Snapshot{Schema: schema, Graph: graph, Info: info}, nil
 }
 
-// parseHeader validates magic, version, and the section table, verifies
-// every section's checksum, and returns the payload byte ranges.
-func parseHeader(data []byte) (map[string][]byte, Info, error) {
+// parseSections validates magic, version, and the section table, and
+// returns the payload byte ranges (aliases of data). Each section's
+// checksum is verified unless skipCRC reports the tag should be
+// deferred — the lazy open skips the bulk NCOL section, whose integrity
+// is re-established per column at fault time.
+func parseSections(data []byte, skipCRC func(tag string) bool) (map[string][]byte, Info, error) {
 	info := Info{Bytes: int64(len(data))}
 	if len(data) < headerFixed {
 		return nil, info, ErrBadMagic
@@ -282,8 +335,10 @@ func parseHeader(data []byte) (map[string][]byte, Info, error) {
 			return nil, info, corrupt(tag, "section range [%d,+%d) exceeds file size %d", off, length, len(data))
 		}
 		payload := data[off : off+length]
-		if got := crc32.Checksum(payload, castagnoli); got != sum {
-			return nil, info, corrupt(tag, "checksum mismatch: stored %08x, computed %08x", sum, got)
+		if skipCRC == nil || !skipCRC(tag) {
+			if got := crc32.Checksum(payload, castagnoli); got != sum {
+				return nil, info, corrupt(tag, "checksum mismatch: stored %08x, computed %08x", sum, got)
+			}
 		}
 		if _, dup := sections[tag]; dup {
 			return nil, info, corrupt(tag, "duplicate section")
@@ -291,7 +346,7 @@ func parseHeader(data []byte) (map[string][]byte, Info, error) {
 		sections[tag] = payload
 		info.Sections = append(info.Sections, SectionInfo{Tag: tag, Offset: off, Length: length, CRC32: sum})
 	}
-	for _, tag := range []string{secMeta, secSchema, secNodes, secEdges, secStats} {
+	for _, tag := range []string{secMeta, secSchema, secSkel, secCols, secEdges, secStats} {
 		if _, ok := sections[tag]; !ok {
 			return nil, info, corrupt(tag, "section missing")
 		}

@@ -98,8 +98,15 @@ func TestRoundTripGraphFidelity(t *testing.T) {
 		if want.Type.Name != got.Type.Name {
 			t.Fatalf("node %d type %q != %q", i, got.Type.Name, want.Type.Name)
 		}
-		if !reflect.DeepEqual(want.Attrs, got.Attrs) {
-			t.Fatalf("node %d attrs %v != %v", i, got.Attrs, want.Attrs)
+		for ai := range want.Type.Attrs {
+			wv, werr := want.TryAttrAt(ai)
+			gv, gerr := got.TryAttrAt(ai)
+			if werr != nil || gerr != nil {
+				t.Fatalf("node %d attr %d: errors %v, %v", i, ai, werr, gerr)
+			}
+			if !reflect.DeepEqual(wv, gv) {
+				t.Fatalf("node %d attr %d: %v != %v", i, ai, gv, wv)
+			}
 		}
 		if want.Label() != got.Label() {
 			t.Fatalf("node %d label %q != %q", i, got.Label(), want.Label())

@@ -110,9 +110,17 @@ func Collect(g *tgm.InstanceGraph) *Graph {
 		ids := g.NodesOfType(nt.Name)
 		ns := NodeStats{Count: len(ids), NDV: make(map[string]int, len(nt.Attrs))}
 		for ai, a := range nt.Attrs {
+			col, err := g.AttrColumn(nt.Name, ai)
+			if err != nil {
+				// Collection runs at translate time over memory-resident
+				// graphs; out-of-core graphs restore stats from their
+				// snapshot's STAT section instead of recollecting. A
+				// fault failure here degrades to NDV 0 for the column.
+				ns.NDV[a.Name] = 0
+				continue
+			}
 			distinct := make(map[string]struct{}, len(ids))
-			for _, id := range ids {
-				v := g.Node(id).Attrs[ai]
+			for _, v := range col {
 				if v.IsNull() {
 					continue
 				}

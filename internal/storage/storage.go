@@ -147,7 +147,7 @@ func FromGraph(g *tgm.InstanceGraph) (*Store, error) {
 		}
 		for ai, a := range n.Type.Attrs {
 			if _, err := attrs.InsertValues(
-				value.Int(int64(n.ID)), value.Str(a.Name), n.Attrs[ai],
+				value.Int(int64(n.ID)), value.Str(a.Name), n.AttrAt(ai),
 			); err != nil {
 				return nil, err
 			}

@@ -240,7 +240,14 @@ type DatasetInfo struct {
 	// touched; the first session on it pays the load.
 	Loaded bool `json:"loaded"`
 	// Source is "memory" or "snapshot".
-	Source        string  `json:"source"`
+	Source string `json:"source"`
+	// Lazy marks snapshot datasets served out-of-core (columns page in
+	// on demand through a bounded buffer pool).
+	Lazy bool `json:"lazy"`
+	// FileBytes and FileSections describe the snapshot file itself,
+	// read from its header at registration — populated before any load.
+	FileBytes     int64   `json:"fileBytes"`
+	FileSections  int     `json:"fileSections"`
 	SnapshotBytes int64   `json:"snapshotBytes"`
 	LoadMs        float64 `json:"loadMs"`
 	Nodes         int     `json:"nodes"`
