@@ -13,7 +13,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -22,6 +24,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/graphrel"
+	"repro/internal/pager"
 	"repro/internal/relational"
 	"repro/internal/server"
 	"repro/internal/snapshot"
@@ -1163,4 +1166,93 @@ func BenchmarkColdWindowFault(b *testing.B) {
 	}
 	b.ReportMetric(float64(resident), "resident-sections")
 	b.ReportMetric(float64(total), "total-sections")
+}
+
+// BenchmarkSpilledFirstPage measures this PR's tentpole cost: time to
+// the first 10-row page of a large join result when the
+// materialization spills to disk behind the pager, against the same
+// prepare kept entirely on the heap. Both arms pay the full streamed
+// prepare (the spilled arm additionally writes its runs, folds its
+// groupings externally, and faults the first window's runs back);
+// acceptance is spilled ≤ 3× in-memory, recorded in PERFORMANCE.md
+// §11.
+func BenchmarkSpilledFirstPage(b *testing.B) {
+	tr := scaleFixtures(b)
+	const window = 10
+	p1, p2 := streamScalePatterns(b, tr)
+
+	for _, p := range []*etable.Pattern{p1, p2} {
+		eager, err := etable.MatchOpts(tr.Instance, p, etable.ExecOptions{Stream: etable.StreamOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := eager.Len()
+
+		b.Run(fmt.Sprintf("inmemory/rows=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opt := etable.ExecOptions{Stream: etable.StreamOn}
+				src, err := etable.MatchSource(tr.Instance, p, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr, _, err := etable.PrepareFromSource(tr.Instance, p, src, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := pr.Window(0, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumRows() != window {
+					b.Fatalf("first page of %d rows, want %d", res.NumRows(), window)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("spilled/rows=%d", n), func(b *testing.B) {
+			// ETABLE_SPILL_DIR redirects the runs to a specific device
+			// (bench.sh stamps it into BenchEnv); default is a per-run
+			// temp dir. ETABLE_MAX_SPILL_BYTES caps the spill.
+			dir := os.Getenv("ETABLE_SPILL_DIR")
+			if dir == "" {
+				dir = b.TempDir()
+			}
+			var maxBytes int64
+			if v := os.Getenv("ETABLE_MAX_SPILL_BYTES"); v != "" {
+				if parsed, err := strconv.ParseInt(v, 10, 64); err == nil {
+					maxBytes = parsed
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pol := &graphrel.SpillPolicy{
+					Dir:      dir,
+					MaxBytes: maxBytes,
+					Pool:     pager.New(64),
+				}
+				opt := etable.ExecOptions{Stream: etable.StreamOn, MaxRows: 4096, Spill: pol}
+				src, err := etable.MatchSource(tr.Instance, p, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr, _, err := etable.PrepareFromSource(tr.Instance, p, src, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pr.Spilled() == nil {
+					b.Fatal("prepare did not spill")
+				}
+				res, err := pr.Window(0, window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.NumRows() != window {
+					b.Fatalf("first page of %d rows, want %d", res.NumRows(), window)
+				}
+				if err := pr.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

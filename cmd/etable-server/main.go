@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strings"
 	"time"
 
@@ -58,7 +59,9 @@ func main() {
 	pageSize := flag.Int("page-size", 0, "default result rows per response (0 = all; clients may page with offset/limit)")
 	maxWorkers := flag.Int("max-workers", 0, "server-wide worker cap for intra-query parallelism (0 = GOMAXPROCS, negative = serial)")
 	parallelism := flag.Int("parallelism", 0, "default per-request parallelism budget (0 = min(4, GOMAXPROCS); requests may override with ?parallelism=)")
-	maxRows := flag.Int("max-rows", 0, "maximum rows one request may materialize (0 = unbounded; oversized results fail with 413 result_too_large)")
+	maxRows := flag.Int("max-rows", 0, "row threshold past which a result spills to disk, or fails with 413 result_too_large when spilling is off (0 = unbounded)")
+	spillDir := flag.String("spill-dir", "", "directory for spill run files (empty = system temp dir; \"off\" disables spilling and restores strict -max-rows rejection)")
+	maxSpillBytes := flag.Int64("max-spill-bytes", 0, "maximum bytes one query may spill to disk (0 = unbounded; exceeding fails with 413 result_too_large)")
 	plannerFlag := flag.String("planner", "auto", "join-ordering policy: auto (adaptive by corpus size), greedy, or cost")
 	flag.Parse()
 
@@ -132,17 +135,26 @@ func main() {
 	}
 
 	srv := server.NewFromRegistry(reg, server.Options{
-		CacheEntries: *cacheEntries,
-		SessionTTL:   *sessionTTL,
-		MaxSessions:  *maxSessions,
-		PageSize:     *pageSize,
-		MaxWorkers:   *maxWorkers,
-		Parallelism:  *parallelism,
-		MaxRows:      *maxRows,
-		Planner:      planner,
+		CacheEntries:  *cacheEntries,
+		SessionTTL:    *sessionTTL,
+		MaxSessions:   *maxSessions,
+		PageSize:      *pageSize,
+		MaxWorkers:    *maxWorkers,
+		Parallelism:   *parallelism,
+		MaxRows:       *maxRows,
+		SpillDir:      *spillDir,
+		MaxSpillBytes: *maxSpillBytes,
+		Planner:       planner,
 	})
-	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d, max rows %d, planner %s)\n",
-		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism, *maxRows, planner)
+	spillInfo := "off"
+	if *maxRows > 0 && *spillDir != "off" {
+		spillInfo = *spillDir
+		if spillInfo == "" {
+			spillInfo = os.TempDir()
+		}
+	}
+	fmt.Printf("ETable serving on http://%s/ (cache %d, ttl %s, max sessions %d, page size %d, workers %d, parallelism %d, max rows %d, spill %s, planner %s)\n",
+		*addr, *cacheEntries, *sessionTTL, *maxSessions, *pageSize, *maxWorkers, *parallelism, *maxRows, spillInfo, planner)
 	fmt.Printf("API: /api/v1 (declarative ops; see docs/API.md) — legacy /api/* routes are deprecated aliases\n")
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

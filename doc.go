@@ -206,4 +206,34 @@
 // and cold-window measurements (BenchmarkLazyBoot,
 // BenchmarkColdWindowFault); a lazy-vs-eager fuzz and a GOMEMLIMIT
 // smoke job in CI hold the equivalence and memory-bound claims.
+//
+// # Spill-to-disk execution
+//
+// The out-of-core tier bounds memory on the way *in* (base columns page
+// from disk); the spill tier bounds it on the way *out*: a query whose
+// result crosses the row cap (ExecOptions.MaxRows, etable-server
+// -max-rows) no longer fails with 413 result_too_large — it
+// materializes through internal/spill into temporary run files
+// (snapshot NCOL column encoding, per-run CRC-32C, anonymous
+// O_TMPFILE/unlink-on-open so a crash leaks nothing) and pages back
+// through the same internal/pager buffer pool as lazy columns.
+// internal/graphrel provides the external operator forms: RunSink
+// accumulates streamed batches into fixed-size runs and exposes the
+// window-addressable SpilledRelation; ExternalGroupFold and
+// ExternalDistinct run sort-merge folds whose sorted-run flushes merge
+// with cross-run deduplication, so grouping and distinct results far
+// past the cap compute in bounded memory. Policy is per-dataset
+// (graphrel.SpillPolicy via server Options{SpillDir, MaxSpillBytes};
+// flags -spill-dir and -max-spill-bytes; "off" restores strict 413s),
+// the byte budget rejects with the same unified
+// {code, limit, rows} envelope as every other cap layer, damaged runs
+// surface as typed *spill.CorruptError values with the session
+// surviving, and files are reaped on session close, LRU eviction, and
+// a boot-time sweep of named spill directories. /api/v1/stats reports
+// a per-dataset spill block (spills, runBytes, mergePasses, faults);
+// PERFORMANCE.md §11 records the first-page cost of a spilled result
+// (≤1.6× in-memory at 53k and 313k rows, BenchmarkSpilledFirstPage),
+// and CI's spill-smoke job browses a capped pivot end to end under
+// GOMEMLIMIT=32MiB. A randomized spilled≡in-memory fuzz under -race
+// holds the equivalence claim.
 package repro

@@ -42,6 +42,14 @@ type ExecOptions struct {
 	// batch by batch (terminating upstream production early); the eager
 	// path checks after each join step. Errors are never cached.
 	MaxRows int
+	// Spill enables spill-to-disk execution for the browsable prepare
+	// path: when set, a streamed prepare that crosses MaxRows overflows
+	// its materialization and its breaker folds to temp-file runs
+	// (internal/spill) instead of failing, and MaxRows becomes the
+	// spill trigger. The policy's MaxBytes stays a hard cap — exceeding
+	// it fails with the same *graphrel.RowLimitError. nil disables
+	// spilling (the pre-spill MaxRows semantics).
+	Spill *graphrel.SpillPolicy
 	// Planner selects the join-ordering policy: PlannerAuto (the zero
 	// value) adapts to the corpus size, PlannerGreedy and PlannerCost
 	// force one arm. Forced modes cache under their own keys, so

@@ -272,6 +272,14 @@ func (e *Executor) MatchPinnedWithOpts(p *Pattern, opt ExecOptions) (*graphrel.R
 	}
 }
 
+// errSpilled signals, inside PrepareWithOpts' compute closure, that the
+// streamed prepare overflowed to disk: there is no heap relation to
+// cache, so the closure fails the cache fill on purpose (errors are
+// never cached) and the leader hands the spilled presentation out of
+// band. Singleflight waiters see the error without a presentation and
+// retry — spilled results are per-caller, never shared.
+var errSpilled = errors.New("etable: result spilled to disk")
+
 // PrepareWithOpts builds the windowed presentation of a pattern: the
 // matched relation comes from the shared cache (pinned), and the
 // returned Presentation materializes any row window on demand. The
@@ -287,6 +295,13 @@ func (e *Executor) MatchPinnedWithOpts(p *Pattern, opt ExecOptions) (*graphrel.R
 // singleflight waiters and cache hits receive the cached relation and
 // prepare from it eagerly, which yields an identical presentation (the
 // fold and the eager passes are both pure functions of the tuple set).
+//
+// With a spill policy in the options, a prepare whose match crosses
+// MaxRows comes back disk-resident instead of failing: the returned
+// Pin is nil (spilled relations are never cached — they are owned by
+// exactly one caller) and the caller must Close the presentation when
+// done paging. Pin.Release is nil-safe, so callers that treat the pair
+// uniformly need no special casing beyond the Close.
 func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, *Pin, error) {
 	if err := p.Validate(e.g.Schema()); err != nil {
 		return nil, nil, err
@@ -315,6 +330,9 @@ func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, 
 					return nil, err
 				}
 				streamed = pres
+				if rel == nil {
+					return nil, errSpilled
+				}
 				return rel, nil
 			}
 			return e.matchEager(p, o)
@@ -334,6 +352,9 @@ func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, 
 				return nil, err
 			}
 			streamed = pres
+			if rel == nil {
+				return nil, errSpilled
+			}
 			return rel, nil
 		}
 		return e.matchEagerPlanned(p, pl, o)
@@ -344,7 +365,24 @@ func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, 
 		if foreignCancellation(opt.Ctx, err) {
 			continue
 		}
+		if errors.Is(err, errSpilled) {
+			if streamed != nil {
+				return streamed, nil, nil
+			}
+			// A waiter whose leader spilled: retry — next round this
+			// caller computes (and spills) for itself.
+			continue
+		}
 		if err != nil {
+			var rle *graphrel.RowLimitError
+			if errors.As(err, &rle) && opt.Spill != nil && opt.MaxRows > 0 {
+				// The eager arm tripped the row cap before streaming could
+				// spill (an intermediate join step overflowed). Rerun the
+				// match as a stream so the spill machinery gets to absorb
+				// it; the result bypasses the cache like every spilled
+				// prepare.
+				return e.prepareSpillFallback(p, opt)
+			}
 			return nil, nil, err
 		}
 		if streamed != nil {
@@ -357,6 +395,25 @@ func (e *Executor) PrepareWithOpts(p *Pattern, opt ExecOptions) (*Presentation, 
 		}
 		return pr, pin, nil
 	}
+}
+
+// prepareSpillFallback reruns a row-capped eager prepare as a forced
+// stream with spilling, bypassing the cache entirely: the streamed
+// pipeline bounds the intermediates the eager arm materialized, and
+// the spill tier absorbs the oversized result. The returned Pin is
+// always nil; the caller owns the presentation's Close.
+func (e *Executor) prepareSpillFallback(p *Pattern, opt ExecOptions) (*Presentation, *Pin, error) {
+	o := opt
+	o.Stream = StreamOn
+	src, err := matchSource(e.g, p, o.effectiveFresh(e.g, p), e.base(o))
+	if err != nil {
+		return nil, nil, err
+	}
+	pres, _, err := PrepareFromSource(e.g, p, src, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pres, nil, nil
 }
 
 // Execute runs the pattern with intermediate-result reuse (serial,

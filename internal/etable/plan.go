@@ -225,7 +225,7 @@ func matchStepsObserved(bases map[string]*graphrel.Relation, startKey string, st
 		// further (the streaming path enforces the same cap batch by
 		// batch, before the relation ever exists in full).
 		if opt.MaxRows > 0 && cur.Len() > opt.MaxRows {
-			return nil, nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
+			return nil, nil, graphrel.LimitExceeded(opt.MaxRows, cur.Len())
 		}
 		if needed == nil {
 			continue

@@ -1,10 +1,13 @@
 package etable
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graphrel"
+	"repro/internal/spill"
 	"repro/internal/tgm"
 )
 
@@ -198,6 +201,89 @@ func materializeMax(src graphrel.RowSource, maxRows int) (*graphrel.Relation, er
 	return graphrel.Materialize(src)
 }
 
+// spillErr translates a spill-layer write failure into the execution
+// layer's vocabulary: budget exhaustion (-max-spill-bytes) becomes the
+// row cap's typed *RowLimitError — the same 413 the row threshold
+// produced before spilling existed — and everything else passes
+// through.
+func spillErr(err error, limit, rows int) error {
+	var be *spill.BudgetError
+	if errors.As(err, &be) {
+		return graphrel.LimitExceeded(limit, rows)
+	}
+	return err
+}
+
+// prepareSpill is the overflow state of one spilling prepare: the run
+// sink for the matched batches, one external fold per participating
+// column, and the external distinct pass for the primary rows. All
+// files share one byte budget.
+type prepareSpill struct {
+	sink  *graphrel.RunSink
+	folds []*graphrel.ExternalGroupFold
+	dist  *graphrel.ExternalDistinct
+}
+
+// abort discards every spill file of a failed prepare.
+func (ps *prepareSpill) abort() {
+	if ps == nil {
+		return
+	}
+	ps.sink.Abort()
+	for _, f := range ps.folds {
+		f.Abort()
+	}
+	ps.dist.Abort()
+}
+
+// beginSpill opens the overflow state and demotes everything the heap
+// pass accumulated before the threshold tripped: retained batches into
+// the sink, heap folds into the external folds, the distinct row IDs
+// into the external distinct.
+func beginSpill(g *tgm.InstanceGraph, src graphrel.RowSource, pol *graphrel.SpillPolicy,
+	batches []*graphrel.Relation, folds []map[tgm.NodeID][]tgm.NodeID, rowIDs []tgm.NodeID) (*prepareSpill, error) {
+	budget := pol.NewBudget()
+	sink, err := graphrel.NewRunSink(g, src.Attrs(), pol, budget)
+	if err != nil {
+		return nil, err
+	}
+	ps := &prepareSpill{sink: sink}
+	fail := func(err error) (*prepareSpill, error) {
+		ps.sink.Abort()
+		for _, f := range ps.folds {
+			f.Abort()
+		}
+		if ps.dist != nil {
+			ps.dist.Abort()
+		}
+		return nil, err
+	}
+	for range folds {
+		f, err := graphrel.NewExternalGroupFold(pol, budget)
+		if err != nil {
+			return fail(err)
+		}
+		ps.folds = append(ps.folds, f)
+	}
+	if ps.dist, err = graphrel.NewExternalDistinct(pol, budget); err != nil {
+		return fail(err)
+	}
+	for _, b := range batches {
+		if err := sink.Add(b); err != nil {
+			return fail(err)
+		}
+	}
+	for i, m := range folds {
+		if err := ps.folds[i].AbsorbMap(m); err != nil {
+			return fail(err)
+		}
+	}
+	if err := ps.dist.Add(rowIDs); err != nil {
+		return fail(err)
+	}
+	return ps, nil
+}
+
 // PrepareFromSource builds the windowed presentation directly from a
 // streamed match, folding the pipeline breakers batch by batch: the
 // distinct primary rows accumulate through a bitset, the per-column
@@ -209,6 +295,15 @@ func materializeMax(src graphrel.RowSource, maxRows int) (*graphrel.Relation, er
 // a pure function of the tuple set (ID-sorted), groups are sorted and
 // deduplicated by SortDedupGroups, and the splice preserves row order.
 // The source is Closed before returning, success or not.
+//
+// With a spill policy set, crossing MaxRows does not fail: the heap
+// state demotes to spill runs (beginSpill) and the pass continues with
+// bounded memory — batches flow into the run sink instead of being
+// retained, folds into external sort-merge folds, row IDs into the
+// external distinct. A spilled prepare returns a nil relation (there
+// is nothing heap-resident to cache); the presentation's groupings
+// fault through the policy's pager pool, its matched rows are
+// reachable as Spilled(), and the caller owns its Close.
 func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource, opt ExecOptions) (*Presentation, *graphrel.Relation, error) {
 	defer src.Close()
 	prim := p.PrimaryNode()
@@ -237,24 +332,53 @@ func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource,
 	seen := graphrel.NewBitset(g.NumNodes())
 	var rowIDs []tgm.NodeID
 	var batches []*graphrel.Relation
+	var ps *prepareSpill
 	total := 0
+	fail := func(err error) (*Presentation, *graphrel.Relation, error) {
+		ps.abort()
+		return nil, nil, spillErr(err, opt.MaxRows, total)
+	}
 	for {
 		b, err := src.Next()
 		if err != nil {
-			return nil, nil, err
+			return fail(err)
 		}
 		if b == nil {
 			break
 		}
 		total += b.Len()
-		if opt.MaxRows > 0 && total > opt.MaxRows {
-			return nil, nil, &graphrel.RowLimitError{Limit: opt.MaxRows}
+		if ps == nil && opt.MaxRows > 0 && total > opt.MaxRows {
+			if opt.Spill == nil {
+				return nil, nil, graphrel.LimitExceeded(opt.MaxRows, total)
+			}
+			// Threshold crossed: demote the heap state to disk and keep
+			// draining with bounded memory.
+			ps, err = beginSpill(g, src, opt.Spill, batches, folds, rowIDs)
+			if err != nil {
+				return nil, nil, spillErr(err, opt.MaxRows, total)
+			}
+			batches, folds, rowIDs, seen = nil, nil, nil, nil
 		}
-		batches = append(batches, b)
 		primCol := b.ColumnNamed(prim.Key)
 		if primCol == nil {
+			ps.abort()
 			return nil, nil, fmt.Errorf("etable: stream has no attribute %q", prim.Key)
 		}
+		if ps != nil {
+			if err := ps.sink.Add(b); err != nil {
+				return fail(err)
+			}
+			if err := ps.dist.Add(primCol); err != nil {
+				return fail(err)
+			}
+			for i, k := range partKeys {
+				if err := ps.folds[i].Append(b, prim.Key, k); err != nil {
+					return fail(err)
+				}
+			}
+			continue
+		}
+		batches = append(batches, b)
 		for _, id := range primCol {
 			if !seen.TestAndSet(id) {
 				rowIDs = append(rowIDs, id)
@@ -268,12 +392,45 @@ func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource,
 	}
 
 	// Finish the breakers: canonical row order and canonical groups.
-	sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
-	pr.rowIDs = rowIDs
-	for _, f := range folds {
-		if err := graphrel.SortDedupGroups(opt.Ctx, opt.Pool, opt.Parallelism, f); err != nil {
-			return nil, nil, err
+	// The heap path sorts; the external passes are ascending by
+	// construction, so the canonical order falls out of the merge.
+	var parts []groupSource
+	if ps == nil {
+		sort.Slice(rowIDs, func(i, j int) bool { return rowIDs[i] < rowIDs[j] })
+		pr.rowIDs = rowIDs
+		for _, f := range folds {
+			if err := graphrel.SortDedupGroups(opt.Ctx, opt.Pool, opt.Parallelism, f); err != nil {
+				return nil, nil, err
+			}
+			parts = append(parts, mapGroups(f))
 		}
+	} else {
+		ids, err := ps.dist.Finish()
+		if err != nil {
+			ps.sink.Abort()
+			for _, f := range ps.folds {
+				f.Abort()
+			}
+			return nil, nil, spillErr(err, opt.MaxRows, total)
+		}
+		pr.rowIDs = ids
+		pr.closeOnce = new(sync.Once)
+		for len(ps.folds) > 0 {
+			sg, err := ps.folds[0].Finish()
+			ps.folds = ps.folds[1:]
+			if err != nil {
+				return fail(err)
+			}
+			pr.closers = append(pr.closers, sg)
+			parts = append(parts, spillGroups{sg})
+		}
+		sr, err := ps.sink.Finish()
+		if err != nil {
+			pr.Close()
+			return nil, nil, spillErr(err, opt.MaxRows, total)
+		}
+		pr.spilled = sr
+		pr.closers = append(pr.closers, sr)
 	}
 
 	// Column layout, identical to PrepareOpts.
@@ -287,7 +444,7 @@ func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource,
 			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
 			EdgeType: primEdges[n.Key], TargetType: n.Type,
 		})
-		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, groups: folds[i]})
+		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, src: parts[i]})
 	}
 	shown := map[string]bool{}
 	for _, en := range primEdges {
@@ -306,7 +463,11 @@ func PrepareFromSource(g *tgm.InstanceGraph, p *Pattern, src graphrel.RowSource,
 	}
 
 	if err := pr.finishPrepare(); err != nil {
+		pr.Close()
 		return nil, nil, err
+	}
+	if ps != nil {
+		return pr, nil, nil
 	}
 	matched, err := graphrel.ConcatAll(g, src.Attrs(), batches)
 	if err != nil {

@@ -65,6 +65,40 @@ type Presentation struct {
 	// view (see pinColumns), keeping steady-state residency bounded by
 	// the pager budget instead of by presentation lifetime.
 	view *colView
+	// spilled is the matched relation's disk-resident form when the
+	// streamed prepare overflowed its spill threshold; nil on the heap
+	// path. It is lifecycle state (Close releases it) and telemetry —
+	// windows read the prepared groupings, not the relation.
+	closers []interface{ Close() error }
+	spilled *graphrel.SpilledRelation
+	// closeOnce is shared by every SortedView of one prepare, so the
+	// spill files behind a family of views release exactly once no
+	// matter which copy is closed. nil when nothing spilled.
+	closeOnce *sync.Once
+}
+
+// Spilled returns the matched relation's spilled form, or nil when the
+// prepare stayed on the heap.
+func (pr *Presentation) Spilled() *graphrel.SpilledRelation { return pr.spilled }
+
+// Close releases any spill-backed state behind the presentation (run
+// files of the materialized relation and the external group folds).
+// Idempotent, shared across SortedViews, and a no-op for heap-resident
+// presentations. Windows already materialized stay valid; new Window
+// calls after Close fail on their first fault.
+func (pr *Presentation) Close() error {
+	if pr.closeOnce == nil {
+		return nil
+	}
+	var err error
+	pr.closeOnce.Do(func() {
+		for _, c := range pr.closers {
+			if e := c.Close(); e != nil && err == nil {
+				err = e
+			}
+		}
+	})
+	return err
 }
 
 // colView is the set of resolved attribute columns one window reads:
@@ -122,11 +156,36 @@ func (pr *Presentation) pinColumns() (*colView, func(), error) {
 	return view, releaseAll, nil
 }
 
+// groupSource is a participating column's row → related-nodes
+// grouping, abstracted over residency: heap maps for in-memory
+// prepares, spill-backed directories when the fold overflowed to disk.
+// count is IO-free on both forms — it is what the sort key and the
+// window's arena-sizing pass read — while refs may fault runs back in
+// and can therefore fail with a typed error.
+type groupSource interface {
+	count(id tgm.NodeID) int
+	refs(id tgm.NodeID) ([]tgm.NodeID, error)
+}
+
+// mapGroups is the heap-resident groupSource: the map GroupNeighbors /
+// SortDedupGroups produce.
+type mapGroups map[tgm.NodeID][]tgm.NodeID
+
+func (m mapGroups) count(id tgm.NodeID) int                  { return len(m[id]) }
+func (m mapGroups) refs(id tgm.NodeID) ([]tgm.NodeID, error) { return m[id], nil }
+
+// spillGroups adapts a spilled group directory: counts from the
+// in-memory directory, refs faulted from the values file.
+type spillGroups struct{ sg *graphrel.SpilledGroups }
+
+func (s spillGroups) count(id tgm.NodeID) int                  { return s.sg.Count(id) }
+func (s spillGroups) refs(id tgm.NodeID) ([]tgm.NodeID, error) { return s.sg.Refs(id) }
+
 // partCol is one participating node column (A_t) with its precomputed
 // row → related-nodes grouping.
 type partCol struct {
-	col    int
-	groups map[tgm.NodeID][]tgm.NodeID
+	col int
+	src groupSource
 }
 
 // neighborCol is one neighbor node column (A_h): references are read
@@ -190,7 +249,7 @@ func PrepareOpts(g *tgm.InstanceGraph, p *Pattern, matched *graphrel.Relation, o
 			Kind: ColParticipating, Name: n.Key, NodeKey: n.Key,
 			EdgeType: primEdges[n.Key], TargetType: n.Type,
 		})
-		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, groups: groups})
+		pr.parts = append(pr.parts, partCol{col: len(pr.columns) - 1, src: mapGroups(groups)})
 	}
 
 	// Neighbor node columns A_h: schema out-edges of the primary type,
@@ -280,8 +339,10 @@ func (pr *Presentation) sortKey(spec SortSpec) (func(id tgm.NodeID) value.V, err
 	case spec.Column != "":
 		for _, pc := range pr.parts {
 			if pr.columns[pc.col].Name == spec.Column {
-				groups := pc.groups
-				return func(id tgm.NodeID) value.V { return value.Int(int64(len(groups[id]))) }, nil
+				src := pc.src
+				// count is IO-free on every groupSource form, so sorting
+				// by reference count never faults spilled runs.
+				return func(id tgm.NodeID) value.V { return value.Int(int64(src.count(id))) }, nil
 			}
 		}
 		for _, nc := range pr.neighbors {
@@ -443,7 +504,11 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 			return nil, err
 		}
 		ws.ensureRanges(1)
-		ws.refs[0] = pr.transformRange(view, start, end, start, res.Rows, cells, ws.refs[0])
+		arena, err := pr.transformRange(view, start, end, start, res.Rows, cells, ws.refs[0])
+		ws.refs[0] = arena
+		if err != nil {
+			return nil, err
+		}
 		return res, nil
 	}
 	// Each range owns one recycled ref arena, indexed by range ordinal —
@@ -451,8 +516,9 @@ func (pr *Presentation) window(offset, limit int, opt ExecOptions, chunk int) (*
 	ws.ensureRanges((n + chunk - 1) / chunk)
 	if err := opt.Pool.MapRanges(opt.Ctx, n, chunk, opt.Parallelism, func(lo, hi int) error {
 		ri := lo / chunk
-		ws.refs[ri] = pr.transformRange(view, start+lo, start+hi, start, res.Rows, cells, ws.refs[ri])
-		return nil
+		arena, err := pr.transformRange(view, start+lo, start+hi, start, res.Rows, cells, ws.refs[ri])
+		ws.refs[ri] = arena
+		return err
 	}); err != nil {
 		return nil, err
 	}
@@ -485,19 +551,25 @@ func (ws *windowStore) ensureRanges(n int) {
 // Every cell of the range is assigned whole — recycled arenas carry
 // stale cells from earlier windows, and a partial field write would
 // leak them.
-func (pr *Presentation) transformRange(view *colView, lo, hi, base int, rows []Row, cells []Cell, arena []EntityRef) []EntityRef {
+//
+// The (possibly re-allocated) arena is returned even on error so the
+// caller can keep recycling it; a failed refs fault (a corrupt spill
+// run, a closed file) aborts the range with its typed error.
+func (pr *Presentation) transformRange(view *colView, lo, hi, base int, rows []Row, cells []Cell, arena []EntityRef) ([]EntityRef, error) {
 	ncols := len(pr.columns)
 	nattrs := len(pr.primType.Attrs)
 	g := pr.g
 
 	// Count the range's entity references first, then carve every cell's
 	// Refs from one arena: at most one allocation per range, none once
-	// the recycled arena has grown to the window working set.
+	// the recycled arena has grown to the window working set. Counts are
+	// IO-free on every groupSource form — only the refs reads below can
+	// fault spilled runs.
 	refTotal := 0
 	for i := lo; i < hi; i++ {
 		id := pr.rowIDs[i]
 		for _, pc := range pr.parts {
-			refTotal += len(pc.groups[id])
+			refTotal += pc.src.count(id)
 		}
 		for _, nc := range pr.neighbors {
 			refTotal += len(g.Neighbors(id, nc.et.Name))
@@ -518,8 +590,12 @@ func (pr *Presentation) transformRange(view *colView, lo, hi, base int, rows []R
 			cs[ai] = Cell{Value: view.base[ai][row]}
 		}
 		for _, pc := range pr.parts {
+			ids, err := pc.src.refs(id)
+			if err != nil {
+				return arena, err
+			}
 			var refs []EntityRef
-			arena, refs = appendRefs(arena, g, view, intern, pc.groups[id])
+			arena, refs = appendRefs(arena, g, view, intern, ids)
 			cs[pc.col] = Cell{Refs: refs}
 		}
 		for _, nc := range pr.neighbors {
@@ -529,7 +605,7 @@ func (pr *Presentation) transformRange(view *colView, lo, hi, base int, rows []R
 		}
 		rows[i-base] = Row{Node: id, Label: intern.label(view, n), Cells: cs}
 	}
-	return arena
+	return arena, nil
 }
 
 // emptyRefs is the shared zero-length reference list: cells with no

@@ -457,8 +457,8 @@ func TestSortedViewSharesPreparedState(t *testing.T) {
 		t.Fatalf("view has %d participating columns, base %d", len(v.parts), len(pres.parts))
 	}
 	for i := range v.parts {
-		vm := reflect.ValueOf(v.parts[i].groups).Pointer()
-		bm := reflect.ValueOf(pres.parts[i].groups).Pointer()
+		vm := reflect.ValueOf(v.parts[i].src.(mapGroups)).Pointer()
+		bm := reflect.ValueOf(pres.parts[i].src.(mapGroups)).Pointer()
 		if vm != bm {
 			t.Fatalf("participating column %d: view rebuilt the grouping map instead of sharing it", i)
 		}

@@ -1,0 +1,306 @@
+package graphrel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/spill"
+	"repro/internal/tgm"
+)
+
+// testPolicy returns a spill policy sized to force multi-run state on
+// test fixtures: tiny runs, a small pool, named files in a temp dir.
+func testPolicy(t *testing.T, runRows int) *SpillPolicy {
+	t.Helper()
+	return &SpillPolicy{
+		Dir:     t.TempDir(),
+		RunRows: runRows,
+		Pool:    pager.New(3),
+		Metrics: &spill.Metrics{},
+		Named:   true,
+	}
+}
+
+// joined builds the two-column A-B join relation the spill fixtures
+// stream — big enough to span many tiny runs.
+func joined(t *testing.T, rng *rand.Rand) *Relation {
+	t.Helper()
+	g := bigChainGraph(t, rng)
+	as, err := Base(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := Base(g, "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := Join(as, bs, "A-B", "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestMaterializeSpillEquivalence checks the spilled materialization
+// against the heap path: full contents, random windows, and the
+// re-drained Source stream are all row- and column-identical.
+func TestMaterializeSpillEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	want := joined(t, rng)
+	for trial := 0; trial < 6; trial++ {
+		batch := 1 + rng.Intn(2*MorselRows)
+		runRows := 16 + rng.Intn(512)
+		pol := testPolicy(t, runRows)
+		trigger := 1 + rng.Intn(want.Len())
+		rel, sr, err := MaterializeSpill(StreamRelationBatch(want, batch), trigger, pol)
+		if err != nil {
+			t.Fatalf("trial %d: MaterializeSpill: %v", trial, err)
+		}
+		if rel != nil {
+			t.Fatalf("trial %d: expected spill (trigger %d < %d rows), got heap relation", trial, trigger, want.Len())
+		}
+		if sr.Len() != want.Len() {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, sr.Len(), want.Len())
+		}
+		label := fmt.Sprintf("trial=%d batch=%d runRows=%d", trial, batch, runRows)
+
+		full, err := sr.Window(0, -1)
+		if err != nil {
+			t.Fatalf("%s: Window(0,-1): %v", label, err)
+		}
+		assertIdenticalRelations(t, label+" full", full, want)
+
+		for w := 0; w < 8; w++ {
+			off := rng.Intn(want.Len() + 10)
+			lim := rng.Intn(3 * runRows)
+			win, err := sr.Window(off, lim)
+			if err != nil {
+				t.Fatalf("%s: Window(%d,%d): %v", label, off, lim, err)
+			}
+			lo := min(off, want.Len())
+			hi := min(lo+lim, want.Len())
+			assertIdenticalRelations(t, fmt.Sprintf("%s window(%d,%d)", label, off, lim),
+				win, want.slice(lo, hi))
+		}
+
+		redrained, err := Materialize(sr.Source())
+		if err != nil {
+			t.Fatalf("%s: redrain: %v", label, err)
+		}
+		assertIdenticalRelations(t, label+" redrained", redrained, want)
+
+		if pol.Metrics.Snapshot().Spills == 0 || pol.Metrics.Snapshot().Faults == 0 {
+			t.Fatalf("%s: metrics did not register the spill: %+v", label, pol.Metrics.Snapshot())
+		}
+		if err := sr.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", label, err)
+		}
+	}
+}
+
+// TestMaterializeSpillBelowThreshold stays on the heap when the stream
+// fits, and a nil policy reduces to MaterializeMax.
+func TestMaterializeSpillBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	want := joined(t, rng)
+	pol := testPolicy(t, 64)
+	rel, sr, err := MaterializeSpill(StreamRelationBatch(want, 512), want.Len(), pol)
+	if err != nil {
+		t.Fatalf("MaterializeSpill: %v", err)
+	}
+	if sr != nil {
+		t.Fatal("spilled despite fitting under the trigger")
+	}
+	assertIdenticalRelations(t, "below threshold", rel, want)
+	if pol.Metrics.Snapshot().Spills != 0 {
+		t.Fatalf("spill counted without spilling: %+v", pol.Metrics.Snapshot())
+	}
+
+	// nil policy: plain MaterializeMax semantics, including the error.
+	if _, _, err := MaterializeSpill(StreamRelationBatch(want, 512), 1, nil); err == nil {
+		t.Fatal("nil policy should keep the row cap")
+	}
+}
+
+// TestMaterializeSpillBudget exhausts -max-spill-bytes mid-stream and
+// expects the row cap's typed error carrying the observed rows.
+func TestMaterializeSpillBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	want := joined(t, rng)
+	pol := testPolicy(t, 64)
+	pol.MaxBytes = 2048
+	_, _, err := MaterializeSpill(StreamRelationBatch(want, 512), 1, pol)
+	var rle *RowLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("want *RowLimitError on budget exhaustion, got %v", err)
+	}
+	if rle.Rows == 0 {
+		t.Fatalf("RowLimitError should carry observed rows: %+v", rle)
+	}
+}
+
+// TestExternalGroupFoldEquivalence folds the same batches through the
+// heap kernels (AppendGroupPairs + SortDedupGroups) and the external
+// sort-merge form, asserting identical counts and refs for every group
+// — including the AbsorbMap demotion step and multi-run merges.
+func TestExternalGroupFoldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	rel := joined(t, rng)
+	for trial := 0; trial < 4; trial++ {
+		batch := 1 + rng.Intn(2*MorselRows)
+		runRows := 32 + rng.Intn(256)
+		absorb := rng.Intn(2) == 0
+		pol := testPolicy(t, runRows)
+
+		want := make(map[tgm.NodeID][]tgm.NodeID)
+		ext, err := NewExternalGroupFold(pol, pol.NewBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		src := StreamRelationBatch(rel, batch)
+		first := true
+		for {
+			b, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if err := AppendGroupPairs(want, b, "A", "B"); err != nil {
+				t.Fatal(err)
+			}
+			if absorb && first {
+				// Demote a pre-accumulated heap fold, as the execution
+				// layer does when the threshold trips mid-stream.
+				m := make(map[tgm.NodeID][]tgm.NodeID)
+				if err := AppendGroupPairs(m, b, "A", "B"); err != nil {
+					t.Fatal(err)
+				}
+				if err := ext.AbsorbMap(m); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := ext.Append(b, "A", "B"); err != nil {
+					t.Fatal(err)
+				}
+			}
+			first = false
+		}
+		if err := SortDedupGroups(context.Background(), nil, 1, want); err != nil {
+			t.Fatal(err)
+		}
+		sg, err := ext.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("trial=%d batch=%d runRows=%d absorb=%v", trial, batch, runRows, absorb)
+		if sg.Groups() != len(want) {
+			t.Fatalf("%s: %d groups, want %d", label, sg.Groups(), len(want))
+		}
+		for gid, wantRefs := range want {
+			if got := sg.Count(gid); got != len(wantRefs) {
+				t.Fatalf("%s: Count(%d) = %d, want %d", label, gid, got, len(wantRefs))
+			}
+			gotRefs, err := sg.Refs(gid)
+			if err != nil {
+				t.Fatalf("%s: Refs(%d): %v", label, gid, err)
+			}
+			for i := range wantRefs {
+				if gotRefs[i] != wantRefs[i] {
+					t.Fatalf("%s: Refs(%d)[%d] = %d, want %d", label, gid, i, gotRefs[i], wantRefs[i])
+				}
+			}
+		}
+		if refs, err := sg.Refs(tgm.NodeID(1 << 30)); err != nil || refs != nil {
+			t.Fatalf("%s: absent group: refs=%v err=%v", label, refs, err)
+		}
+		if err := sg.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", label, err)
+		}
+	}
+}
+
+// TestExternalDistinctEquivalence checks the external distinct against
+// the heap DistinctNodes (order-normalized: the external form is
+// ascending, the bitset form first-occurrence).
+func TestExternalDistinctEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	rel := joined(t, rng)
+	for _, runRows := range []int{16, 301, 1 << 20} {
+		pol := testPolicy(t, runRows)
+		ext, err := NewExternalDistinct(pol, pol.NewBudget())
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := StreamRelationBatch(rel, 777)
+		for {
+			b, err := src.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+			if err := ext.Add(b.ColumnNamed("B")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := ext.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DistinctNodes(rel, "B")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != len(want) {
+			t.Fatalf("runRows=%d: %d distinct, want %d", runRows, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("runRows=%d: [%d] = %d, want %d", runRows, i, got[i], want[i])
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			t.Fatalf("runRows=%d: external distinct not ascending", runRows)
+		}
+	}
+}
+
+// TestSpilledRelationWindowClamps pins the Window contract at the
+// edges: negative offsets rejected, past-the-end clamped empty.
+func TestSpilledRelationWindowClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	rel := joined(t, rng)
+	pol := testPolicy(t, 128)
+	_, sr, err := MaterializeSpill(StreamRelationBatch(rel, 512), 1, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if _, err := sr.Window(-1, 5); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	w, err := sr.Window(sr.Len()+100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("past-the-end window has %d rows", w.Len())
+	}
+	w, err = sr.Window(sr.Len()-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("tail window has %d rows, want 3", w.Len())
+	}
+}

@@ -384,10 +384,26 @@ func (l *limitSource) Next() (*Relation, error) {
 type RowLimitError struct {
 	// Limit is the row cap that was exceeded.
 	Limit int
+	// Rows is the row count observed when the cap tripped (0 when the
+	// producing layer does not track it). It is a lower bound on the
+	// result's true size: every enforcement point stops producing as
+	// soon as the cap is exceeded.
+	Rows int
 }
 
 func (e *RowLimitError) Error() string {
+	if e.Rows > 0 {
+		return fmt.Sprintf("graphrel: result exceeds %d rows (observed %d)", e.Limit, e.Rows)
+	}
 	return fmt.Sprintf("graphrel: result exceeds %d rows", e.Limit)
+}
+
+// LimitExceeded builds the row-cap error every enforcement point —
+// the eager per-step check, the streamed per-batch check, and the
+// session's pre-window check — routes through, so the surfaced payload
+// (cap, observed rows) is identical no matter which layer tripped.
+func LimitExceeded(limit, rows int) *RowLimitError {
+	return &RowLimitError{Limit: limit, Rows: rows}
 }
 
 // Materialize drains src and concatenates its batches into one
@@ -421,7 +437,7 @@ func materialize(src RowSource, max int) (*Relation, error) {
 		}
 		total += b.n
 		if max > 0 && total > max {
-			return nil, &RowLimitError{Limit: max}
+			return nil, LimitExceeded(max, total)
 		}
 		parts = append(parts, b)
 	}

@@ -54,6 +54,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strconv"
@@ -68,6 +69,7 @@ import (
 	"repro/internal/ops"
 	"repro/internal/registry"
 	"repro/internal/session"
+	"repro/internal/spill"
 	"repro/internal/stats"
 	"repro/internal/tgm"
 )
@@ -101,6 +103,18 @@ type Options struct {
 	// 413 result_too_large. Paging within the cap is unaffected — set it
 	// above PageSize.
 	MaxRows int
+	// SpillDir is where oversized browsable results spill to temp-file
+	// runs instead of failing at MaxRows: "" (the default) uses the
+	// system temp directory, "off" disables spilling entirely (the
+	// strict pre-spill MaxRows semantics). Spilling is active only when
+	// MaxRows > 0 — without a trigger nothing overflows. Stale run
+	// files under the directory are swept at boot.
+	SpillDir string
+	// MaxSpillBytes caps the bytes one query may spill (0 = unbounded).
+	// Exhausting it fails the query with 413 result_too_large, exactly
+	// like the row cap did before spilling — the disk tier is bounded
+	// too.
+	MaxSpillBytes int64
 	// Planner forces the join-ordering policy for every session's
 	// queries: etable.PlannerGreedy or etable.PlannerCost override the
 	// adaptive default (etable.PlannerAuto, which picks by corpus
@@ -131,7 +145,17 @@ func (o Options) withDefaults() Options {
 	if o.Parallelism == 0 {
 		o.Parallelism = min(4, runtime.GOMAXPROCS(0))
 	}
+	if o.SpillDir == "" {
+		o.SpillDir = os.TempDir()
+	}
 	return o
+}
+
+// spillEnabled reports whether sessions spill oversized results to
+// disk instead of failing at MaxRows. Without a row cap nothing ever
+// overflows, so spilling needs both a trigger and a directory.
+func (o Options) spillEnabled() bool {
+	return o.MaxRows > 0 && o.SpillDir != "off"
 }
 
 // sessionEntry pairs a session with the dataset it is bound to and its
@@ -213,6 +237,15 @@ func NewFromRegistry(reg *registry.Registry, opts Options) *Server {
 	}
 	if opts.MaxWorkers > 0 {
 		s.pool = exec.NewPool(opts.MaxWorkers)
+	}
+	if opts.spillEnabled() {
+		// A previous process that died mid-query may have left named run
+		// files behind; anonymous (O_TMPFILE) runs never need this.
+		if n, err := spill.SweepDir(opts.SpillDir); err != nil {
+			s.logf("server: sweeping stale spill runs in %s: %v", opts.SpillDir, err)
+		} else if n > 0 {
+			s.logf("server: removed %d stale spill run(s) from %s", n, opts.SpillDir)
+		}
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	// Versioned API (the canonical surface; see docs/API.md).
@@ -378,6 +411,10 @@ type apiError struct {
 	code    string
 	message string
 	opIndex int // -1 = not a batch failure
+	// limit and rows carry the result_too_large payload: the row cap
+	// and the observed row count. Zero = absent.
+	limit int
+	rows  int
 }
 
 func (e *apiError) Error() string { return e.message }
@@ -394,6 +431,13 @@ type errorJSON struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
 	OpIndex *int   `json:"op_index,omitempty"`
+	// Limit and Rows accompany code result_too_large: the server's row
+	// cap and the rows the query had observed when it was cut off. The
+	// payload is identical whichever path rejected the query — the
+	// eager per-step check, the streamed per-batch check, the spill
+	// byte budget, or the session's pre-window guard.
+	Limit int `json:"limit,omitempty"`
+	Rows  int `json:"rows,omitempty"`
 }
 
 // writeErr maps an error to its status and structured envelope:
@@ -414,6 +458,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 			// client-actionable signal is the cap, not the op index.
 			ae = apiErr(http.StatusRequestEntityTooLarge, codeResultTooLarge,
 				"result exceeds the server's %d-row limit; narrow the query or page with limit=", rl.Limit)
+			ae.limit, ae.rows = rl.Limit, rl.Rows
 		case errors.As(err, &oe):
 			status := http.StatusUnprocessableEntity
 			if oe.Code == ops.CodeInvalidOp {
@@ -424,7 +469,7 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 			ae = apiErr(http.StatusInternalServerError, codeInternal, "%v", err)
 		}
 	}
-	env := errorJSON{Code: ae.code, Message: ae.message}
+	env := errorJSON{Code: ae.code, Message: ae.message, Limit: ae.limit, Rows: ae.rows}
 	if ae.opIndex >= 0 {
 		idx := ae.opIndex
 		env.OpIndex = &idx
@@ -531,6 +576,9 @@ type datasetStatsJSON struct {
 	// Pager is the out-of-core buffer-pool telemetry, present only for
 	// lazy (paged) datasets that have loaded.
 	Pager *pagerJSON `json:"pager,omitempty"`
+	// Spill is the spill-to-disk telemetry, present once a query on
+	// this dataset has spilled.
+	Spill *spillJSON `json:"spill,omitempty"`
 }
 
 // pagerJSON is one lazy dataset's buffer-pool telemetry: how many
@@ -546,6 +594,18 @@ type pagerJSON struct {
 	Faults           int64   `json:"faults"`
 	Evictions        int64   `json:"evictions"`
 	FaultMs          float64 `json:"faultMs"`
+}
+
+// spillJSON is one dataset's spill-to-disk telemetry: how many
+// executions overflowed MaxRows onto disk, how many bytes of run
+// files they wrote, how many external merge passes the breaker folds
+// needed, and how many run pages were faulted back through the pool
+// while browsing.
+type spillJSON struct {
+	Spills      int64 `json:"spills"`
+	RunBytes    int64 `json:"runBytes"`
+	MergePasses int64 `json:"mergePasses"`
+	Faults      int64 `json:"faults"`
 }
 
 // plannerJSON is the plan-cache telemetry block of /api/v1/stats: how
@@ -724,6 +784,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				FaultMs:          float64(pst.FaultNanos) / 1e6,
 			}
 		}
+		if sst := ds.SpillMetrics().Snapshot(); sst.Spills > 0 {
+			d.Spill = &spillJSON{
+				Spills:      sst.Spills,
+				RunBytes:    sst.RunBytes,
+				MergePasses: sst.MergePasses,
+				Faults:      sst.Faults,
+			}
+		}
 		out.Datasets = append(out.Datasets, d)
 	}
 	s.writeJSON(w, http.StatusOK, out)
@@ -844,6 +912,7 @@ func (s *Server) createSession(ctx context.Context, r *http.Request, ds *registr
 		sess = session.NewWithExec(ds.Schema(), ds.Graph(), ds.Cache(), s.pool, s.defaultBudget())
 	}
 	sess.SetMaxRows(s.opts.MaxRows)
+	sess.SetSpill(s.spillPolicy(ds))
 	sess.SetPlanner(s.opts.Planner)
 	// The server satisfies the recycling contract: every request on a
 	// session runs under its entry lock and stateOf copies the window
@@ -865,6 +934,24 @@ func (s *Server) createSession(ctx context.Context, r *http.Request, ds *registr
 	s.mu.Unlock()
 	closeSessions(evicted)
 	return id, e, nil
+}
+
+// spillPolicy builds the spill-to-disk policy a new session on ds
+// runs under, or nil when spilling is disabled. The run pool and the
+// metrics are per dataset — like the execution cache — so one
+// dataset's spill working set can never evict another's and
+// /api/v1/stats can attribute the telemetry.
+func (s *Server) spillPolicy(ds *registry.Dataset) *graphrel.SpillPolicy {
+	if !s.opts.spillEnabled() {
+		return nil
+	}
+	return &graphrel.SpillPolicy{
+		Dir:         s.opts.SpillDir,
+		TriggerRows: s.opts.MaxRows,
+		MaxBytes:    s.opts.MaxSpillBytes,
+		Pool:        ds.SpillPool(),
+		Metrics:     ds.SpillMetrics(),
+	}
 }
 
 // handleCreateSession serves both POST /api/v1/sessions and the legacy

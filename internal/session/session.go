@@ -126,8 +126,15 @@ type winKey struct {
 	sort          string // sortKey of the entry's sort spec ("" = base order)
 }
 
-// release drops the entry's pin (idempotent).
-func (pe *presEntry) release() { pe.pin.Release() }
+// release drops the entry's pin and any spill-backed state behind the
+// presentation (idempotent; both are no-ops on heap-resident entries —
+// spilled prepares carry a nil pin, pinned ones carry no spill files).
+// Sorted views share the base's spill state, so closing the base
+// releases every variant.
+func (pe *presEntry) release() {
+	pe.pin.Release()
+	pe.base.Close()
+}
 
 // variant returns the presentation ordered per the entry's sort spec:
 // the shared base when unsorted, otherwise a memoized SortedView over
@@ -191,6 +198,11 @@ type Session struct {
 	// queries (etable.PlannerAuto, the zero value, is the adaptive
 	// default; see SetPlanner).
 	planner etable.PlannerMode
+	// spill enables spill-to-disk execution (see SetSpill): when set,
+	// maxRows becomes the spill trigger for the browsable prepare path
+	// instead of a hard failure, and oversized results page from
+	// temp-file runs. nil keeps the strict pre-spill cap.
+	spill *graphrel.SpillPolicy
 	// recycleWindows opts materialized windows into arena recycling
 	// (see SetWindowRecycling): evicted window-memo entries return
 	// their cell/row/ref arenas to the package pool instead of
@@ -261,6 +273,21 @@ func (s *Session) SetMaxRows(n int) {
 	s.maxRows = n
 }
 
+// SetSpill enables spill-to-disk execution for this session's queries:
+// with a policy set, a browsable prepare whose match crosses the
+// max-rows threshold overflows its materialization and breaker folds
+// to temp-file runs and stays pageable, instead of failing with the
+// 413 row-cap error. The policy's MaxBytes remains a hard cap (its
+// exhaustion fails with the same *graphrel.RowLimitError), and
+// explicit window requests larger than max-rows are still rejected —
+// spilling bounds memory, it does not unbound a single read. nil (the
+// default) keeps the strict cap. Call before serving requests.
+func (s *Session) SetSpill(pol *graphrel.SpillPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spill = pol
+}
+
 // SetPlanner forces the join-ordering policy for this session's
 // queries: etable.PlannerGreedy or etable.PlannerCost override the
 // adaptive default (etable.PlannerAuto, which picks by corpus size).
@@ -301,6 +328,7 @@ func (s *Session) execOptions(ctx context.Context) etable.ExecOptions {
 		Pool:        s.pool,
 		Parallelism: exec.BudgetFrom(ctx, s.parallelism),
 		MaxRows:     s.maxRows,
+		Spill:       s.spill,
 		Planner:     s.planner,
 	}
 }
@@ -911,6 +939,10 @@ func (s *Session) presentationLocked(ctx context.Context, cur Entry) (*presEntry
 		// A request racing the server's eviction of this session must
 		// not leave a pin nobody will release; the presentation itself
 		// stays usable (relations are immutable regardless of pinning).
+		// A spilled presentation's run files are NOT closed here — this
+		// racing request is about to read them; they are anonymous
+		// (unlinked) files, so the descriptors' finalizers reclaim the
+		// storage when the presentation is collected.
 		pin.Release()
 	}
 	if len(s.memoOrder) >= memoEntries {
@@ -956,7 +988,7 @@ func (s *Session) windowLocked(ctx context.Context, offset, limit int) (*etable.
 			eff = limit
 		}
 		if eff > s.maxRows {
-			return nil, &graphrel.RowLimitError{Limit: s.maxRows}
+			return nil, graphrel.LimitExceeded(s.maxRows, eff)
 		}
 	}
 	wkey := winKey{offset: offset, limit: limit,

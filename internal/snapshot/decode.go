@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"math"
 
+	"repro/internal/snapshot/idcol"
 	"repro/internal/stats"
 	"repro/internal/tgm"
 	"repro/internal/value"
@@ -420,21 +421,15 @@ func decodeEdges(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType, m meta
 		if err != nil {
 			return err
 		}
-		// Pure width conversion: endpoint ranges, types, and offset
-		// monotonicity are validated once by InstallAdjacency below, so
-		// these loops carry no branches.
-		srcs := make([]tgm.NodeID, nSrc)
-		for i := range srcs {
-			srcs[i] = tgm.NodeID(binary.LittleEndian.Uint32(srcBytes[4*i:]))
-		}
+		// Pure width conversion (the shared ID-column codec): endpoint
+		// ranges, types, and offset monotonicity are validated once by
+		// InstallAdjacency below, so the loops carry no branches.
+		srcs := idcol.Decode(srcBytes, nSrc)
 		offs := make([]int32, nSrc+1)
 		for i := range offs {
 			offs[i] = int32(binary.LittleEndian.Uint32(offBytes[4*i:]))
 		}
-		targets := make([]tgm.NodeID, nTgt)
-		for i := range targets {
-			targets[i] = tgm.NodeID(binary.LittleEndian.Uint32(tgtBytes[4*i:]))
-		}
+		targets := idcol.Decode(tgtBytes, nTgt)
 		if err := g.InstallAdjacency(name, srcs, offs, targets); err != nil {
 			return corrupt(secEdges, "installing %q adjacency: %v", name, err)
 		}
@@ -490,18 +485,12 @@ func decodeEdgesDeferred(buf []byte, g *tgm.InstanceGraph, order []*tgm.EdgeType
 			return err
 		}
 		load := func() ([]tgm.NodeID, []int32, []tgm.NodeID, error) {
-			srcs := make([]tgm.NodeID, nSrc)
-			for i := range srcs {
-				srcs[i] = tgm.NodeID(binary.LittleEndian.Uint32(srcBytes[4*i:]))
-			}
+			srcs := idcol.Decode(srcBytes, nSrc)
 			offs := make([]int32, nSrc+1)
 			for i := range offs {
 				offs[i] = int32(binary.LittleEndian.Uint32(offBytes[4*i:]))
 			}
-			targets := make([]tgm.NodeID, nTgt)
-			for i := range targets {
-				targets[i] = tgm.NodeID(binary.LittleEndian.Uint32(tgtBytes[4*i:]))
-			}
+			targets := idcol.Decode(tgtBytes, nTgt)
 			return srcs, offs, targets, nil
 		}
 		if err := g.InstallAdjacencyDeferred(name, nTgt, load); err != nil {

@@ -1,0 +1,56 @@
+// Package idcol is the snapshot format's shared ID-column codec:
+// node-ID arrays as fixed-width little-endian uint32 with CRC-32C
+// (Castagnoli) integrity — the encoding the EDGE section's CSR arrays
+// already use. It lives below both consumers so every tier that
+// serializes ID columns — the snapshot decoder (internal/snapshot) and
+// the spill tier's temp-file runs (internal/spill) — shares one wire
+// shape and one checksum instead of each growing a private variant. A
+// decode is one exact allocation plus a branch-free width conversion.
+package idcol
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/tgm"
+)
+
+// IDWidth is the serialized width of one node ID in bytes.
+const IDWidth = 4
+
+// castagnoli is the CRC-32C table — the same polynomial every snapshot
+// section checksum uses (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Append appends ids to dst as fixed-width little-endian uint32 and
+// returns the grown buffer.
+func Append(dst []byte, ids []tgm.NodeID) []byte {
+	for _, id := range ids {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(id))
+	}
+	return dst
+}
+
+// DecodeInto converts len(dst) serialized IDs from buf into dst. buf
+// must hold at least IDWidth*len(dst) bytes; the caller validates
+// lengths (and the checksum) before conversion, so the loop itself
+// carries no branches — the same discipline as the EDGE decoder's CSR
+// conversion.
+func DecodeInto(dst []tgm.NodeID, buf []byte) {
+	for i := range dst {
+		dst[i] = tgm.NodeID(binary.LittleEndian.Uint32(buf[IDWidth*i:]))
+	}
+}
+
+// Decode converts n serialized IDs from buf into a freshly allocated
+// slice.
+func Decode(buf []byte, n int) []tgm.NodeID {
+	ids := make([]tgm.NodeID, n)
+	DecodeInto(ids, buf)
+	return ids
+}
+
+// Checksum returns the format's CRC-32C (Castagnoli) over buf.
+func Checksum(buf []byte) uint32 {
+	return crc32.Checksum(buf, castagnoli)
+}

@@ -1,0 +1,29 @@
+//go:build linux
+
+package spill
+
+import (
+	"os"
+	"syscall"
+)
+
+// oTmpfile is O_TMPFILE: create an unnamed regular file in the given
+// directory. The constant is __O_TMPFILE | O_DIRECTORY from the
+// asm-generic ABI (shared by amd64, arm64, riscv64); syscall does not
+// export it.
+const oTmpfile = 0o20000000 | syscall.O_DIRECTORY
+
+// openAnon opens an anonymous temp file in dir: O_TMPFILE where the
+// kernel and filesystem support it (no name ever exists), else
+// create-and-unlink (a name exists for a microsecond). Either way the
+// file's storage is reclaimed by the OS when the descriptor closes —
+// including on crash.
+func openAnon(dir string) (*os.File, error) {
+	f, err := os.OpenFile(dir, os.O_RDWR|oTmpfile, 0o600)
+	if err == nil {
+		return f, nil
+	}
+	// tmpfs and every mainstream disk filesystem support O_TMPFILE, but
+	// some overlay/network mounts do not; fall back to unlink-on-open.
+	return openUnlinked(dir)
+}

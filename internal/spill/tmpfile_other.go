@@ -1,0 +1,13 @@
+//go:build !linux
+
+package spill
+
+import "os"
+
+// openAnon opens an anonymous temp file in dir. Without O_TMPFILE the
+// portable equivalent is create-and-unlink: the name exists only for
+// the instant between the two calls, and the storage is reclaimed by
+// the OS when the descriptor closes.
+func openAnon(dir string) (*os.File, error) {
+	return openUnlinked(dir)
+}

@@ -44,6 +44,14 @@ txt="BENCH_${stamp}.txt"
 numcpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo unknown)"
 gomaxprocs="${GOMAXPROCS:-$numcpu}"
 goversion="$(go version | awk '{print $3}')"
+# The spill-tier benchmarks (BenchmarkSpilledFirstPage) are sensitive
+# to the heap target and the device backing the spill directory, so the
+# stamp records both: GOMEMLIMIT (the Go soft heap limit, "off" when
+# unset) and the spill envelope (ETABLE_SPILL_DIR overrides the
+# benchmarks' per-run temp dir; ETABLE_MAX_SPILL_BYTES a byte cap).
+gomemlimit="${GOMEMLIMIT:-off}"
+spilldir="${ETABLE_SPILL_DIR:-tmp}"
+maxspillbytes="${ETABLE_MAX_SPILL_BYTES:-unbounded}"
 
 # extract_bench turns a `go test -json` event stream into the plain
 # benchmark text benchstat consumes. The stream emits a result line as
@@ -65,13 +73,15 @@ extract_bench() {
 prev="$(ls -1 BENCH_*.json 2>/dev/null | grep -v "^${out}\$" | sort | tail -n 1 || true)"
 
 status=0
-printf '{"BenchEnv":{"gomaxprocs":"%s","numcpu":"%s","go":"%s"}}\n' \
-	"$gomaxprocs" "$numcpu" "$goversion" >"$out"
+printf '{"BenchEnv":{"gomaxprocs":"%s","numcpu":"%s","go":"%s","gomemlimit":"%s","spillDir":"%s","maxSpillBytes":"%s"}}\n' \
+	"$gomaxprocs" "$numcpu" "$goversion" "$gomemlimit" "$spilldir" "$maxspillbytes" >"$out"
 go test -run '^$' -bench "$pattern" -benchmem -json . >>"$out" || status=$?
 
 {
 	printf 'gomaxprocs: %s\nnumcpu: %s\ngo-version: %s\n' \
 		"$gomaxprocs" "$numcpu" "$goversion"
+	printf 'gomemlimit: %s\nspill-dir: %s\nmax-spill-bytes: %s\n' \
+		"$gomemlimit" "$spilldir" "$maxspillbytes"
 	extract_bench "$out"
 } >"$txt"
 grep -o '"Output":"[^"]*"' "$out" |
